@@ -1,0 +1,95 @@
+"""Related-work comparison (Section 1.3's critiques, quantified).
+
+The dissertation argues two prior approaches waste pins:
+
+* Gebotys'92 — uniform-width buses connected to every chip ("it would
+  require more I/O pins than necessary for systems which contain more
+  than two chips");
+* De Micheli et al. — pin cost as the plain sum of a partition's I/O
+  operation costs ("the design produced by this approach will require
+  many more I/O pins than necessary").
+
+This bench puts numbers on both critiques for the AR filter and for a
+growing chip chain.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first
+from repro.cdfg import Cdfg
+from repro.cdfg.graph import make_io_node
+from repro.core.baselines import gebotys_pin_cost, no_sharing_pin_cost
+from repro.designs import AR_GENERAL_PINS_UNIDIR, ar_general_design
+from repro.modules.library import ar_filter_timing
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+from repro.reporting import TextTable
+
+
+def test_pin_cost_comparison_ar(benchmark, record_table):
+    graph = ar_general_design()
+    table = TextTable(
+        ["rate", "this work (Ch 4)", "Gebotys-style uniform buses",
+         "De Micheli-style no sharing"],
+        title="total data pins, AR filter (Section 1.3 critiques)")
+
+    def sweep():
+        rows = []
+        no_share = sum(no_sharing_pin_cost(
+            graph, AR_GENERAL_PINS_UNIDIR).values())
+        for rate in (3, 4, 5):
+            ours = synthesize_connection_first(
+                graph, AR_GENERAL_PINS_UNIDIR, ar_filter_timing(), rate)
+            uniform = sum(gebotys_pin_cost(
+                graph, AR_GENERAL_PINS_UNIDIR, rate).values())
+            rows.append((rate, sum(ours.pins_used().values()),
+                         uniform, no_share))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for row in rows:
+        table.add(*row)
+    record_table("baseline_pin_costs", table.render())
+    for _rate, ours, uniform, no_share in rows:
+        assert ours < uniform
+        assert ours < no_share
+
+
+def test_uniform_bus_waste_grows_with_chips(benchmark, record_table):
+    """The >2-chips critique on a chip chain of growing length."""
+
+    def chain(n_chips):
+        g = Cdfg()
+        for i in range(1, n_chips):
+            g.add_node(make_io_node(f"w{i}", f"v{i}", i, i + 1,
+                                    bit_width=8))
+        chips = {OUTSIDE_WORLD: ChipSpec(0)}
+        chips.update({i: ChipSpec(10_000)
+                      for i in range(1, n_chips + 1)})
+        return g, Partitioning(chips)
+
+    table = TextTable(["chips", "this work", "uniform buses", "ratio"],
+                      title="pin cost of a chip chain (rate 2)")
+
+    def sweep():
+        rows = []
+        for n_chips in (2, 3, 4, 6, 8):
+            graph, partitioning = chain(n_chips)
+            from repro.core.connection_search import ConnectionSearch
+            ic, _ = ConnectionSearch(graph, partitioning, 2).run()
+            ours = sum(ic.pins_used(p)
+                       for p in partitioning.indices())
+            uniform = sum(gebotys_pin_cost(graph, partitioning,
+                                           2).values())
+            rows.append((n_chips, ours, uniform))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    ratios = []
+    for n_chips, ours, uniform in rows:
+        ratio = uniform / ours if ours else float("inf")
+        ratios.append(ratio)
+        table.add(n_chips, ours, uniform, f"{ratio:.2f}x")
+    record_table("baseline_chain_waste", table.render())
+    # The waste ratio grows with chip count (the paper's claim).
+    assert ratios[-1] > ratios[0]

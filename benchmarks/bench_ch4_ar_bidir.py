@@ -1,0 +1,71 @@
+"""E4.3 — Chapter 4.3: general AR filter, bidirectional I/O ports.
+
+Regenerates Tables 4.9-4.13 and the Figures 4.14-4.19 shapes.
+
+Paper reference point (Table 4.10 vs 4.2): "the designs with
+bidirectional I/O ports require less I/O pins than the corresponding
+designs with only unidirectional I/O ports."
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first
+from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
+                           ar_general_design)
+from repro.modules.library import ar_filter_timing
+from repro.reporting import (TextTable, bus_assignment_table,
+                             interconnect_listing, schedule_listing)
+
+RATES = (3, 4, 5)
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_fig_4_14_to_4_19_per_rate(rate, benchmark, record_table):
+    graph = ar_general_design()
+
+    def run():
+        return synthesize_connection_first(
+            graph, AR_GENERAL_PINS_BIDIR, ar_filter_timing(), rate)
+
+    result = one_shot(benchmark, run)
+    assert result.verify() == []
+    record_table(f"fig4.{13 + rate - 2}_connection_bidir_L{rate}",
+                 interconnect_listing(result.interconnect))
+    record_table(f"fig4.{16 + rate - 2}_schedule_bidir_L{rate}",
+                 schedule_listing(result.schedule))
+    record_table(
+        f"table4.{11 + rate - 3}_bus_assignment_bidir_L{rate}",
+        bus_assignment_table(result.stats["initial_assignment"],
+                             result.assignment))
+
+
+def test_table_4_10_summary_and_pin_comparison(benchmark, record_table):
+    graph = ar_general_design()
+    table = TextTable(
+        ["rate", "bidir pins (per chip)", "bidir total", "unidir total",
+         "bidir steps"],
+        title="Table 4.10 — bidirectional ports vs Table 4.2 "
+              "(paper: bidirectional needs fewer pins)")
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            bi = synthesize_connection_first(
+                graph, AR_GENERAL_PINS_BIDIR, ar_filter_timing(), rate)
+            uni = synthesize_connection_first(
+                graph, AR_GENERAL_PINS_UNIDIR, ar_filter_timing(), rate)
+            rows.append((rate, bi.pins_used(),
+                         sum(bi.pins_used().values()),
+                         sum(uni.pins_used().values()),
+                         bi.pipe_length))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for rate, pins, bi_total, uni_total, steps in rows:
+        table.add(rate, pins, bi_total, uni_total, steps)
+    record_table("table4.10_summary", table.render())
+
+    bi_sum = sum(r[2] for r in rows)
+    uni_sum = sum(r[3] for r in rows)
+    assert bi_sum < uni_sum, "bidirectional should save pins overall"

@@ -1,0 +1,85 @@
+"""E4.5 — Chapter 4.4.2.2: elliptic wave filter, bidirectional ports.
+
+Regenerates Tables 4.17-4.19 and the Figures 4.25-4.28 shapes.
+
+Paper reference points: rate 5 unschedulable by list scheduling; "the
+designs with bidirectional I/O ports require less I/O pins than the
+corresponding designs with only unidirectional I/O ports."  At rate 6
+the bus bandwidth is the binding constraint, so the connection phase
+runs with reserved slots (the Objective 4.6 bandwidth lever).
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first
+from repro.designs import (ELLIPTIC_PINS_BIDIR, ELLIPTIC_PINS_UNIDIR,
+                           elliptic_design, elliptic_resources)
+from repro.errors import ReproError
+from repro.modules.library import elliptic_filter_timing
+from repro.reporting import (TextTable, interconnect_listing,
+                             schedule_listing)
+
+#: Slot reservation per rate (rate 6 needs extra buses to spread the
+#: recursive loop's transfers).
+RESERVE = {5: 0, 6: 3, 7: 0}
+
+
+def run_rate(rate, pins=ELLIPTIC_PINS_BIDIR):
+    return synthesize_connection_first(
+        elliptic_design(), pins, elliptic_filter_timing(), rate,
+        resources=elliptic_resources(rate),
+        slot_reserve=RESERVE.get(rate, 0))
+
+
+def test_rate_5_fails(benchmark, record_table):
+    def attempt():
+        try:
+            run_rate(5)
+            return "scheduled (unexpected)"
+        except ReproError as exc:
+            return f"failed: {type(exc).__name__}"
+
+    outcome = one_shot(benchmark, attempt)
+    record_table("sec4.4.2.2_rate5_failure",
+                 f"bidirectional, rate 5: list scheduling {outcome}")
+    assert outcome.startswith("failed")
+
+
+@pytest.mark.parametrize("rate", (6, 7))
+def test_fig_4_25_to_4_28_per_rate(rate, benchmark, record_table):
+    def run():
+        return run_rate(rate)
+
+    result = one_shot(benchmark, run)
+    assert result.verify() == []
+    record_table(f"fig4.{25 + rate - 6}_connection_ewf_bidir_L{rate}",
+                 interconnect_listing(result.interconnect))
+    record_table(f"fig4.{27 + rate - 6}_schedule_ewf_bidir_L{rate}",
+                 schedule_listing(result.schedule))
+
+
+def test_table_4_17_pin_comparison(benchmark, record_table):
+    table = TextTable(
+        ["rate", "bidir pins", "unidir pins"],
+        title="Tables 4.17/4.14 comparison — elliptic filter "
+              "(paper: bidirectional needs fewer pins)")
+
+    def sweep():
+        rows = []
+        for rate in (6, 7):
+            bi = run_rate(rate)
+            uni = synthesize_connection_first(
+                elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+                elliptic_filter_timing(), rate,
+                resources=elliptic_resources(rate),
+                slot_reserve=RESERVE.get(rate, 0))
+            rows.append((rate, sum(bi.pins_used().values()),
+                         sum(uni.pins_used().values())))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for row in rows:
+        table.add(*row)
+    record_table("table4.17_comparison", table.render())
+    assert sum(r[1] for r in rows) < sum(r[2] for r in rows)

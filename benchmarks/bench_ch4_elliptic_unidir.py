@@ -1,0 +1,89 @@
+"""E4.4 — Chapter 4.4.2: elliptic wave filter, unidirectional ports.
+
+Regenerates Tables 4.14-4.16 and the Figures 4.21-4.24 shapes at
+initiation rates 5, 6 and 7.
+
+Paper reference point: "The schedule for the design with an initiation
+rate of 5 cannot be obtained under the resource constraints even if one
+exists because of the very tight time constraints imposed by data
+dependencies between execution instances and the greedy heuristic of
+the list scheduling" — rates 6 and 7 succeed.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first
+from repro.designs import (ELLIPTIC_PINS_UNIDIR, elliptic_design,
+                           elliptic_resources)
+from repro.errors import ReproError
+from repro.modules.library import elliptic_filter_timing
+from repro.reporting import (TextTable, bus_allocation_table,
+                             interconnect_listing, schedule_listing)
+
+
+def run_rate(rate, **kwargs):
+    return synthesize_connection_first(
+        elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+        elliptic_filter_timing(), rate,
+        resources=elliptic_resources(rate), **kwargs)
+
+
+def test_rate_5_list_scheduling_fails(benchmark, record_table):
+    def attempt():
+        try:
+            run_rate(5)
+            return "scheduled (unexpected)"
+        except ReproError as exc:
+            return f"failed: {type(exc).__name__}"
+
+    outcome = one_shot(benchmark, attempt)
+    record_table(
+        "sec4.4.2_rate5_failure",
+        f"initiation rate 5 (minimum): list scheduling {outcome}\n"
+        f"(paper: the same failure — a schedule exists but the greedy "
+        f"heuristic misses the recursive-loop deadline)")
+    assert outcome.startswith("failed")
+
+
+@pytest.mark.parametrize("rate", (6, 7))
+def test_fig_4_21_to_4_24_per_rate(rate, benchmark, record_table):
+    def run():
+        return run_rate(rate)
+
+    result = one_shot(benchmark, run)
+    assert result.verify() == []
+    record_table(f"fig4.{21 + rate - 6}_connection_ewf_L{rate}",
+                 interconnect_listing(result.interconnect))
+    record_table(f"fig4.{23 + rate - 6}_schedule_ewf_L{rate}",
+                 schedule_listing(result.schedule))
+    record_table(
+        f"table4.{15 + rate - 6}_bus_allocation_ewf_L{rate}",
+        bus_allocation_table(result.graph, result.schedule,
+                             result.interconnect, result.assignment))
+
+
+def test_table_4_14_summary(benchmark, record_table):
+    table = TextTable(
+        ["rate", "outcome", "pipe", "buses", "pins"],
+        title="Table 4.14 companion — elliptic filter, unidirectional "
+              "(paper: rate 5 unschedulable by list scheduling, "
+              "6 and 7 succeed)")
+
+    def sweep():
+        rows = []
+        for rate in (5, 6, 7):
+            try:
+                result = run_rate(rate)
+                rows.append((rate, "ok", result.pipe_length,
+                             len(result.interconnect.buses),
+                             sum(result.pins_used().values())))
+            except ReproError:
+                rows.append((rate, "fail", "-", "-", "-"))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for row in rows:
+        table.add(*row)
+    record_table("table4.14_summary", table.render())
+    assert rows[0][1] == "fail" and rows[1][1] == "ok"

@@ -1,0 +1,99 @@
+"""E5.3/E5.4 — Chapter 5: elliptic filter, scheduling before connection.
+
+Regenerates Table 5.3 (FDS resources over rate x pipe) and Table 5.4
+(the Chapter-4 flow comparison).
+
+Paper reference point: "The previous approach can not produce any
+schedule for several designs with tight time and resource constraints
+even [though] there exists a schedule" — the schedule-first flow covers
+initiation rate 5 where list scheduling fails.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first, synthesize_schedule_first
+from repro.designs import (ELLIPTIC_PINS_UNIDIR, elliptic_design,
+                           elliptic_resources)
+from repro.errors import ReproError
+from repro.modules.library import elliptic_filter_timing
+from repro.reporting import TextTable
+
+RATES = (5, 6, 7)
+PIPES = (22, 23, 24, 25, 26)
+
+
+def test_table_5_3_resource_grid(benchmark, record_table):
+    table = TextTable(
+        ["rate", "pipe budget", "pipe", "total pins",
+         "adders", "multipliers"],
+        title="Table 5.3 — elliptic filter via FDS + clique "
+              "partitioning")
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            for pipe in PIPES:
+                try:
+                    result = synthesize_schedule_first(
+                        elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+                        elliptic_filter_timing(), rate,
+                        pipe_length=pipe)
+                except ReproError:
+                    rows.append((rate, pipe, None))
+                    continue
+                rows.append((rate, pipe, result))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    scheduled_at_5 = False
+    for rate, pipe, result in rows:
+        if result is None:
+            table.add(rate, pipe, "infeasible", "-", "-", "-")
+            continue
+        if rate == 5:
+            scheduled_at_5 = True
+        adders = sum(n for (p, t), n in result.resources.items()
+                     if t == "add")
+        muls = sum(n for (p, t), n in result.resources.items()
+                   if t == "mul")
+        table.add(rate, pipe, result.pipe_length,
+                  sum(result.pins_used().values()), adders, muls)
+    record_table("table5.3_fds_grid", table.render())
+    assert scheduled_at_5, \
+        "FDS must cover the minimum rate list scheduling misses"
+
+
+def test_table_5_4_chapter4_comparison(benchmark, record_table):
+    table = TextTable(
+        ["rate", "ch4 (list sched)", "ch5 (FDS)"],
+        title="Table 5.4 — elliptic filter: flow comparison "
+              "(paper: Ch 4 fails at the minimum rate, Ch 5 covers it)")
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            try:
+                ch4 = synthesize_connection_first(
+                    elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+                    elliptic_filter_timing(), rate,
+                    resources=elliptic_resources(rate))
+                ch4_out = f"pipe {ch4.pipe_length}"
+            except ReproError:
+                ch4_out = "no schedule"
+            try:
+                ch5 = synthesize_schedule_first(
+                    elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+                    elliptic_filter_timing(), rate, pipe_length=24)
+                ch5_out = f"pipe {ch5.pipe_length}"
+            except ReproError:
+                ch5_out = "no schedule"
+            rows.append((rate, ch4_out, ch5_out))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for row in rows:
+        table.add(*row)
+    record_table("table5.4_comparison", table.render())
+    assert rows[0][1] == "no schedule"
+    assert rows[0][2].startswith("pipe")

@@ -1,0 +1,106 @@
+"""E6.1/E6.2 — Chapter 6: sub-bus sharing on the AR filter.
+
+Regenerates Tables 6.1-6.3 (I/O-to-bus assignments with split buses,
+Figures 6.2-6.7 shapes) and Table 6.4 (pins and pipe length with vs
+without sharing).
+
+Paper reference point (Table 6.4): "a smaller number of I/O pins are
+required if two values are allowed to be transferred on a communication
+bus at the same time", possibly at some pipe-length cost.  The effect
+shows under pin pressure, so the comparison also runs on a tightened
+budget where only the sharing flow fits.
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first
+from repro.designs import AR_GENERAL_PINS_BIDIR, ar_general_design
+from repro.errors import ReproError
+from repro.modules.library import ar_filter_timing
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+from repro.reporting import (TextTable, bus_assignment_table,
+                             interconnect_listing, schedule_listing)
+
+RATES = (3, 4, 5)
+
+#: Tightened bidirectional budgets (about 20% below Table 4.9) — the
+#: regime where splitting buses pays.
+TIGHT_PINS = Partitioning({
+    OUTSIDE_WORLD: ChipSpec(68, bidirectional=True),
+    1: ChipSpec(56, bidirectional=True),
+    2: ChipSpec(44, bidirectional=True),
+    3: ChipSpec(56, bidirectional=True),
+})
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_fig_6_2_to_6_7_per_rate(rate, benchmark, record_table):
+    graph = ar_general_design()
+
+    def run():
+        return synthesize_connection_first(
+            graph, AR_GENERAL_PINS_BIDIR, ar_filter_timing(), rate,
+            subbus_sharing=True)
+
+    result = one_shot(benchmark, run)
+    assert result.verify() == []
+    record_table(f"fig6.{rate - 1}_connection_subbus_L{rate}",
+                 interconnect_listing(result.interconnect))
+    record_table(f"fig6.{rate + 2}_schedule_subbus_L{rate}",
+                 schedule_listing(result.schedule))
+    record_table(
+        f"table6.{rate - 2}_bus_assignment_L{rate}",
+        bus_assignment_table(result.stats["initial_assignment"],
+                             result.assignment))
+
+
+def test_table_6_4_sharing_comparison(benchmark, record_table):
+    graph = ar_general_design()
+    table = TextTable(
+        ["rate", "no-sharing pins", "no-sharing pipe",
+         "sharing pins", "sharing pipe", "split buses"],
+        title="Table 6.4 — bidirectional, no sharing vs sub-bus "
+              "sharing (normal budgets)")
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            plain = synthesize_connection_first(
+                graph, AR_GENERAL_PINS_BIDIR, ar_filter_timing(), rate)
+            shared = synthesize_connection_first(
+                graph, AR_GENERAL_PINS_BIDIR, ar_filter_timing(), rate,
+                subbus_sharing=True)
+            splits = sum(1 for b in shared.interconnect.buses
+                         if len(b.effective_segments()) > 1)
+            rows.append((rate, sum(plain.pins_used().values()),
+                         plain.pipe_length,
+                         sum(shared.pins_used().values()),
+                         shared.pipe_length, splits))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for row in rows:
+        table.add(*row)
+    record_table("table6.4_comparison", table.render())
+
+    # Tight-budget companion: sharing fits where no-sharing can't.
+    tight = TextTable(["rate", "no sharing", "sharing"],
+                      title="Table 6.4 companion — tightened budgets")
+    for rate in (5,):
+        try:
+            plain = synthesize_connection_first(
+                graph, TIGHT_PINS, ar_filter_timing(), rate)
+            plain_out = f"pipe {plain.pipe_length}"
+        except ReproError:
+            plain_out = "does not fit"
+        try:
+            shared = synthesize_connection_first(
+                graph, TIGHT_PINS, ar_filter_timing(), rate,
+                subbus_sharing=True)
+            shared_out = (f"pipe {shared.pipe_length}, pins "
+                          f"{sum(shared.pins_used().values())}")
+        except ReproError:
+            shared_out = "does not fit"
+        tight.add(rate, plain_out, shared_out)
+    record_table("table6.4_tight_budget", tight.render())

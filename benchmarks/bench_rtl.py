@@ -1,0 +1,85 @@
+"""RTL-level accounting and dynamic storage validation.
+
+The dissertation notes that saving pins costs chip area — "an extra
+register used to store the input value" per latched transfer (Section
+2.2.1), control for multiplexed values (Section 7.3), register control
+signals.  This bench makes the area side visible: functional units,
+registers (and bits), multiplexer inputs and controller signals per
+chip for both flows on the AR filter, and a register-level simulation
+pass over every design (overwrite hazards would abort it).
+"""
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first, synthesize_schedule_first
+from repro.designs import AR_GENERAL_PINS_UNIDIR, ar_general_design
+from repro.modules.library import ar_filter_timing
+from repro.reporting import TextTable
+from repro.rtl import (allocate_registers, bind_functional_units,
+                       build_control_tables, build_netlist)
+from repro.sim import simulate_result_registers
+
+
+def _account(result):
+    binding = bind_functional_units(result.schedule)
+    registers = allocate_registers(result.graph, result.schedule)
+    netlist = build_netlist(result.graph, result.schedule,
+                            result.interconnect, result.assignment,
+                            binding, registers)
+    tables = build_control_tables(result.graph, result.schedule,
+                                  binding, registers,
+                                  result.interconnect,
+                                  result.assignment)
+    units = sum(len(chip.units) for chip in netlist.chips.values())
+    regs = sum(len(chip.registers) for chip in netlist.chips.values())
+    reg_bits = sum(sum(chip.registers.values())
+                   for chip in netlist.chips.values())
+    mux_inputs = sum(chip.mux_input_total()
+                     for chip in netlist.chips.values())
+    signals = sum(t.total_signals() for t in tables.values())
+    area = sum(chip.area_estimate() for chip in netlist.chips.values())
+    return units, regs, reg_bits, mux_inputs, signals, area
+
+
+def test_rtl_accounting_both_flows(benchmark, record_table):
+    graph = ar_general_design()
+    table = TextTable(
+        ["flow", "pipe", "pins", "units", "regs (bits)", "mux inputs",
+         "ctrl signals", "area est."],
+        title="RTL cost accounting, AR filter at rate 3 "
+              "(Section 2.2.1's pins-vs-area trade)")
+
+    def run():
+        ch4 = synthesize_connection_first(
+            graph, AR_GENERAL_PINS_UNIDIR, ar_filter_timing(), 3)
+        ch5 = synthesize_schedule_first(
+            graph, AR_GENERAL_PINS_UNIDIR, ar_filter_timing(), 3,
+            pipe_length=8)
+        return ch4, ch5
+
+    ch4, ch5 = one_shot(benchmark, run)
+    for label, result in (("Ch 4 (connection first)", ch4),
+                          ("Ch 5 (schedule first)", ch5)):
+        units, regs, bits, muxes, signals, area = _account(result)
+        table.add(label, result.pipe_length,
+                  sum(result.pins_used().values()), units,
+                  f"{regs} ({bits})", muxes, signals, f"{area:.0f}")
+    record_table("rtl_accounting", table.render())
+
+
+@pytest.mark.parametrize("rate", (3, 4, 5))
+def test_register_level_simulation(rate, benchmark, record_table):
+    """Every benched AR design survives register-level execution."""
+    graph = ar_general_design()
+
+    def run():
+        result = synthesize_connection_first(
+            graph, AR_GENERAL_PINS_UNIDIR, ar_filter_timing(), rate)
+        return result, simulate_result_registers(result, n_instances=6,
+                                                 seed=rate)
+
+    result, report = one_shot(benchmark, run)
+    assert report.register_reads > 0
+    record_table(f"rtl_sim_L{rate}",
+                 f"AR rate {rate}: {report}")

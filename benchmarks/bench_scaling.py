@@ -1,0 +1,65 @@
+"""Scaling behaviour on growing random designs.
+
+The dissertation's run-time discussion (0.5 s on a Sun 3/280 for the
+AR filter; connection ILPs too slow beyond toy sizes; heuristics that
+stay usable) motivates checking how the *heuristic* pipeline scales:
+connection search + list scheduling with bus reassignment on random
+partitioned designs of growing operation counts and chip counts.
+"""
+
+import time
+
+import pytest
+
+from conftest import one_shot
+from repro import synthesize_connection_first
+from repro.designs import random_partitioned_design
+from repro.errors import ReproError
+from repro.modules.library import DesignTiming, HardwareModule, ModuleSet
+from repro.reporting import TextTable
+
+
+def timing():
+    return DesignTiming(
+        clock_period=250.0,
+        default=ModuleSet.of(
+            HardwareModule("adder", "add", 30.0),
+            HardwareModule("multiplier", "mul", 210.0)),
+        io_delay_ns=10.0)
+
+
+SIZES = [(3, 20), (4, 40), (5, 60), (6, 90)]
+
+
+def test_scaling_sweep(benchmark, record_table):
+    table = TextTable(
+        ["chips", "ops", "I/O ops", "seconds", "pipe", "buses"],
+        title="heuristic pipeline scaling (rate 3, random designs)")
+
+    def sweep():
+        rows = []
+        for n_chips, n_ops in SIZES:
+            graph, partitioning = random_partitioned_design(
+                seed=n_ops, n_chips=n_chips, n_ops=n_ops,
+                pin_budget=1024)
+            start = time.perf_counter()
+            try:
+                result = synthesize_connection_first(
+                    graph, partitioning, timing(), 3)
+                elapsed = time.perf_counter() - start
+                rows.append((n_chips, n_ops, len(graph.io_nodes()),
+                             elapsed, result.pipe_length,
+                             len(result.interconnect.buses)))
+            except ReproError:
+                rows.append((n_chips, n_ops, len(graph.io_nodes()),
+                             time.perf_counter() - start, "fail", "-"))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+    for n_chips, n_ops, n_ios, elapsed, pipe, buses in rows:
+        table.add(n_chips, n_ops, n_ios, f"{elapsed:.2f}", pipe, buses)
+    record_table("scaling_sweep", table.render())
+    # Everything under a second per design keeps the tool interactive.
+    finished = [r for r in rows if isinstance(r[4], int)]
+    assert finished, "at least some sizes must synthesize"
+    assert all(r[3] < 30.0 for r in rows)

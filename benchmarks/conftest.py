@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the dissertation's tables or figures and
+records the rendered text under ``benchmarks/results/`` so the output
+survives pytest's capture; timings come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Write (and echo) a named result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _record
+
+
+def one_shot(benchmark, fn):
+    """Run a flow once under pytest-benchmark (no warmup repeats)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The AR lattice filter through all three synthesis flows.
+
+Reproduces the dissertation's workhorse experiment set on the
+reconstructed AR filter:
+
+* Chapter 3 — the simple 4-chip partitioning with the ILP pin-allocation
+  checker inside list scheduling, then the constructive Theorem 3.1
+  interchip connection;
+* Chapter 4 — the general 3-chip partitioning, interchip connection
+  synthesized *before* scheduling, unidirectional and bidirectional
+  ports, initiation rates 3/4/5;
+* Chapter 5 — force-directed scheduling first, interchip connection by
+  clique partitioning afterwards.
+
+Run:  python examples/ar_filter_flow.py
+"""
+
+from repro import (synthesize_connection_first, synthesize_schedule_first,
+                   synthesize_simple)
+from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
+                           AR_SIMPLE_PINS, ar_general_design,
+                           ar_simple_design)
+from repro.modules.library import ar_filter_timing
+from repro.reporting import (TextTable, bus_allocation_table,
+                             interconnect_listing, schedule_listing)
+
+
+def chapter3():
+    print("=" * 72)
+    print("Chapter 3: simple partitioning, initiation rate 2")
+    print("=" * 72)
+    result = synthesize_simple(ar_simple_design(), AR_SIMPLE_PINS,
+                               ar_filter_timing(), initiation_rate=2)
+    print(schedule_listing(result.schedule))
+    print()
+    print(interconnect_listing(result.simple_allocation.interconnect))
+    print(f"pin-allocation feasibility checks: "
+          f"{result.stats['pin_checks']}")
+    print(f"pins used: {result.pins_used()}")
+    print()
+
+
+def chapter4():
+    print("=" * 72)
+    print("Chapter 4: general partitioning, connection before schedule")
+    print("=" * 72)
+    table = TextTable(["ports", "L", "pipe", "buses", "pins/partition",
+                       "reassignments"])
+    for label, pins in (("unidirectional", AR_GENERAL_PINS_UNIDIR),
+                        ("bidirectional", AR_GENERAL_PINS_BIDIR)):
+        for rate in (3, 4, 5):
+            result = synthesize_connection_first(
+                ar_general_design(), pins, ar_filter_timing(), rate)
+            table.add(label, rate, result.pipe_length,
+                      len(result.interconnect.buses),
+                      result.pins_used(),
+                      result.stats["reassignments"])
+    print(table.render())
+    print()
+
+    # Show one bus allocation in full (the Table 4.4 shape).
+    result = synthesize_connection_first(
+        ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+        ar_filter_timing(), 3)
+    print(bus_allocation_table(result.graph, result.schedule,
+                               result.interconnect, result.assignment))
+    print()
+
+
+def chapter5():
+    print("=" * 72)
+    print("Chapter 5: schedule first (FDS), then clique partitioning")
+    print("=" * 72)
+    table = TextTable(["L", "pipe budget", "pipe", "pins/partition",
+                       "units (partition, type)"])
+    for rate, pipe in ((3, 8), (4, 9), (5, 10)):
+        result = synthesize_schedule_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), rate, pipe_length=pipe)
+        units = ", ".join(f"P{p}:{t}={n}"
+                          for (p, t), n in sorted(result.resources.items()))
+        table.add(rate, pipe, result.pipe_length, result.pins_used(),
+                  units)
+    print(table.render())
+    print()
+
+
+def main():
+    chapter3()
+    chapter4()
+    chapter5()
+
+
+if __name__ == "__main__":
+    main()

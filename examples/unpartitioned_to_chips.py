@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""From an unpartitioned behavior to a verified multi-chip design.
+
+The dissertation assumes a behavioral partitioner (CHOP) already split
+the specification; its future-work section asks for synthesis feedback
+into that partitioner (Section 8.2).  This example runs the whole
+pipeline on an unpartitioned dataflow graph:
+
+1. an FM-style min-cut partitioner assigns operations to chips,
+   predicting pin cost as cut bits;
+2. I/O nodes are spliced onto the cut arcs and external inputs become
+   transfers from the outside world;
+3. the Chapter-4 flow synthesizes connection + schedule;
+4. if a chip busts its pins, the offending chips' weights feed back
+   into a repartition;
+5. the result is simulated cycle-accurately.
+
+Run:  python examples/unpartitioned_to_chips.py
+"""
+
+from repro import CdfgBuilder, ChipSpec, OUTSIDE_WORLD, Partitioning
+from repro.modules import DesignTiming, HardwareModule, ModuleSet
+from repro.partition.auto import partition_and_synthesize
+from repro.reporting import interconnect_listing, pins_summary
+from repro.sim import simulate_result
+
+
+def butterfly(stages=3, lanes=4):
+    """An FFT-ish butterfly network: wide, regular, cut-friendly."""
+    b = CdfgBuilder("butterfly")
+    current = []
+    for lane in range(lanes):
+        current.append(b.inp(f"in{lane}", partition=None, bit_width=16))
+    for stage in range(stages):
+        nxt = []
+        stride = 1 << (stage % 2)
+        for lane in range(lanes):
+            partner = lane ^ stride if (lane ^ stride) < lanes else lane
+            op_type = "mul" if (lane + stage) % 3 == 0 else "add"
+            nxt.append(b.op(f"s{stage}l{lane}", op_type, None,
+                            inputs=[current[lane], current[partner]],
+                            bit_width=16))
+        current = nxt
+    for lane in range(lanes):
+        b.out(f"out{lane}", current[lane], partition=None, bit_width=16)
+    return b.build()
+
+
+def main():
+    graph = butterfly()
+    timing = DesignTiming(
+        clock_period=100.0,
+        default=ModuleSet.of(
+            HardwareModule("adder", "add", delay_ns=40.0),
+            HardwareModule("multiplier", "mul", delay_ns=90.0)),
+        io_delay_ns=10.0)
+    pins = Partitioning({OUTSIDE_WORLD: ChipSpec(160),
+                         1: ChipSpec(160), 2: ChipSpec(160)})
+
+    result, plan = partition_and_synthesize(graph, pins, timing,
+                                            initiation_rate=2)
+    print(f"partition: cut bits {plan.cut_bits}, loads {plan.loads}")
+    print()
+    print(interconnect_listing(result.interconnect))
+    print()
+    print(pins_summary(pins, result.pins_used(),
+                       pipe_length=result.pipe_length))
+    print()
+    report = simulate_result(result, n_instances=6, seed=7)
+    print(f"simulation: {report}")
+
+
+if __name__ == "__main__":
+    main()

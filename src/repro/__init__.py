@@ -1,0 +1,66 @@
+"""repro — pin-constrained high-level synthesis for multi-chip designs.
+
+A from-scratch reproduction of Yung-Hua Hung, *"High-Level Synthesis
+with Pin Constraints for Multiple-Chip Designs"* (USC, 1992; DAC'92):
+data-path synthesis for synchronous multi-chip pipelined systems from
+partitioned CDFGs, under per-chip I/O pin budgets and with passive
+(switch-free) interchip buses.
+
+Quickstart::
+
+    from repro import (CdfgBuilder, Partitioning, ChipSpec,
+                       synthesize_connection_first)
+    from repro.modules.library import ar_filter_timing
+
+    # build a partitioned CDFG with I/O nodes, pick pin budgets...
+    result = synthesize_connection_first(graph, partitioning,
+                                         ar_filter_timing(), 3)
+    print(result.pipe_length, result.pins_used())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.cdfg import Cdfg, CdfgBuilder, Node, Edge, OpKind
+from repro.partition import ChipSpec, Partitioning, OUTSIDE_WORLD
+from repro.modules import (HardwareModule, ModuleSet, DesignTiming,
+                           ar_filter_timing, elliptic_filter_timing)
+from repro.core import (
+    Bus,
+    Interconnect,
+    BusAssignment,
+    SynthesisResult,
+    synthesize_simple,
+    synthesize_connection_first,
+    synthesize_schedule_first,
+)
+from repro.scheduling import Schedule, ListScheduler, ForceDirectedScheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cdfg",
+    "CdfgBuilder",
+    "Node",
+    "Edge",
+    "OpKind",
+    "ChipSpec",
+    "Partitioning",
+    "OUTSIDE_WORLD",
+    "HardwareModule",
+    "ModuleSet",
+    "DesignTiming",
+    "ar_filter_timing",
+    "elliptic_filter_timing",
+    "Bus",
+    "Interconnect",
+    "BusAssignment",
+    "SynthesisResult",
+    "synthesize_simple",
+    "synthesize_connection_first",
+    "synthesize_schedule_first",
+    "Schedule",
+    "ListScheduler",
+    "ForceDirectedScheduler",
+    "__version__",
+]

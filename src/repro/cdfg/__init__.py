@@ -1,0 +1,51 @@
+"""Control/Data-Flow Graph (CDFG) representation and analyses.
+
+The CDFG is the input to every synthesis flow in this library (see
+Chapter 2 of the dissertation).  Nodes are operations — functional
+operations such as additions and multiplications, external inputs and
+outputs, and *I/O operation nodes* that model an interchip transfer as a
+single node pairing an output operation of one partition with an input
+operation of another.  Edges carry a *degree*: degree 0 is ordinary
+intra-instance data dependence, degree ``d > 0`` is a data-recursive edge
+whose value is produced ``d`` execution instances earlier (Section 7.1).
+"""
+
+from repro.cdfg.ops import (
+    OpKind,
+    FUNCTIONAL_KINDS,
+    IO_KINDS,
+)
+from repro.cdfg.graph import Node, Edge, Cdfg
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.analysis import (
+    topological_order,
+    asap_schedule,
+    alap_schedule,
+    TimeFrames,
+    compute_time_frames,
+    critical_path_length,
+)
+from repro.cdfg.validate import validate_cdfg
+from repro.cdfg.transform import (
+    insert_time_division_multiplexing,
+    unroll_fixed_loop,
+)
+
+__all__ = [
+    "OpKind",
+    "FUNCTIONAL_KINDS",
+    "IO_KINDS",
+    "Node",
+    "Edge",
+    "Cdfg",
+    "CdfgBuilder",
+    "topological_order",
+    "asap_schedule",
+    "alap_schedule",
+    "TimeFrames",
+    "compute_time_frames",
+    "critical_path_length",
+    "validate_cdfg",
+    "insert_time_division_multiplexing",
+    "unroll_fixed_loop",
+]

@@ -1,0 +1,144 @@
+"""Fluent builder for CDFGs.
+
+The builder keeps graph construction readable in the benchmark designs
+and the tests: every call returns the node name so expressions compose::
+
+    b = CdfgBuilder("demo")
+    a = b.inp("a", partition=1)
+    c = b.op("+1", "add", partition=1, inputs=[a, b.const("k")])
+    b.out("o1", c, partition=1)
+    g = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.cdfg.graph import Cdfg, Node, _freeze_guard, Guard
+from repro.cdfg.ops import OpKind
+
+
+class CdfgBuilder:
+    """Incrementally builds a :class:`~repro.cdfg.graph.Cdfg`."""
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self._graph = Cdfg(name)
+        self._auto = 0
+
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._auto += 1
+        return f"{prefix}{self._auto}"
+
+    def _link_inputs(self, name: str, inputs: Optional[Sequence[str]]) -> None:
+        for src in inputs or ():
+            self._graph.add_edge(src, name)
+
+    # ------------------------------------------------------------------
+    def op(self,
+           name: str,
+           op_type: str,
+           partition: int,
+           inputs: Optional[Sequence[str]] = None,
+           bit_width: int = 8,
+           guard: Optional[Guard] = None) -> str:
+        """Add a functional operation and wire its inputs."""
+        self._graph.add_node(Node(
+            name=name,
+            kind=OpKind.FUNCTIONAL,
+            op_type=op_type,
+            partition=partition,
+            bit_width=bit_width,
+            guard=_freeze_guard(guard),
+        ))
+        self._link_inputs(name, inputs)
+        return name
+
+    def inp(self,
+            name: str,
+            partition: int,
+            bit_width: int = 8,
+            guard: Optional[Guard] = None) -> str:
+        """Add an external input (a value arriving from the outside)."""
+        self._graph.add_node(Node(
+            name=name,
+            kind=OpKind.INPUT,
+            op_type="input",
+            partition=partition,
+            bit_width=bit_width,
+            guard=_freeze_guard(guard),
+        ))
+        return name
+
+    def out(self,
+            name: str,
+            source: str,
+            partition: int,
+            bit_width: int = 8,
+            guard: Optional[Guard] = None) -> str:
+        """Add an external output fed by ``source``."""
+        self._graph.add_node(Node(
+            name=name,
+            kind=OpKind.OUTPUT,
+            op_type="output",
+            partition=partition,
+            bit_width=bit_width,
+            guard=_freeze_guard(guard),
+        ))
+        self._graph.add_edge(source, name)
+        return name
+
+    def const(self, name: Optional[str] = None, bit_width: int = 8,
+              partition: Optional[int] = None) -> str:
+        """Add a constant source node."""
+        node_name = name or self._fresh("k")
+        self._graph.add_node(Node(
+            name=node_name,
+            kind=OpKind.CONSTANT,
+            op_type="const",
+            partition=partition,
+            bit_width=bit_width,
+        ))
+        return node_name
+
+    def io(self,
+           name: str,
+           value: str,
+           source: str,
+           dests: Iterable[str],
+           source_partition: int,
+           dest_partition: int,
+           bit_width: int = 8,
+           guard: Optional[Guard] = None) -> str:
+        """Add an interchip I/O operation node between partitions.
+
+        ``source`` is the producing node; ``dests`` the consuming nodes in
+        the destination partition (the I/O node is spliced between them).
+        """
+        self._graph.add_node(Node(
+            name=name,
+            kind=OpKind.IO,
+            op_type="io",
+            bit_width=bit_width,
+            value=value,
+            source_partition=source_partition,
+            dest_partition=dest_partition,
+            guard=_freeze_guard(guard),
+        ))
+        self._graph.add_edge(source, name)
+        for dst in dests:
+            self._graph.add_edge(name, dst)
+        return name
+
+    def edge(self, src: str, dst: str, degree: int = 0) -> None:
+        """Add a dependence edge; ``degree > 0`` makes it data-recursive."""
+        self._graph.add_edge(src, dst, degree)
+
+    def recursive(self, src: str, dst: str, degree: int = 1) -> None:
+        """Add a data-recursive edge (Section 7.1)."""
+        self._graph.add_edge(src, dst, degree)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Cdfg:
+        """Return the constructed graph (the builder stays usable)."""
+        return self._graph

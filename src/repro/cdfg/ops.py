@@ -1,0 +1,48 @@
+"""Operation kinds used in CDFG nodes.
+
+The dissertation distinguishes *functional* operations (implemented by
+hardware modules inside a chip) from *I/O* operations (interchip
+transfers that consume pins and communication-bus slots), plus the
+structural split/merge nodes used for time-division I/O multiplexing
+(Section 7.3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpKind(enum.Enum):
+    """Kind of a CDFG node."""
+
+    # Functional operations (extensible: the module library maps the
+    # ``op_type`` string on the node, these enum members only classify).
+    FUNCTIONAL = "functional"
+
+    # External-world operations.  In the multi-chip model these become
+    # I/O operations to/from the pseudo partition P0 (Section 3.1.1).
+    INPUT = "input"
+    OUTPUT = "output"
+
+    # An interchip transfer node: one output operation of the source
+    # partition paired with one input operation of the destination
+    # partition, always in the same control step (Section 2.2.1).
+    IO = "io"
+
+    # Constant source; consumes no resources and is always "ready".
+    CONSTANT = "constant"
+
+    # Time-division multiplexing helpers (Section 7.3): SPLIT divides a
+    # wide value into narrower sub-values; MERGE reassembles them.
+    SPLIT = "split"
+    MERGE = "merge"
+
+
+#: Kinds that occupy a functional unit when scheduled.
+FUNCTIONAL_KINDS = frozenset({OpKind.FUNCTIONAL})
+
+#: Kinds that occupy I/O pins / communication-bus slots when scheduled.
+IO_KINDS = frozenset({OpKind.IO, OpKind.INPUT, OpKind.OUTPUT})
+
+#: Kinds that take no hardware at all (wiring / constants).
+FREE_KINDS = frozenset({OpKind.CONSTANT, OpKind.SPLIT, OpKind.MERGE})

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``synthesize``  run a flow on a built-in or JSON design and print the
+                reports (optionally archiving the result as JSON);
+``simulate``    synthesize and then cycle-accurately simulate;
+``designs``     list the built-in benchmark designs;
+``emit-rtl``    synthesize and dump the structural RTL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Tuple
+
+from repro import (synthesize_connection_first, synthesize_schedule_first,
+                   synthesize_simple)
+from repro.cdfg.graph import Cdfg
+from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
+                           AR_SIMPLE_PINS, ELLIPTIC_PINS_BIDIR,
+                           ELLIPTIC_PINS_UNIDIR, ar_general_design,
+                           ar_simple_design, elliptic_design,
+                           elliptic_resources)
+from repro.errors import ReproError
+from repro.io_json import dump_result, load_design
+from repro.modules.library import ar_filter_timing, elliptic_filter_timing
+from repro.partition.model import Partitioning
+from repro.reporting import (interconnect_listing, pins_summary,
+                             schedule_listing)
+
+BUILTINS = {
+    "ar-simple": "AR lattice filter, simple 4-chip partitioning (Ch 3)",
+    "ar-general": "AR lattice filter, general 3-chip partitioning "
+                  "(Ch 4/5/6)",
+    "ar-general-bidir": "AR general partitioning, bidirectional pins",
+    "elliptic": "5th-order elliptic wave filter, 5 chips, recursive "
+                "feedback (Ch 4/5)",
+    "elliptic-bidir": "elliptic filter, bidirectional pins",
+}
+
+
+def _load(name_or_path: str, rate: int
+          ) -> Tuple[Cdfg, Partitioning, object, Optional[dict]]:
+    """(graph, partitioning, timing, resources) for a design spec."""
+    if name_or_path == "ar-simple":
+        return (ar_simple_design(), AR_SIMPLE_PINS, ar_filter_timing(),
+                None)
+    if name_or_path == "ar-general":
+        return (ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+                ar_filter_timing(), None)
+    if name_or_path == "ar-general-bidir":
+        return (ar_general_design(), AR_GENERAL_PINS_BIDIR,
+                ar_filter_timing(), None)
+    if name_or_path == "elliptic":
+        return (elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+                elliptic_filter_timing(), elliptic_resources(rate))
+    if name_or_path == "elliptic-bidir":
+        return (elliptic_design(), ELLIPTIC_PINS_BIDIR,
+                elliptic_filter_timing(), elliptic_resources(rate))
+    graph, partitioning = load_design(name_or_path)
+    return graph, partitioning, ar_filter_timing(), None
+
+
+def _synthesize(args) -> object:
+    graph, pins, timing, resources = _load(args.design, args.rate)
+    if args.flow == "simple":
+        return synthesize_simple(graph, pins, timing, args.rate,
+                                 resources=resources)
+    if args.flow == "schedule-first":
+        pipe = args.pipe_length or 24
+        return synthesize_schedule_first(graph, pins, timing, args.rate,
+                                         pipe_length=pipe)
+    return synthesize_connection_first(
+        graph, pins, timing, args.rate, resources=resources,
+        subbus_sharing=args.subbus, slot_reserve=args.slot_reserve,
+        branching_factor=args.branching)
+
+
+def cmd_designs(_args) -> int:
+    """List the built-in benchmark designs."""
+    for name, description in BUILTINS.items():
+        print(f"{name:20s} {description}")
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    """Run a flow and print the schedule/connection/pin reports."""
+    result = _synthesize(args)
+    if args.gantt:
+        from repro.reporting import gantt_chart
+        print(gantt_chart(result.schedule, result.interconnect,
+                          result.assignment))
+        print()
+    print(schedule_listing(result.schedule))
+    print()
+    if result.interconnect is not None:
+        print(interconnect_listing(result.interconnect))
+        print()
+    print(pins_summary(result.partitioning, result.pins_used(),
+                       pipe_length=result.pipe_length))
+    if args.output:
+        dump_result(result, args.output)
+        print(f"\nresult archived to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Synthesize then cycle-accurately simulate with random stimuli."""
+    from repro.sim import simulate_result
+    result = _synthesize(args)
+    report = simulate_result(result, n_instances=args.instances,
+                             seed=args.seed)
+    print(report)
+    return 0
+
+
+def cmd_emit_rtl(args) -> int:
+    """Synthesize then dump the structural RTL."""
+    from repro.rtl import emit_structural
+    result = _synthesize(args)
+    text = emit_structural(result.graph, result.schedule,
+                           result.interconnect, result.assignment,
+                           design_name=args.design.replace("-", "_"))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"RTL written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _add_flow_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("design",
+                        help="built-in design name (see `designs`) or "
+                             "a design JSON file")
+    parser.add_argument("--rate", "-L", type=int, default=3,
+                        help="initiation rate (default 3)")
+    parser.add_argument("--flow",
+                        choices=["simple", "connection-first",
+                                 "schedule-first"],
+                        default="connection-first")
+    parser.add_argument("--pipe-length", type=int, default=None,
+                        help="pipe budget for the schedule-first flow")
+    parser.add_argument("--subbus", action="store_true",
+                        help="enable Chapter 6 sub-bus sharing")
+    parser.add_argument("--slot-reserve", type=int, default=0,
+                        help="bus slots held back during connection "
+                             "synthesis (more buses, more bandwidth)")
+    parser.add_argument("--branching", type=int, default=2,
+                        help="heuristic search branching factor")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pin-constrained multi-chip high-level synthesis "
+                    "(Hung 1992 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_designs = sub.add_parser("designs",
+                               help="list built-in benchmark designs")
+    p_designs.set_defaults(func=cmd_designs)
+
+    p_syn = sub.add_parser("synthesize", help="run a synthesis flow")
+    _add_flow_options(p_syn)
+    p_syn.add_argument("--output", "-o", help="archive result as JSON")
+    p_syn.add_argument("--gantt", action="store_true",
+                       help="render unit/bus lanes over control steps")
+    p_syn.set_defaults(func=cmd_synthesize)
+
+    p_sim = sub.add_parser("simulate",
+                           help="synthesize then simulate cycle by "
+                                "cycle")
+    _add_flow_options(p_sim)
+    p_sim.add_argument("--instances", type=int, default=8)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_rtl = sub.add_parser("emit-rtl",
+                           help="synthesize then dump structural RTL")
+    _add_flow_options(p_rtl)
+    p_rtl.add_argument("--output", "-o", help="write RTL to a file")
+    p_rtl.set_defaults(func=cmd_emit_rtl)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

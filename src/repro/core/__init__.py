@@ -1,0 +1,40 @@
+"""Core synthesis algorithms: the dissertation's contribution.
+
+* :mod:`repro.core.interconnect` — bus/port model (unidirectional,
+  bidirectional, sub-bus segmented) and the constructive Theorem 3.1
+  connection builder for simple partitionings.
+* :mod:`repro.core.pin_allocation` — the Chapter 3 pin-allocation ILP
+  and the incremental feasibility checker plugged into list scheduling.
+* :mod:`repro.core.bus_bounds` — the tight upper bound on the number of
+  communication buses (Section 4.1.1).
+* :mod:`repro.core.connection_search` — the heuristic branch-limited
+  DFS that builds the interchip connection before scheduling (Fig 4.3).
+* :mod:`repro.core.connection_ilp` — ILP generators for the Chapter 4
+  and Chapter 6 connection-synthesis formulations (verification-scale).
+* :mod:`repro.core.bus_assignment` — communication-slot allocation with
+  dynamic reassignment during scheduling (Sections 4.2 and 6.2).
+* :mod:`repro.core.post_sched` — connection synthesis after scheduling
+  via clique partitioning / successive weighted matchings (Chapter 5).
+* :mod:`repro.core.subbus` — sub-bus splitting so several values share
+  one bus per cycle (Chapter 6).
+* :mod:`repro.core.conditional` — conditional I/O sharing (Section 7.2).
+* :mod:`repro.core.flow` — the three end-to-end synthesis flows.
+"""
+
+from repro.core.interconnect import Bus, Interconnect, BusAssignment
+from repro.core.flow import (
+    SynthesisResult,
+    synthesize_simple,
+    synthesize_connection_first,
+    synthesize_schedule_first,
+)
+
+__all__ = [
+    "Bus",
+    "Interconnect",
+    "BusAssignment",
+    "SynthesisResult",
+    "synthesize_simple",
+    "synthesize_connection_first",
+    "synthesize_schedule_first",
+]

@@ -1,0 +1,112 @@
+"""Related-work baselines the dissertation argues against (Section 1.3).
+
+* :func:`gebotys_connection` — Gebotys'92 assumed "every interchip bus
+  is connected to all of the chips and every value transferred off-chip
+  has the same bit width", so only bus *counts* matter.  Fine for two
+  chips; for more, ports are paid on every chip whether used or not.
+  This builder realizes those assumptions so the pin overhead can be
+  measured against the Chapter 4 heuristic.
+* :func:`no_sharing_pin_cost` — De Micheli et al. computed a
+  partition's pin cost "by simply adding the costs of all I/O
+  operations in the partition", i.e. no time-sharing of pins across
+  control-step groups at all; "the design produced by this approach
+  will require many more I/O pins than necessary".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.core.interconnect import Bus, BusAssignment, Interconnect
+from repro.errors import ConnectionError_
+from repro.partition.model import Partitioning
+
+
+def gebotys_connection(graph: Cdfg, partitioning: Partitioning,
+                       initiation_rate: int
+                       ) -> Tuple[Interconnect, BusAssignment]:
+    """All-chips buses at uniform (maximum) width.
+
+    The number of buses is the minimum needed to give every value a
+    communication slot: ``ceil(#values / L)`` (same-value transfers
+    share a slot since every chip hears every bus).  Each bus connects
+    an output port and an input port of *every* partition that sends or
+    receives anything, at the width of the widest transferred value.
+    """
+    ios = graph.io_nodes()
+    if not ios:
+        return Interconnect(), BusAssignment()
+    width = max(n.bit_width for n in ios)
+    values = sorted(graph.values_map().items())
+    n_buses = math.ceil(len(values) / initiation_rate)
+    senders = sorted({n.source_partition for n in ios})
+    receivers = sorted({n.dest_partition for n in ios})
+    bidirectional = partitioning.any_bidirectional()
+
+    interconnect = Interconnect(bidirectional=bidirectional)
+    for index in range(1, n_buses + 1):
+        if bidirectional:
+            bus = Bus(index, bi_widths={
+                p: width for p in sorted(set(senders) | set(receivers))})
+        else:
+            bus = Bus(index,
+                      out_widths={p: width for p in senders},
+                      in_widths={p: width for p in receivers})
+        interconnect.add_bus(bus)
+
+    assignment = BusAssignment()
+    for position, (value, members) in enumerate(values):
+        bus_index = position % n_buses + 1
+        for node in members:
+            assignment.assign(node.name, bus_index)
+
+    problems = interconnect.check_budget(partitioning)
+    if problems:
+        raise ConnectionError_(
+            "the uniform-bus baseline does not fit the pin budgets:\n  "
+            + "\n  ".join(problems))
+    return interconnect, assignment
+
+
+def gebotys_pin_cost(graph: Cdfg, partitioning: Partitioning,
+                     initiation_rate: int) -> Dict[int, int]:
+    """Per-partition pins under the uniform-bus assumptions (no budget
+    check, for comparison tables)."""
+    ios = graph.io_nodes()
+    if not ios:
+        return {p: 0 for p in partitioning.indices()}
+    width = max(n.bit_width for n in ios)
+    n_values = len(graph.values_map())
+    n_buses = math.ceil(n_values / initiation_rate)
+    senders = {n.source_partition for n in ios}
+    receivers = {n.dest_partition for n in ios}
+    costs: Dict[int, int] = {}
+    for partition in partitioning.indices():
+        if partitioning.any_bidirectional():
+            ports = 1 if partition in (senders | receivers) else 0
+        else:
+            ports = ((1 if partition in senders else 0)
+                     + (1 if partition in receivers else 0))
+        costs[partition] = ports * width * n_buses
+    return costs
+
+
+def no_sharing_pin_cost(graph: Cdfg,
+                        partitioning: Partitioning) -> Dict[int, int]:
+    """Pins when every I/O operation owns its pins outright.
+
+    The Section 1.3 critique of the binding-first system: pin cost per
+    partition is the plain sum of the bit widths of all its transfers
+    (output values counted once per value, inputs once per transfer) —
+    no time-multiplexing across control-step groups.
+    """
+    costs: Dict[int, int] = {p: 0 for p in partitioning.indices()}
+    for node in graph.io_nodes():
+        costs[node.dest_partition] = costs.get(node.dest_partition, 0) \
+            + node.bit_width
+    for value, members in graph.values_map().items():
+        src = members[0].source_partition
+        costs[src] = costs.get(src, 0) + members[0].bit_width
+    return costs

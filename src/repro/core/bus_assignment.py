@@ -1,0 +1,346 @@
+"""Communication-slot allocation with dynamic reassignment (Sec 4.2, 6.2).
+
+During list scheduling each I/O operation holds a *tentative* bus
+assignment (from the connection-synthesis phase).  When the scheduler
+wants to place operation ``w`` in control step ``s`` but ``w``'s bus is
+already allocated in group ``s mod L``, ``w`` may *preempt* another
+not-yet-scheduled operation whose bus is free in that group; the
+preempted operation relocates in turn — an augmenting-path search over
+the bipartite (operation, communication slot) graph, with slots grouped
+per bus (Figure 4.5).
+
+For sub-bus-split buses (Chapter 6) an operation may need one or both
+segments; the search is restricted to *single preemption* (Section 6.2),
+which can answer "no" although a two-victim shuffle existed — the
+dissertation accepts the same pruning.
+
+Transfers of the same value scheduled in the same control step may share
+one slot (one output drives all connected inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.ops import OpKind
+from repro.core.interconnect import Bus, BusAssignment, Interconnect
+from repro.errors import BusAssignmentError
+from repro.scheduling.base import Schedule
+
+#: A concrete placement: (bus index, starting segment).
+Position = Tuple[int, int]
+#: One relocation step of a plan.
+Move = Tuple[str, Position]
+
+
+class BusAllocator:
+    """IoHooks implementation for Chapter 4 / Chapter 6 scheduling."""
+
+    def __init__(self,
+                 graph: Cdfg,
+                 interconnect: Interconnect,
+                 initial: BusAssignment,
+                 initiation_rate: int,
+                 reassignment: bool = True,
+                 single_preemption: Optional[bool] = None) -> None:
+        self.graph = graph
+        self.interconnect = interconnect
+        self.L = initiation_rate
+        self.reassignment = reassignment
+        has_split = any(len(b.effective_segments()) > 1
+                        for b in interconnect.buses)
+        self.single_preemption = (has_split if single_preemption is None
+                                  else single_preemption)
+
+        self.assignment: Dict[str, Position] = {}
+        self.scheduled: Dict[str, int] = {}
+        #: (bus, segment, group) -> list of (value, step, op name);
+        #: several entries coexist only for same-value-same-step
+        #: sharing or mutually exclusive conditional transfers.
+        self.occupancy: Dict[Tuple[int, int, int],
+                             List[Tuple[str, int, str]]] = {}
+        self._unscheduled_on: Dict[int, Set[str]] = {
+            bus.index: set() for bus in interconnect.buses}
+        self._plan_cache: Dict[Tuple[str, int], List[Move]] = {}
+        self.reassignments = 0
+
+        for node in graph.io_nodes():
+            if node.name not in initial.bus_of:
+                raise BusAssignmentError(
+                    f"I/O op {node.name!r} missing from the initial bus "
+                    f"assignment")
+            bus_index, segment = initial.of(node.name)
+            bus = interconnect.bus(bus_index)
+            if not bus.capable(node, segment):
+                raise BusAssignmentError(
+                    f"initial assignment puts {node.name!r} on an "
+                    f"incapable bus {bus_index} (segment {segment})")
+            self.assignment[node.name] = (bus_index, segment)
+            self._unscheduled_on[bus_index].add(node.name)
+
+    # ------------------------------------------------------------------
+    def final_assignment(self) -> BusAssignment:
+        out = BusAssignment()
+        for op, (bus, segment) in sorted(self.assignment.items()):
+            out.assign(op, bus, segment)
+        return out
+
+    # -- capacity accounting --------------------------------------------
+    def _capacity(self, bus: Bus) -> int:
+        return self.L * len(bus.effective_segments())
+
+    def _need(self, node: Node, bus: Bus, segment: int) -> int:
+        return len(bus.segments_spanned(node, segment))
+
+    def _used(self, bus: Bus, exclude: frozenset = frozenset()) -> int:
+        occupied = sum(1 for (b, _s, _g), entries
+                       in self.occupancy.items()
+                       if b == bus.index and entries)
+        demand = 0
+        seen_values: Set[str] = set()
+        for op in self._unscheduled_on[bus.index]:
+            if op in exclude:
+                continue
+            node = self.graph.node(op)
+            key = node.value or op
+            if key in seen_values:
+                continue
+            seen_values.add(key)
+            _bus_index, segment = self.assignment[op]
+            demand += self._need(node, bus, segment)
+        return occupied + demand
+
+    def _spare(self, bus: Bus, exclude: frozenset = frozenset()) -> int:
+        return self._capacity(bus) - self._used(bus, exclude)
+
+    # -- position availability -------------------------------------------
+    def _position_free(self, node: Node, bus: Bus, segment: int,
+                       step: int) -> bool:
+        group = step % self.L
+        for seg in bus.segments_spanned(node, segment):
+            for value, other_step, other in self.occupancy.get(
+                    (bus.index, seg, group), []):
+                same_value = (value == (node.value or node.name)
+                              and other_step == step)
+                exclusive = (other_step == step
+                             and node.mutually_exclusive_with(
+                                 self.graph.node(other)))
+                if not (same_value or exclusive):
+                    return False
+        return True
+
+    def _positions(self, node: Node) -> List[Position]:
+        out: List[Position] = []
+        current = self.assignment.get(node.name)
+        for bus in self.interconnect.buses:
+            for segment in bus.fitting_segments(node):
+                if bus.capable(node, segment):
+                    out.append((bus.index, segment))
+        # Prefer the current assignment, then low indices.
+        out.sort(key=lambda pos: (pos != current, pos))
+        return out
+
+    # -- IoHooks -----------------------------------------------------------
+    def can_schedule(self, node: Node, step: int,
+                     schedule: Schedule) -> bool:
+        if node.kind is not OpKind.IO:
+            return True  # raw INPUT/OUTPUT nodes bypass buses
+        plan = self._find_plan(node, step)
+        if plan is None:
+            return False
+        self._plan_cache[(node.name, step)] = plan
+        return True
+
+    def commit(self, node: Node, step: int, schedule: Schedule) -> None:
+        if node.kind is not OpKind.IO:
+            return
+        plan = self._plan_cache.pop((node.name, step), None)
+        if plan is None:
+            plan = self._find_plan(node, step)
+            if plan is None:
+                raise BusAssignmentError(
+                    f"commit without a feasible plan for {node.name!r}")
+        self._apply(node, step, plan)
+
+    # -- planning -----------------------------------------------------------
+    def _strands_someone(self, node: Node, position: Position,
+                         step: int) -> bool:
+        """Would committing here leave an unscheduled op with no slot?
+
+        Sub-bus geometry can dead-end even when raw capacity is fine:
+        two narrow transfers committed in different groups strand a
+        whole-bus transfer.  Simulate the occupancy the commit would
+        create and confirm every other unscheduled operation still has
+        *some* free (bus, segment, group) home.  Only relevant when a
+        bus is split; unsplit buses are already covered by the
+        capacity accounting.
+        """
+        if all(len(b.effective_segments()) == 1
+               for b in self.interconnect.buses):
+            return False
+        bus = self.interconnect.bus(position[0])
+        added = {}
+        group = step % self.L
+        for seg in bus.segments_spanned(node, position[1]):
+            added[(bus.index, seg, group)] = [
+                (node.value or node.name, step, node.name)]
+        pending = set()
+        for ops in self._unscheduled_on.values():
+            pending |= ops
+        pending.discard(node.name)
+        for other in pending:
+            if not self._has_home(self.graph.node(other), added):
+                return True
+        return False
+
+    def _has_home(self, node: Node, extra_occupancy) -> bool:
+        for bus in self.interconnect.buses:
+            for segment in bus.fitting_segments(node):
+                if not bus.capable(node, segment):
+                    continue
+                for group in range(self.L):
+                    free = True
+                    for seg in bus.segments_spanned(node, segment):
+                        key = (bus.index, seg, group)
+                        entries = list(self.occupancy.get(key, [])) \
+                            + list(extra_occupancy.get(key, []))
+                        for value, _step, other in entries:
+                            if value == (node.value or node.name):
+                                continue
+                            if node.mutually_exclusive_with(
+                                    self.graph.node(other)):
+                                continue
+                            free = False
+                            break
+                        if not free:
+                            break
+                    if free:
+                        return True
+        return False
+
+    def _find_plan(self, node: Node, step: int) -> Optional[List[Move]]:
+        current = self.assignment[node.name]
+        bus = self.interconnect.bus(current[0])
+        if self._position_free(node, bus, current[1], step) \
+                and not self._strands_someone(node, current, step):
+            return [(node.name, current)]
+        if not self.reassignment:
+            return None
+        # Kuhn-style augmenting search: each bus is explored at most
+        # once per plan (visited), and every operation already moving
+        # along the path (in_flight) stops consuming capacity on its
+        # old bus.
+        visited: Set[int] = set()
+        in_flight = frozenset({node.name})
+        for position in self._positions(node):
+            if position == current:
+                continue
+            bus_index = position[0]
+            target = self.interconnect.bus(bus_index)
+            if not self._position_free(node, target, position[1], step):
+                continue
+            if self._strands_someone(node, position, step):
+                continue
+            need = self._need(node, target, position[1])
+            if self._spare(target, exclude=in_flight) >= need:
+                self.reassignments += 1
+                return [(node.name, position)]
+            if bus_index in visited:
+                continue
+            visited.add(bus_index)
+            # Preemption: relocate one victim off the target bus.
+            victims = sorted(self._unscheduled_on[bus_index]
+                             - {node.name})
+            for victim in victims:
+                victim_node = self.graph.node(victim)
+                moving = in_flight | {victim}
+                relocation = self._relocate(
+                    victim_node, visited, moving,
+                    chain_budget=(0 if self.single_preemption else
+                                  len(self.interconnect.buses)))
+                if relocation is None:
+                    continue
+                freed = self._spare(target, exclude=in_flight) \
+                    + self._victim_demand(victim_node, target)
+                if freed >= need:
+                    self.reassignments += 1
+                    return [(node.name, position)] + relocation
+        return None
+
+    def _victim_demand(self, victim: Node, bus: Bus) -> int:
+        _b, segment = self.assignment[victim.name]
+        # The victim's demand only frees capacity if no same-value twin
+        # stays behind on the bus.
+        key = victim.value or victim.name
+        for other in self._unscheduled_on[bus.index]:
+            if other == victim.name:
+                continue
+            other_node = self.graph.node(other)
+            if (other_node.value or other) == key:
+                return 0
+        return self._need(victim, bus, segment)
+
+    def _relocate(self, victim: Node, visited: Set[int],
+                  in_flight: frozenset,
+                  chain_budget: int) -> Optional[List[Move]]:
+        """Find a new home for a preempted unscheduled operation.
+
+        ``visited`` buses are never re-entered (shared across the whole
+        augmenting search, as in Kuhn's algorithm); ``in_flight`` ops
+        are mid-move and release their old capacity.
+        """
+        for position in self._positions(victim):
+            bus_index, segment = position
+            if bus_index in visited:
+                continue
+            target = self.interconnect.bus(bus_index)
+            need = self._need(victim, target, segment)
+            if self._spare(target, exclude=in_flight) >= need:
+                return [(victim.name, position)]
+        if chain_budget <= 0:
+            return None
+        # Chain: the victim preempts somebody else in turn.
+        for position in self._positions(victim):
+            bus_index, segment = position
+            if bus_index in visited:
+                continue
+            visited.add(bus_index)
+            target = self.interconnect.bus(bus_index)
+            need = self._need(victim, target, segment)
+            for next_victim in sorted(self._unscheduled_on[bus_index]
+                                      - set(in_flight)):
+                next_node = self.graph.node(next_victim)
+                tail = self._relocate(next_node, visited,
+                                      in_flight | {next_victim},
+                                      chain_budget - 1)
+                if tail is None:
+                    continue
+                freed = self._spare(target, exclude=in_flight) \
+                    + self._victim_demand(next_node, target)
+                if freed >= need:
+                    return [(victim.name, position)] + tail
+        return None
+
+    # -- application ------------------------------------------------------
+    def _apply(self, node: Node, step: int, plan: List[Move]) -> None:
+        # Later moves first: they free capacity the earlier moves use.
+        for op, position in reversed(plan[1:]):
+            old_bus = self.assignment[op][0]
+            self._unscheduled_on[old_bus].discard(op)
+            self.assignment[op] = position
+            self._unscheduled_on[position[0]].add(op)
+        op, position = plan[0]
+        assert op == node.name
+        old_bus = self.assignment[op][0]
+        self._unscheduled_on[old_bus].discard(op)
+        self.assignment[op] = position
+        bus = self.interconnect.bus(position[0])
+        group = step % self.L
+        for seg in bus.segments_spanned(node, position[1]):
+            entries = self.occupancy.setdefault(
+                (bus.index, seg, group), [])
+            key = (node.value or node.name, step, node.name)
+            if key not in entries:
+                entries.append(key)
+        self.scheduled[op] = step

@@ -1,0 +1,127 @@
+"""Tight upper bound on the number of communication buses (Sec 4.1.1).
+
+Every bus needs at least one input port and one output port, and a port
+belongs to exactly one bus; so the bus count is bounded by the smaller
+of the total possible input ports and output ports.  Per partition the
+port bound is computed width class by width class (widest first):
+
+* a *lower* bound on ports of each width assuming maximal slot reuse
+  (leftover slots of wider ports absorb narrower values), which yields
+  the minimum pins each direction must reserve;
+* then an *upper* bound on ports of each width from the pins left after
+  reserving the minimum for the other classes.
+
+For bidirectional ports every bus still needs two ports, so the bound
+is half the total port bound (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.partition.model import Partitioning
+
+
+def _class_counts(ops: List[Node]) -> Tuple[List[int], Dict[int, int]]:
+    widths = sorted({n.bit_width for n in ops})
+    counts = {w: 0 for w in widths}
+    for node in ops:
+        counts[node.bit_width] += 1
+    return widths, counts
+
+
+def _min_pins(widths: List[int], counts: Dict[int, int],
+              initiation_rate: int) -> Tuple[int, Dict[int, int]]:
+    """(minimum pins, per-width minimum port counts) for one direction."""
+    L = initiation_rate
+    lb: Dict[int, int] = {}
+    slots = 0  # leftover slots of wider ports usable by narrower values
+    for width in reversed(widths):
+        need = counts[width] - slots
+        ports = max(0, math.ceil(need / L))
+        lb[width] = ports
+        slots = slots + ports * L - counts[width]
+    pins = sum(lb[w] * w for w in widths)
+    return pins, lb
+
+
+def _max_ports(widths: List[int], counts: Dict[int, int],
+               lb: Dict[int, int], pins_available: int) -> int:
+    """Upper bound on ports for one direction given available pins."""
+    remaining = pins_available
+    total = 0
+    for width in reversed(widths):
+        ub = min(remaining // width if width else 0, counts[width])
+        total += max(0, ub)
+        remaining -= lb[width] * width
+    return total
+
+
+def max_buses(graph: Cdfg, partitioning: Partitioning) -> int:
+    """The bound ``R`` of Section 4.1.1 (both port models)."""
+    ios = graph.io_nodes()
+    if not ios:
+        return 0
+    # Infer L = 1 conservatism-free: the bound uses L only through slot
+    # reuse; callers wanting the pipelined bound use max_buses_pipelined.
+    return max_buses_pipelined(graph, partitioning, 1)
+
+
+def max_buses_pipelined(graph: Cdfg, partitioning: Partitioning,
+                        initiation_rate: int) -> int:
+    """The bound ``R`` with slot reuse at the given initiation rate."""
+    ios = graph.io_nodes()
+    if not ios:
+        return 0
+    if partitioning.any_bidirectional():
+        total_ports = 0
+        for index in partitioning.indices():
+            ops = [n for n in ios
+                   if n.source_partition == index
+                   or n.dest_partition == index]
+            if not ops:
+                continue
+            widths, counts = _class_counts(ops)
+            _pins, lb = _min_pins(widths, counts, initiation_rate)
+            total_ports += _max_ports(
+                widths, counts, lb, partitioning.total_pins(index))
+        return max(1, total_ports // 2)
+
+    total_in = 0
+    total_out = 0
+    for index in partitioning.indices():
+        pins = partitioning.total_pins(index)
+        in_ops = [n for n in ios if n.dest_partition == index]
+        out_ops = _distinct_outputs(ios, index)
+        in_widths, in_counts = _class_counts(in_ops) if in_ops \
+            else ([], {})
+        out_widths, out_counts = _class_counts(out_ops) if out_ops \
+            else ([], {})
+        in_min, in_lb = _min_pins(in_widths, in_counts, initiation_rate) \
+            if in_ops else (0, {})
+        out_min, out_lb = _min_pins(out_widths, out_counts,
+                                    initiation_rate) if out_ops else (0, {})
+        if in_ops:
+            total_in += _max_ports(in_widths, in_counts, in_lb,
+                                   pins - out_min)
+        if out_ops:
+            total_out += _max_ports(out_widths, out_counts, out_lb,
+                                    pins - in_min)
+    return max(1, min(total_in, total_out))
+
+
+def _distinct_outputs(ios: List[Node], partition: int) -> List[Node]:
+    """One representative per output value (multi-fanout counts once)."""
+    seen = set()
+    out = []
+    for node in sorted(ios, key=lambda n: n.name):
+        if node.source_partition != partition:
+            continue
+        key = node.value or node.name
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(node)
+    return out

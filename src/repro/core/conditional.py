@@ -1,0 +1,190 @@
+"""Conditional I/O resource sharing (Section 7.2, Figure 7.7).
+
+When a conditional block is split across chips, transfers on mutually
+exclusive branches never happen in the same execution instance and can
+share a communication slot *if* they are scheduled in the same control
+step.  The heuristic greedily combines compatibility-graph nodes — each
+node is a set of mutually exclusive I/O operations with
+
+* a *time frame* (intersection of members' ASAP..ALAP windows), and
+* a *bus connection structure* ``r`` (per-partition port widths of the
+  cheapest bus all members can use)
+
+— maximizing a modified benefit that trades pins saved
+(``gain = sum_i min(r_i(v1), r_i(v2))``) against scheduling freedom lost
+(``penalty = |frame1 ∪ frame2| / |frame1 ∩ frame2| - 1``) and the
+first-order exclusion of other merges (factor ``f``).
+
+The resulting disjoint sets feed
+:class:`repro.core.connection_search.ConnectionSearch` as
+``share_groups``: the connection synthesizer treats set members like
+transfers of one value (Section 7.2's closing remark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.cdfg.analysis import TimingSpec, compute_time_frames
+from repro.cdfg.graph import Cdfg, Node
+from repro.errors import CdfgError
+
+Frame = Tuple[int, int]
+
+
+@dataclass
+class SharingResult:
+    """Disjoint sets of I/O operations that may share a slot."""
+
+    groups: List[FrozenSet[str]]
+
+    def share_groups(self) -> Dict[str, str]:
+        """op name -> group label, for ConnectionSearch."""
+        out: Dict[str, str] = {}
+        for members in self.groups:
+            if len(members) < 2:
+                continue
+            label = "&".join(sorted(members))
+            for op in members:
+                out[op] = label
+        return out
+
+
+class ConditionalSharer:
+    """One-shot heuristic; construct then call :meth:`run`."""
+
+    def __init__(self, graph: Cdfg, timing: TimingSpec, pipe_length: int,
+                 initiation_rate: Optional[int] = None,
+                 penalty_factor: float = 1.0,
+                 exclusion_factor: float = 0.5) -> None:
+        if not 0.0 <= exclusion_factor <= 1.0:
+            raise CdfgError("exclusion factor f must be in [0, 1]")
+        self.graph = graph
+        self.pf = penalty_factor
+        self.f = exclusion_factor
+        frames = compute_time_frames(graph, timing, pipe_length,
+                                     initiation_rate=initiation_rate)
+        self._frames: Dict[FrozenSet[str], Frame] = {}
+        self._rvec: Dict[FrozenSet[str], Dict[int, int]] = {}
+        self._nodes: List[FrozenSet[str]] = []
+        for node in graph.io_nodes():
+            if not node.guard:
+                continue  # only conditional transfers participate
+            key = frozenset({node.name})
+            self._nodes.append(key)
+            self._frames[key] = frames.frame(node.name)
+            self._rvec[key] = {node.source_partition: node.bit_width,
+                               node.dest_partition: node.bit_width}
+
+    # ------------------------------------------------------------------
+    def run(self) -> SharingResult:
+        while True:
+            edges = self._compatible_edges()
+            if not edges:
+                break
+            basic = {e: self._basic_weight(*e) for e in edges}
+            best_edge = None
+            best_score = None
+            for edge in edges:
+                score = self._modified_weight(edge, edges, basic)
+                if best_score is None or score > best_score or (
+                        score == best_score
+                        and _edge_key(edge) < _edge_key(best_edge)):
+                    best_score = score
+                    best_edge = edge
+            assert best_edge is not None
+            self._combine(*best_edge)
+        return SharingResult(sorted(self._nodes, key=sorted))
+
+    # ------------------------------------------------------------------
+    def _mutually_exclusive(self, a: FrozenSet[str],
+                            b: FrozenSet[str]) -> bool:
+        for op1 in a:
+            n1 = self.graph.node(op1)
+            for op2 in b:
+                if not n1.mutually_exclusive_with(self.graph.node(op2)):
+                    return False
+        return True
+
+    def _frames_overlap(self, a: FrozenSet[str],
+                        b: FrozenSet[str]) -> bool:
+        lo1, hi1 = self._frames[a]
+        lo2, hi2 = self._frames[b]
+        return max(lo1, lo2) <= min(hi1, hi2)
+
+    def _compatible_edges(self) -> List[Tuple[FrozenSet[str],
+                                              FrozenSet[str]]]:
+        out = []
+        nodes = sorted(self._nodes, key=sorted)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if self._mutually_exclusive(a, b) \
+                        and self._frames_overlap(a, b):
+                    out.append((a, b))
+        return out
+
+    # ------------------------------------------------------------------
+    def _basic_weight(self, a: FrozenSet[str],
+                      b: FrozenSet[str]) -> float:
+        ra, rb = self._rvec[a], self._rvec[b]
+        gain = sum(min(ra.get(p, 0), rb.get(p, 0))
+                   for p in set(ra) | set(rb))
+        lo1, hi1 = self._frames[a]
+        lo2, hi2 = self._frames[b]
+        union = max(hi1, hi2) - min(lo1, lo2) + 1
+        inter = min(hi1, hi2) - max(lo1, lo2) + 1
+        penalty = union / inter - 1.0
+        return gain - self.pf * penalty
+
+    def _modified_weight(self, edge, edges, basic) -> float:
+        a, b = edge
+        adjacency: Dict[FrozenSet[str], set] = {}
+        for x, y in edges:
+            adjacency.setdefault(x, set()).add(y)
+            adjacency.setdefault(y, set()).add(x)
+        # Best edge from a to a node NOT adjacent to b (merging a with b
+        # would forever exclude that merge), and vice versa.
+        best_a = max((basic[_norm(a, v)] for v in adjacency.get(a, ())
+                      if v != b and v not in adjacency.get(b, set())),
+                     default=0.0)
+        best_b = max((basic[_norm(b, v)] for v in adjacency.get(b, ())
+                      if v != a and v not in adjacency.get(a, set())),
+                     default=0.0)
+        loss = max(best_a, best_b) + self.f * min(best_a, best_b)
+        return basic[edge] - loss
+
+    # ------------------------------------------------------------------
+    def _combine(self, a: FrozenSet[str], b: FrozenSet[str]) -> None:
+        merged = a | b
+        lo1, hi1 = self._frames[a]
+        lo2, hi2 = self._frames[b]
+        self._frames[merged] = (max(lo1, lo2), min(hi1, hi2))
+        ra, rb = self._rvec.pop(a), self._rvec.pop(b)
+        self._rvec[merged] = {p: max(ra.get(p, 0), rb.get(p, 0))
+                              for p in set(ra) | set(rb)}
+        del self._frames[a], self._frames[b]
+        self._nodes = [n for n in self._nodes if n not in (a, b)]
+        self._nodes.append(merged)
+
+
+def _norm(a, b):
+    return (a, b) if sorted(a) <= sorted(b) else (b, a)
+
+
+def _edge_key(edge) -> Tuple:
+    a, b = edge
+    return (sorted(a), sorted(b))
+
+
+def share_conditionally(graph: Cdfg, timing: TimingSpec, pipe_length: int,
+                        initiation_rate: Optional[int] = None,
+                        penalty_factor: float = 1.0,
+                        exclusion_factor: float = 0.5) -> SharingResult:
+    """Convenience wrapper around :class:`ConditionalSharer`."""
+    sharer = ConditionalSharer(graph, timing, pipe_length,
+                               initiation_rate=initiation_rate,
+                               penalty_factor=penalty_factor,
+                               exclusion_factor=exclusion_factor)
+    return sharer.run()

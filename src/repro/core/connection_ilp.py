@@ -1,0 +1,326 @@
+"""ILP generators for interchip-connection synthesis (Chapters 4 and 6).
+
+The dissertation fed these formulations to the Bozo and Lindo packages
+and found them too slow beyond toy sizes, keeping them "useful for
+verification of synthesized results" (Section 4.1.2).  We do the same:
+:func:`build_connection_model` / :func:`build_subbus_model` emit exact
+:class:`~repro.ilp.model.Model` instances that
+:func:`~repro.ilp.branch_bound.solve_ilp` handles at verification scale,
+and the test suite cross-checks the heuristics against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.core.bus_bounds import max_buses_pipelined
+from repro.core.interconnect import Bus, BusAssignment, Interconnect
+from repro.errors import IlpError
+from repro.ilp import Model, Solution, Var, lsum
+from repro.ilp.linearize import (linearize_implies_ge,
+                                 linearize_implies_zero,
+                                 linearize_positive_iff, linearize_xor)
+from repro.partition.model import Partitioning
+
+
+@dataclass
+class ConnectionIlp:
+    """A built model plus handles to decode a solution."""
+
+    model: Model
+    y: Dict[Tuple[str, int], Var]
+    ports: Dict[Tuple[str, int, int], Var]  # ("p"/"q"/"r", partition, bus)
+    n_buses: int
+    bidirectional: bool
+
+    def decode(self, solution: Solution, graph: Cdfg
+               ) -> Tuple[Interconnect, BusAssignment]:
+        if not solution.feasible:
+            raise IlpError("cannot decode an infeasible solution")
+        interconnect = Interconnect(bidirectional=self.bidirectional)
+        assignment = BusAssignment()
+        index_map: Dict[int, int] = {}
+        for h in range(1, self.n_buses + 1):
+            bus = Bus(len(interconnect.buses) + 1)
+            used = False
+            for (kind, partition, bus_index), var in self.ports.items():
+                if bus_index != h:
+                    continue
+                width = solution.as_int(var)
+                if width <= 0:
+                    continue
+                used = True
+                if kind == "p":
+                    bus.out_widths[partition] = width
+                elif kind == "q":
+                    bus.in_widths[partition] = width
+                else:
+                    bus.bi_widths[partition] = width
+            if used:
+                interconnect.add_bus(bus)
+                index_map[h] = bus.index
+        for (op, h), var in self.y.items():
+            if solution.as_int(var) == 1:
+                assignment.assign(op, index_map[h])
+        return interconnect, assignment
+
+
+def build_connection_model(graph: Cdfg, partitioning: Partitioning,
+                           initiation_rate: int,
+                           max_buses: Optional[int] = None,
+                           objective: str = "buses") -> ConnectionIlp:
+    """The Section 4.1.1 formulation (4.1-4.6), both port models.
+
+    ``objective="buses"`` is the paper's heuristic objective 4.6
+    (maximize buses in use); ``"pins"`` minimizes total port pins
+    instead — useful as an optimality yardstick for the heuristic.
+    """
+    if objective not in ("buses", "pins"):
+        raise IlpError(f"unknown objective {objective!r}")
+    bidirectional = partitioning.any_bidirectional()
+    L = initiation_rate
+    R = max_buses if max_buses is not None else \
+        max_buses_pipelined(graph, partitioning, L)
+    ios = sorted(graph.io_nodes(), key=lambda n: n.name)
+    values = graph.values_map()
+    model = Model("connection-ch4")
+
+    y: Dict[Tuple[str, int], Var] = {}
+    for node in ios:
+        for h in range(1, R + 1):
+            y[(node.name, h)] = model.binary(f"y[{node.name},{h}]")
+
+    ports: Dict[Tuple[str, int, int], Var] = {}
+    for index in partitioning.indices():
+        budget = partitioning.total_pins(index)
+        for h in range(1, R + 1):
+            if bidirectional:
+                ports[("r", index, h)] = model.add_var(
+                    f"r[{index},{h}]", 0, budget)
+            else:
+                ports[("p", index, h)] = model.add_var(
+                    f"p[{index},{h}]", 0, budget)
+                ports[("q", index, h)] = model.add_var(
+                    f"q[{index},{h}]", 0, budget)
+
+    # (4.1) every transfer rides exactly one bus.
+    for node in ios:
+        model.add(lsum(y[(node.name, h)] for h in range(1, R + 1)) == 1,
+                  name=f"assign[{node.name}]")
+
+    # (4.2)/(4.3) data-transfer constraints, linearized per-term.
+    for node in ios:
+        for h in range(1, R + 1):
+            width = node.bit_width
+            if bidirectional:
+                model.add(ports[("r", node.source_partition, h)]
+                          >= width * y[(node.name, h)])
+                model.add(ports[("r", node.dest_partition, h)]
+                          >= width * y[(node.name, h)])
+            else:
+                model.add(ports[("p", node.source_partition, h)]
+                          >= width * y[(node.name, h)])
+                model.add(ports[("q", node.dest_partition, h)]
+                          >= width * y[(node.name, h)])
+
+    # (4.4) pin budgets.
+    for index in partitioning.indices():
+        if bidirectional:
+            load = lsum(ports[("r", index, h)] for h in range(1, R + 1))
+        else:
+            load = lsum(ports[("p", index, h)] for h in range(1, R + 1)) \
+                + lsum(ports[("q", index, h)] for h in range(1, R + 1))
+        model.add(load <= partitioning.total_pins(index),
+                  name=f"pins[{index}]")
+
+    # (4.5) capacity: at most L values per bus; same-value transfers
+    # count once via the max-linearizing m variables.
+    for h in range(1, R + 1):
+        terms = []
+        for value, members in sorted(values.items()):
+            if len(members) == 1:
+                terms.append(y[(members[0].name, h)])
+            else:
+                m = model.binary(f"m[{value},{h}]")
+                for node in members:
+                    model.add(m >= y[(node.name, h)])
+                terms.append(m)
+        model.add(lsum(terms) <= L, name=f"cap[{h}]")
+
+    if objective == "buses":
+        # (4.6) heuristic objective: maximize buses in use.
+        used_terms = []
+        for h in range(1, R + 1):
+            u = model.binary(f"u[{h}]")
+            model.add(u <= lsum(y[(node.name, h)] for node in ios))
+            used_terms.append(u)
+        model.maximize(lsum(used_terms))
+    else:
+        model.minimize(lsum(ports.values()))
+
+    return ConnectionIlp(model, y, ports, R, bidirectional)
+
+
+# ---------------------------------------------------------------------
+@dataclass
+class SubBusIlp:
+    """The Chapter 6 formulation with handles for decoding."""
+
+    model: Model
+    x: Dict[Tuple[str, int, int, int], Var]   # (op, bus, group, segment)
+    z: Dict[Tuple[str, int, int, int], Var]
+    bw: Dict[Tuple[int, int], Var]            # (bus, segment)
+    r: Dict[Tuple[int, int], Var]             # (partition, bus)
+    n_buses: int
+    n_segments: int
+    initiation_rate: int
+
+
+def build_subbus_model(graph: Cdfg, partitioning: Partitioning,
+                       initiation_rate: int,
+                       max_buses: int,
+                       n_segments: int = 2) -> SubBusIlp:
+    """The Section 6.1.1 formulation (bidirectional ports, S segments).
+
+    Faithful but verification-scale: variable count grows as
+    ``|W| * R * L * S`` and the big-M linearizations of 6.1.1.4 add
+    more, so keep instances tiny.
+    """
+    L, R, S = initiation_rate, max_buses, n_segments
+    ios = sorted(graph.io_nodes(), key=lambda n: n.name)
+    values = graph.values_map()
+    model = Model("connection-ch6")
+    big_m = max((n.bit_width for n in ios), default=1) * S * 2
+
+    x: Dict[Tuple[str, int, int, int], Var] = {}
+    z: Dict[Tuple[str, int, int, int], Var] = {}
+    for node in ios:
+        for h in range(1, R + 1):
+            for l in range(L):
+                for s in range(1, S + 1):
+                    x[(node.name, h, l, s)] = model.binary(
+                        f"x[{node.name},{h},{l},{s}]")
+                    z[(node.name, h, l, s)] = model.add_var(
+                        f"z[{node.name},{h},{l},{s}]", 0, node.bit_width)
+
+    bw: Dict[Tuple[int, int], Var] = {}
+    for h in range(1, R + 1):
+        for s in range(1, S + 1):
+            bw[(h, s)] = model.add_var(f"bw[{h},{s}]", 0, big_m)
+
+    r: Dict[Tuple[int, int], Var] = {}
+    for index in partitioning.indices():
+        for h in range(1, R + 1):
+            r[(index, h)] = model.add_var(
+                f"r[{index},{h}]", 0, partitioning.total_pins(index))
+
+    # (6.1) each op uses sub-slots of exactly one communication slot.
+    # slot_use[w,h,l] = max_s x[w,h,l,s].
+    slot_use: Dict[Tuple[str, int, int], Var] = {}
+    for node in ios:
+        for h in range(1, R + 1):
+            for l in range(L):
+                u = model.binary(f"slot[{node.name},{h},{l}]")
+                slot_use[(node.name, h, l)] = u
+                for s in range(1, S + 1):
+                    model.add(u >= x[(node.name, h, l, s)])
+                model.add(u <= lsum(x[(node.name, h, l, s)]
+                                    for s in range(1, S + 1)))
+        model.add(lsum(slot_use[(node.name, h, l)]
+                       for h in range(1, R + 1) for l in range(L)) == 1,
+                  name=f"assign[{node.name}]")
+
+    # (6.2) contiguity: at most one run of 1s in the sub-slot vector.
+    for node in ios:
+        for h in range(1, R + 1):
+            for l in range(L):
+                transitions = []
+                for s in range(2, S + 1):
+                    t = model.binary(f"t[{node.name},{h},{l},{s}]")
+                    linearize_xor(model, t, x[(node.name, h, l, s - 1)],
+                                  x[(node.name, h, l, s)])
+                    transitions.append(t)
+                model.add(x[(node.name, h, l, 1)]
+                          + lsum(transitions)
+                          + x[(node.name, h, l, S)] <= 2)
+
+    # (6.3)/(6.4) sub-slot exclusivity; same-value transfers may share.
+    for h in range(1, R + 1):
+        for l in range(L):
+            for s in range(1, S + 1):
+                terms = []
+                for value, members in sorted(values.items()):
+                    if len(members) == 1:
+                        terms.append(x[(members[0].name, h, l, s)])
+                    else:
+                        mv = model.binary(f"mv[{value},{h},{l},{s}]")
+                        for node in members:
+                            model.add(mv >= x[(node.name, h, l, s)])
+                        terms.append(mv)
+                model.add(lsum(terms) <= 1)
+
+    # (6.5) same-value transfers sharing a sub-slot must align exactly.
+    for value, members in sorted(values.items()):
+        for i, w1 in enumerate(members):
+            for w2 in members[i + 1:]:
+                for h in range(1, R + 1):
+                    for l in range(L):
+                        ov = model.add_var(
+                            f"ov[{w1.name},{w2.name},{h},{l}]", 0, 2)
+                        for s in range(1, S + 1):
+                            model.add(ov >= x[(w1.name, h, l, s)]
+                                      + x[(w2.name, h, l, s)])
+                        diffs = []
+                        for s in range(1, S + 1):
+                            d = model.binary(
+                                f"d[{w1.name},{w2.name},{h},{l},{s}]")
+                            linearize_xor(model, d,
+                                          x[(w1.name, h, l, s)],
+                                          x[(w2.name, h, l, s)])
+                            diffs.append(d)
+                        linearize_implies_zero(model, ov, lsum(diffs),
+                                               threshold=2, big_m=S + 1)
+
+    # (6.6) bits flow only on assigned sub-slots.
+    for key, x_var in x.items():
+        linearize_positive_iff(model, z[key], x_var, big_m)
+
+    # (6.7) sub-bus width covers every cycle's traffic.
+    for (op, h, l, s), z_var in z.items():
+        model.add(bw[(h, s)] >= z_var)
+
+    # (6.8) all bits of a value are transferred.
+    for node in ios:
+        model.add(lsum(z[(node.name, h, l, s)]
+                       for h in range(1, R + 1)
+                       for l in range(L)
+                       for s in range(1, S + 1)) == node.bit_width)
+
+    # (6.9) a port reaching sub-bus s spans all earlier sub-buses.
+    for index in partitioning.indices():
+        for h in range(1, R + 1):
+            for s in range(1, S + 1):
+                # a[i,h,s] >= z over ops touching partition i.
+                a = model.add_var(f"a[{index},{h},{s}]", 0, big_m)
+                touching = [n for n in ios
+                            if index in (n.source_partition,
+                                         n.dest_partition)]
+                for node in touching:
+                    for l in range(L):
+                        model.add(a >= z[(node.name, h, l, s)])
+                flag = model.binary(f"af[{index},{h},{s}]")
+                linearize_positive_iff(model, a, flag, big_m)
+                prefix = lsum(bw[(h, t)] for t in range(1, s))
+                linearize_implies_ge(model, flag, r[(index, h)],
+                                     prefix + a, big_m * S)
+
+    # (6.10) pin budgets.
+    for index in partitioning.indices():
+        model.add(lsum(r[(index, h)] for h in range(1, R + 1))
+                  <= partitioning.total_pins(index),
+                  name=f"pins[{index}]")
+
+    model.minimize(lsum(r.values()))
+    return SubBusIlp(model, x, z, bw, r, R, S, L)

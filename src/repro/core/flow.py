@@ -1,0 +1,254 @@
+"""End-to-end synthesis flows.
+
+* :func:`synthesize_simple` — Chapter 3: list scheduling with the ILP
+  pin-allocation feasibility checker, then the constructive Theorem 3.1
+  interchip connection.
+* :func:`synthesize_connection_first` — Chapter 4 (and 6 with
+  ``subbus_sharing=True``): heuristic connection synthesis, then list
+  scheduling with dynamic bus reassignment.
+* :func:`synthesize_schedule_first` — Chapter 5: force-directed
+  scheduling, then connection synthesis by clique partitioning.
+
+Every flow returns a :class:`SynthesisResult` whose :meth:`verify`
+re-checks all invariants end to end — precedence, chaining, recursion,
+functional units, pin budgets, and bus conflict freedom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.validate import validate_cdfg
+from repro.core.bus_assignment import BusAllocator
+from repro.core.connection_search import ConnectionSearch
+from repro.core.interconnect import (BusAssignment, Interconnect,
+                                     verify_bus_allocation)
+from repro.core.pin_allocation import PinAllocationChecker
+from repro.core.post_sched import PostScheduleConnector
+from repro.core.simple_connection import (SimpleConnectionResult,
+                                          build_simple_connection,
+                                          verify_simple_allocation)
+from repro.core.subbus import SubBusConnectionSearch
+from repro.errors import ConnectionError_, SchedulingError
+from repro.modules.allocation import ResourceVector, min_module_counts
+from repro.modules.library import DesignTiming
+from repro.partition.model import Partitioning
+from repro.partition.simple import is_simple_partitioning
+from repro.scheduling.base import Schedule, measured_resources
+from repro.scheduling.fds import ForceDirectedScheduler
+from repro.scheduling.list_scheduler import ListScheduler
+
+
+@dataclass
+class SynthesisResult:
+    """Everything a multi-chip synthesis run produces."""
+
+    graph: Cdfg
+    partitioning: Partitioning
+    initiation_rate: int
+    schedule: Schedule
+    resources: ResourceVector
+    interconnect: Optional[Interconnect] = None
+    assignment: Optional[BusAssignment] = None
+    simple_allocation: Optional[SimpleConnectionResult] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def pipe_length(self) -> int:
+        return self.schedule.pipe_length
+
+    def pins_used(self) -> Dict[int, int]:
+        if self.interconnect is not None:
+            return self.interconnect.pin_report(self.partitioning.indices())
+        if self.simple_allocation is not None:
+            return {p: self.simple_allocation.pins_used(p)
+                    for p in self.partitioning.indices()}
+        return {p: 0 for p in self.partitioning.indices()}
+
+    def verify(self) -> List[str]:
+        problems = self.schedule.verify(self.resources)
+        if self.interconnect is not None:
+            problems.extend(self.interconnect.check_budget(
+                self.partitioning))
+            if self.assignment is not None:
+                problems.extend(verify_bus_allocation(
+                    self.graph, self.interconnect, self.assignment,
+                    self.schedule.start_step, self.initiation_rate))
+        if self.simple_allocation is not None:
+            problems.extend(verify_simple_allocation(
+                self.graph, self.schedule, self.simple_allocation))
+            problems.extend(
+                self.simple_allocation.interconnect.check_budget(
+                    self.partitioning))
+        return problems
+
+    def require_valid(self) -> "SynthesisResult":
+        problems = self.verify()
+        if problems:
+            raise SchedulingError(
+                "synthesis result failed verification:\n  "
+                + "\n  ".join(problems))
+        return self
+
+
+# ---------------------------------------------------------------------
+def synthesize_simple(graph: Cdfg,
+                      partitioning: Partitioning,
+                      timing: DesignTiming,
+                      initiation_rate: int,
+                      resources: Optional[ResourceVector] = None,
+                      pin_method: str = "gomory") -> SynthesisResult:
+    """Chapter 3 flow for designs with a simple partitioning."""
+    validate_cdfg(graph, require_partitions=False)
+    if not is_simple_partitioning(graph):
+        raise ConnectionError_(
+            "synthesize_simple requires a simple partitioning "
+            "(Definition 3.2); use synthesize_connection_first instead")
+    if resources is None:
+        resources = min_module_counts(graph, timing, initiation_rate)
+    checker = PinAllocationChecker(graph, partitioning, initiation_rate,
+                                   method=pin_method)
+    scheduler = ListScheduler(graph, timing, initiation_rate, resources,
+                              io_hooks=checker)
+    schedule = scheduler.run()
+    allocation = build_simple_connection(graph, schedule)
+    result = SynthesisResult(
+        graph=graph,
+        partitioning=partitioning,
+        initiation_rate=initiation_rate,
+        schedule=schedule,
+        resources=resources,
+        simple_allocation=allocation,
+        stats={"pin_checks": checker.checks},
+    )
+    return result.require_valid()
+
+
+def synthesize_connection_first(graph: Cdfg,
+                                partitioning: Partitioning,
+                                timing: DesignTiming,
+                                initiation_rate: int,
+                                resources: Optional[ResourceVector] = None,
+                                branching_factor: int = 2,
+                                reassignment: bool = True,
+                                subbus_sharing: bool = False,
+                                share_groups: Optional[
+                                    Mapping[str, str]] = None,
+                                slot_reserve: int = 0,
+                                conditional_sharing: bool = False,
+                                scheduler: str = "list",
+                                ) -> SynthesisResult:
+    """Chapter 4 flow (Chapter 6 with ``subbus_sharing=True``).
+
+    ``slot_reserve`` holds back communication slots per bus during
+    connection synthesis (more buses, higher bandwidth — the
+    Objective-4.6 lever), useful on latency-critical recursive designs.
+    ``conditional_sharing=True`` runs the Section 7.2 heuristic first:
+    mutually exclusive guarded transfers are grouped and enter the
+    connection search as shared values.
+    """
+    validate_cdfg(graph, require_partitions=False)
+    if resources is None:
+        resources = min_module_counts(graph, timing, initiation_rate)
+    if conditional_sharing:
+        if share_groups is not None:
+            raise ConnectionError_(
+                "give either explicit share_groups or "
+                "conditional_sharing=True, not both")
+        from repro.cdfg.analysis import critical_path_length
+        from repro.core.conditional import share_conditionally
+        pipe_budget = critical_path_length(graph, timing) \
+            + 2 * initiation_rate
+        sharing = share_conditionally(graph, timing, pipe_budget,
+                                      initiation_rate=initiation_rate)
+        share_groups = sharing.share_groups()
+    if scheduler not in ("list", "postpone"):
+        raise SchedulingError(f"unknown scheduler {scheduler!r}")
+    search_cls = SubBusConnectionSearch if subbus_sharing \
+        else ConnectionSearch
+    search = search_cls(graph, partitioning, initiation_rate,
+                        branching_factor=branching_factor,
+                        share_groups=share_groups,
+                        slot_reserve=slot_reserve)
+    interconnect, initial = search.run()
+    if scheduler == "postpone":
+        from repro.scheduling.postpone import schedule_with_postponement
+
+        last_allocator = []
+
+        def hooks_factory():
+            allocator = BusAllocator(graph, interconnect,
+                                     initial.copy(), initiation_rate,
+                                     reassignment=reassignment)
+            last_allocator.append(allocator)
+            return allocator
+
+        schedule = schedule_with_postponement(
+            graph, timing, initiation_rate, resources,
+            hooks_factory=hooks_factory)
+        allocator = last_allocator[-1]
+    else:
+        allocator = BusAllocator(graph, interconnect, initial,
+                                 initiation_rate,
+                                 reassignment=reassignment)
+        schedule = ListScheduler(graph, timing, initiation_rate,
+                                 resources, io_hooks=allocator).run()
+    result = SynthesisResult(
+        graph=graph,
+        partitioning=partitioning,
+        initiation_rate=initiation_rate,
+        schedule=schedule,
+        resources=resources,
+        interconnect=interconnect,
+        assignment=allocator.final_assignment(),
+        stats={
+            "search_steps": search.steps,
+            "reassignments": allocator.reassignments,
+            "initial_assignment": initial,
+        },
+    )
+    return result.require_valid()
+
+
+def synthesize_schedule_first(graph: Cdfg,
+                              partitioning: Partitioning,
+                              timing: DesignTiming,
+                              initiation_rate: int,
+                              pipe_length: int,
+                              bidirectional: Optional[bool] = None,
+                              ) -> SynthesisResult:
+    """Chapter 5 flow: FDS then clique-partitioning connection."""
+    validate_cdfg(graph, require_partitions=False)
+    if bidirectional is None:
+        bidirectional = partitioning.any_bidirectional()
+    scheduler = ForceDirectedScheduler(graph, timing, initiation_rate,
+                                       pipe_length)
+    schedule = scheduler.run()
+    connector = PostScheduleConnector(graph, schedule,
+                                      partitioning=None,
+                                      bidirectional=bidirectional)
+    interconnect, assignment = connector.run()
+    resources = measured_resources(schedule)
+    result = SynthesisResult(
+        graph=graph,
+        partitioning=partitioning,
+        initiation_rate=initiation_rate,
+        schedule=schedule,
+        resources=resources,
+        interconnect=interconnect,
+        assignment=assignment,
+    )
+    problems = result.verify()
+    # The Chapter 5 flow minimizes pins rather than respecting a fixed
+    # budget; report overruns through stats instead of failing.
+    hard = [p for p in problems if "budget" not in p]
+    if hard:
+        raise SchedulingError(
+            "schedule-first synthesis failed verification:\n  "
+            + "\n  ".join(hard))
+    result.stats["budget_overruns"] = [
+        p for p in problems if "budget" in p]
+    return result

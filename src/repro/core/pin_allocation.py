@@ -1,0 +1,436 @@
+"""Pin allocation for simple partitionings (Chapter 3).
+
+The ILP of Section 3.1.1 asks whether every I/O operation can still be
+assigned to some control-step group without exceeding any chip's
+input/output pins:
+
+* input:   ``sum B_w x_{w,k} <= I_i``            (3.2 / 3.7 with o_i)
+* output:  ``sum B_v y_{v,k} <= O_j``            (3.5 / 3.8 with o_j)
+* link:    ``sum_{w in W_v} x_{w,k} <= |W_v| y_{v,k}``        (3.6)
+* cover:   ``sum_k x_{w,k} >= 1``                             (3.4)
+
+with ``o_j`` integer output-pin-split variables when the chips do not
+fix the input/output pin division.
+
+Bundle refinement
+-----------------
+Pins are physically grouped into *bundles* (nets): a chip's pins facing
+the outside world cannot double as pins on an interchip star bundle —
+only transfers on the *same net* may time-share pins across control-step
+groups.  The per-group constraints above are therefore necessary but not
+sufficient for the constructive connection of Theorem 3.1 once external
+traffic enters the picture.  This implementation adds the bundle-aware
+strengthening: per chip end, ``max_k(external bits) +
+max_k(interchip bits) <= pins`` (each max realized by an auxiliary
+integer variable), and the pseudo partition pays per-chip dedicated
+bundles.  Theorem 3.1 then guarantees the interchip share is wireable,
+and the external share is point-to-point by construction.
+
+The trivial objective makes the initial tableau dual feasible, so the
+Gomory dual all-integer algorithm (Section 3.3) answers feasibility; the
+scheduler commits ``x_{w,k} >= 1`` incrementally as operations are
+placed (the Equations 3.12 -> 3.13 tableau update).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.errors import IlpError, InfeasibleError
+from repro.ilp import (DualAllIntegerSolver, Model, Var, lsum, solve_ilp)
+from repro.ilp.model import LinExpr
+from repro.partition.model import OUTSIDE_WORLD, Partitioning
+from repro.scheduling.base import Schedule
+
+
+class PinAllocationProblem:
+    """Builds and owns the Section 3.1.1 model for one design."""
+
+    def __init__(self, graph: Cdfg, partitioning: Partitioning,
+                 initiation_rate: int) -> None:
+        self.graph = graph
+        self.partitioning = partitioning
+        self.L = initiation_rate
+        self.model = Model("pin-allocation")
+        self.x: Dict[Tuple[str, int], Var] = {}
+        self.y: Dict[Tuple[str, int], Var] = {}
+        self.o: Dict[int, Var] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _chip_dest_members(self, members: List[Node]) -> List[Node]:
+        return [m for m in members if m.dest_partition != OUTSIDE_WORLD]
+
+    def _out_term(self, members: List[Node], value: str, k: int):
+        """Shared-output load term: y for multi-fanout, x otherwise."""
+        if len(members) > 1:
+            key = (value, k)
+            if key not in self.y:
+                self.y[key] = self.model.binary(f"y[{value},{k}]")
+                self.model.add(
+                    lsum(self.x[(m.name, k)] for m in members)
+                    <= len(members) * self.y[key],
+                    name=f"link[{value},{k}]")
+            return self.y[key]
+        return self.x[(members[0].name, k)]
+
+    def _build(self) -> None:
+        model, L = self.model, self.L
+        graph = self.graph
+        ios = graph.io_nodes()
+        values = graph.values_map()
+
+        for node in ios:
+            for k in range(L):
+                self.x[(node.name, k)] = model.binary(f"x[{node.name},{k}]")
+
+        for index in self.partitioning.indices():
+            spec = self.partitioning.chip(index)
+            if spec.bidirectional:
+                raise IlpError(
+                    "the Chapter 3 pin-allocation model assumes "
+                    "unidirectional pins")
+            if not spec.split_fixed:
+                self.o[index] = model.add_var(
+                    f"o[{index}]", 0, spec.total_pins)
+
+        for index in self.partitioning.indices():
+            if index == OUTSIDE_WORLD:
+                self._build_world(ios)
+            else:
+                self._build_chip(index, ios, values)
+
+        # Every I/O operation lands in some group (Constraint 3.4).
+        for node in ios:
+            model.add(
+                lsum(self.x[(node.name, k)] for k in range(L)) >= 1,
+                name=f"cover[{node.name}]")
+
+        model.minimize(0)
+
+    # ------------------------------------------------------------------
+    def _input_pins_bound(self, index: int):
+        """(expression, rhs) such that input load <= expr form works."""
+        spec = self.partitioning.chip(index)
+        if spec.split_fixed:
+            return None, spec.input_pins
+        return self.o[index], spec.total_pins
+
+    def _build_chip(self, index: int, ios: List[Node],
+                    values: Dict[str, List[Node]]) -> None:
+        model, L = self.model, self.L
+        spec = self.partitioning.chip(index)
+        ext_in = [n for n in ios if n.dest_partition == index
+                  and n.source_partition == OUTSIDE_WORLD]
+        star_in = [n for n in ios if n.dest_partition == index
+                   and n.source_partition != OUTSIDE_WORLD]
+        out_values = {v: members for v, members in values.items()
+                      if members[0].source_partition == index}
+
+        bound = spec.total_pins
+        # Bundle peaks: external and interchip traffic use disjoint
+        # nets, so each side pays its own per-group maximum.
+        ein = model.add_var(f"ein[{index}]", 0, bound) if ext_in else None
+        sin = model.add_var(f"sin[{index}]", 0, bound) if star_in else None
+        for k in range(L):
+            if ext_in:
+                model.add(ein >= lsum(n.bit_width * self.x[(n.name, k)]
+                                      for n in ext_in))
+            if star_in:
+                model.add(sin >= lsum(n.bit_width * self.x[(n.name, k)]
+                                      for n in star_in))
+        in_terms = [t for t in (ein, sin) if t is not None]
+        if in_terms:
+            load = lsum(in_terms)
+            if spec.split_fixed:
+                model.add(load <= spec.input_pins,
+                          name=f"in[{index}]")
+            else:
+                model.add(load + self.o[index] <= spec.total_pins,
+                          name=f"in[{index}]")
+
+        eout = sout = None
+        ext_vals = {v: [m for m in ms
+                        if m.dest_partition == OUTSIDE_WORLD]
+                    for v, ms in out_values.items()}
+        star_vals = {v: self._chip_dest_members(ms)
+                     for v, ms in out_values.items()}
+        if any(ext_vals.values()):
+            eout = model.add_var(f"eout[{index}]", 0, bound)
+            for k in range(L):
+                terms = []
+                for value, members in sorted(ext_vals.items()):
+                    if members:
+                        terms.append(members[0].bit_width
+                                     * self._out_term(members, value + "@w",
+                                                      k))
+                model.add(eout >= lsum(terms))
+        if any(star_vals.values()):
+            sout = model.add_var(f"sout[{index}]", 0, bound)
+            for k in range(L):
+                terms = []
+                for value, members in sorted(star_vals.items()):
+                    if members:
+                        terms.append(members[0].bit_width
+                                     * self._out_term(members, value, k))
+                model.add(sout >= lsum(terms))
+        out_terms = [t for t in (eout, sout) if t is not None]
+        if out_terms:
+            load = lsum(out_terms)
+            if spec.split_fixed:
+                model.add(load <= spec.output_pins,
+                          name=f"out[{index}]")
+            else:
+                model.add(load - self.o[index] <= 0,
+                          name=f"out[{index}]")
+
+    def _build_world(self, ios: List[Node]) -> None:
+        """The pseudo partition pays one dedicated bundle per chip."""
+        model, L = self.model, self.L
+        spec = self.partitioning.chip(OUTSIDE_WORLD)
+        chips = [i for i in self.partitioning.indices()
+                 if i != OUTSIDE_WORLD]
+        out_bundles = []
+        in_bundles = []
+        for chip in chips:
+            to_chip = [n for n in ios
+                       if n.source_partition == OUTSIDE_WORLD
+                       and n.dest_partition == chip]
+            from_chip = [n for n in ios
+                         if n.source_partition == chip
+                         and n.dest_partition == OUTSIDE_WORLD]
+            if to_chip:
+                bundle = model.add_var(f"w.out[{chip}]", 0,
+                                       spec.total_pins)
+                for k in range(L):
+                    model.add(bundle >= lsum(
+                        n.bit_width * self.x[(n.name, k)]
+                        for n in to_chip))
+                out_bundles.append(bundle)
+            if from_chip:
+                bundle = model.add_var(f"w.in[{chip}]", 0,
+                                       spec.total_pins)
+                for k in range(L):
+                    model.add(bundle >= lsum(
+                        n.bit_width * self.x[(n.name, k)]
+                        for n in from_chip))
+                in_bundles.append(bundle)
+        # P0's *output* pins drive the system's inputs and vice versa.
+        if out_bundles:
+            if spec.split_fixed:
+                model.add(lsum(out_bundles) <= spec.output_pins,
+                          name="world-out")
+            else:
+                model.add(lsum(out_bundles) - self.o[OUTSIDE_WORLD] <= 0,
+                          name="world-out")
+        if in_bundles:
+            if spec.split_fixed:
+                model.add(lsum(in_bundles) <= spec.input_pins,
+                          name="world-in")
+            else:
+                model.add(lsum(in_bundles) + self.o[OUTSIDE_WORLD]
+                          <= spec.total_pins, name="world-in")
+
+    # ------------------------------------------------------------------
+    def var(self, op: str, group: int) -> Var:
+        return self.x[(op, group)]
+
+    def tableau_size(self) -> Tuple[int, int]:
+        """(variables, constraints) — Section 3.1.2's sizing."""
+        n, _n_int, m = self.model.stats()
+        return n, m
+
+    def build_aggregated_model(self) -> Model:
+        """The Section 3.1.2 size reduction, as a separate model.
+
+        Single-fanout transfers with the same (source, destination,
+        bit width) are interchangeable for feasibility; ``q`` of them
+        collapse into one integer variable per group with
+        ``sum_k x[class,k] >= q``.  "In practice, most of the values
+        have the same bit width[, so] the tableau size can be reduced
+        quite a lot."  Used for feasibility probes and size reporting —
+        the *incremental* checker keeps per-op variables because
+        scheduling pins individual operations.
+        """
+        graph, L = self.graph, self.L
+        model = Model("pin-allocation-aggregated")
+        values = graph.values_map()
+
+        classes: Dict[Tuple[int, int, int], List[Node]] = {}
+        multi: List[Node] = []
+        for node in graph.io_nodes():
+            if len(values[node.value or node.name]) > 1:
+                multi.append(node)
+            else:
+                key = (node.source_partition, node.dest_partition,
+                       node.bit_width)
+                classes.setdefault(key, []).append(node)
+
+        agg: Dict[Tuple[Tuple[int, int, int], int], Var] = {}
+        for key, members in sorted(classes.items()):
+            q = len(members)
+            for k in range(L):
+                agg[(key, k)] = model.add_var(
+                    f"x[{key[0]}->{key[1]}w{key[2]},{k}]", 0, q)
+            model.add(lsum(agg[(key, k)] for k in range(L)) >= q)
+        xm: Dict[Tuple[str, int], Var] = {}
+        ym: Dict[Tuple[str, int], Var] = {}
+        for node in multi:
+            for k in range(L):
+                xm[(node.name, k)] = model.binary(
+                    f"x[{node.name},{k}]")
+        for value, members in sorted(values.items()):
+            if len(members) <= 1:
+                continue
+            for k in range(L):
+                y = model.binary(f"y[{value},{k}]")
+                ym[(value, k)] = y
+                model.add(lsum(xm[(m.name, k)] for m in members)
+                          <= len(members) * y)
+        for node in multi:
+            model.add(lsum(xm[(node.name, k)] for k in range(L)) >= 1)
+
+        for index in self.partitioning.indices():
+            spec = self.partitioning.chip(index)
+            for k in range(L):
+                in_terms = []
+                for key, members in sorted(classes.items()):
+                    if key[1] == index:
+                        in_terms.append(key[2] * agg[(key, k)])
+                for node in multi:
+                    if node.dest_partition == index:
+                        in_terms.append(node.bit_width
+                                        * xm[(node.name, k)])
+                out_terms = []
+                for key, members in sorted(classes.items()):
+                    if key[0] == index:
+                        out_terms.append(key[2] * agg[(key, k)])
+                seen = set()
+                for node in multi:
+                    value = node.value or node.name
+                    if node.source_partition == index \
+                            and value not in seen:
+                        seen.add(value)
+                        out_terms.append(node.bit_width
+                                         * ym[(value, k)])
+                if not in_terms and not out_terms:
+                    continue
+                if spec.split_fixed:
+                    if in_terms:
+                        model.add(lsum(in_terms) <= spec.input_pins)
+                    if out_terms:
+                        model.add(lsum(out_terms) <= spec.output_pins)
+                else:
+                    o = model.var_by_name(f"o[{index}]") \
+                        if f"o[{index}]" in model._names \
+                        else model.add_var(f"o[{index}]", 0,
+                                           spec.total_pins)
+                    if in_terms:
+                        model.add(lsum(in_terms) + o <= spec.total_pins)
+                    if out_terms:
+                        model.add(lsum(out_terms) - o <= 0)
+        model.minimize(0)
+        return model
+
+    def solve_with_fixed(self, fixed: Mapping[str, int]) -> bool:
+        """One-shot feasibility with some ops pinned to groups (B&B)."""
+        model = _clone_with_fixed(self.model, self.x, fixed)
+        return solve_ilp(model).feasible
+
+
+def _clone_with_fixed(model: Model, x: Mapping[Tuple[str, int], Var],
+                      fixed: Mapping[str, int]) -> Model:
+    clone = Model(model.name)
+    raised = {x[(op, group)].index for op, group in fixed.items()}
+    for var in model.vars:
+        lb = 1 if var.index in raised else var.lb
+        clone.add_var(var.name, lb, var.ub, var.integer)
+    clone.constraints = list(model.constraints)
+    clone.objective = model.objective
+    clone.sense = model.sense
+    return clone
+
+
+class PinAllocationChecker:
+    """IoHooks implementation: the bold boxes of Figure 3.4.
+
+    ``method="gomory"`` (default) keeps one incrementally-updated dual
+    all-integer tableau, exactly as Section 3.3 describes; ``"bnb"``
+    re-solves from scratch with branch & bound (used for cross-checking
+    and as an automatic fallback if the cutting planes hit their
+    iteration cap).
+    """
+
+    def __init__(self, graph: Cdfg, partitioning: Partitioning,
+                 initiation_rate: int, method: str = "gomory") -> None:
+        if method not in ("gomory", "bnb"):
+            raise IlpError(f"unknown method {method!r}")
+        self.problem = PinAllocationProblem(graph, partitioning,
+                                            initiation_rate)
+        self.graph = graph
+        self.L = initiation_rate
+        self.method = method
+        self.fixed: Dict[str, int] = {}
+        self.checks = 0
+        self._solver: Optional[DualAllIntegerSolver] = None
+        if method == "gomory":
+            self._solver = DualAllIntegerSolver(self.problem.model)
+            if not self._solver.reoptimize():
+                raise InfeasibleError(
+                    "no feasible pin allocation exists for this design "
+                    "(infeasible initial ILP, Section 3.3)")
+        else:
+            if not self.problem.solve_with_fixed({}):
+                raise InfeasibleError(
+                    "no feasible pin allocation exists for this design")
+
+    # -- IoHooks ---------------------------------------------------------
+    def can_schedule(self, node: Node, step: int,
+                     schedule: Schedule) -> bool:
+        group = step % self.L
+        if not self._sharing_consistent(node, step, schedule):
+            return False
+        self.checks += 1
+        if self.method == "gomory":
+            assert self._solver is not None
+            var = self.problem.var(node.name, group)
+            try:
+                return self._solver.try_lower_bound(var)
+            except IlpError:
+                # Cutting-plane cap: fall back to exact branch & bound.
+                tentative = dict(self.fixed)
+                tentative[node.name] = group
+                return self.problem.solve_with_fixed(tentative)
+        tentative = dict(self.fixed)
+        tentative[node.name] = group
+        return self.problem.solve_with_fixed(tentative)
+
+    def commit(self, node: Node, step: int, schedule: Schedule) -> None:
+        group = step % self.L
+        self.fixed[node.name] = group
+        if self.method == "gomory":
+            assert self._solver is not None
+            var = self.problem.var(node.name, group)
+            self._solver.commit_lower_bound(var)
+
+    # ---------------------------------------------------------------
+    def _sharing_consistent(self, node: Node, step: int,
+                            schedule: Schedule) -> bool:
+        """Same-value transfers in one group must be in one *step*.
+
+        The group-granular ILP lets sibling transfers of one value share
+        output pins within a control-step group; physically they carry
+        different pipeline instances unless they are in the very same
+        control step, so the checker forbids the mixed case.
+        """
+        group = step % self.L
+        for sibling in self.graph.values_map().get(node.value, []):
+            if sibling.name == node.name:
+                continue
+            if not schedule.is_scheduled(sibling.name):
+                continue
+            other = schedule.step(sibling.name)
+            if other % self.L == group and other != step:
+                return False
+        return True

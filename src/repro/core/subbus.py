@@ -1,0 +1,288 @@
+"""Sub-bus sharing: several values on one bus per cycle (Chapter 6).
+
+The prototype restriction of Section 6.1.2 applies: a bus splits into at
+most two sub-buses.  When considering I/O operation ``w``, an unsplit
+bus of width ``W`` carrying some operation of width ``B_old`` may split
+into segments ``[W - B_w, B_w]`` provided ``W >= B_w + min(B_old)`` — the
+first segment keeps (some of) the old traffic, the new operation rides
+the second.  Once split, a bus's width is frozen (no widening to force
+sharing); ports may still widen up to the frozen width, and by
+Equation 6.9 a port reaching sub-bus ``s`` spans every earlier sub-bus,
+so an operation starting at segment ``s`` needs ports of width
+``offset(s) + B_w`` on both ends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.core.connection_search import ConnectionSearch, _BusState
+from repro.core.interconnect import Bus, BusAssignment, Interconnect
+from repro.errors import ConnectionError_
+from repro.partition.model import Partitioning
+
+#: Candidate placement: (state, starting segment, split widths or None).
+Candidate = Tuple[_BusState, int, Optional[Tuple[int, int]]]
+
+
+class SubBusConnectionSearch(ConnectionSearch):
+    """Connection search allowing two-way bus splits."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: bus index -> frozen segment widths (absent = unsplit).
+        self._segments: Dict[int, List[int]] = {}
+        #: bus index -> {op name: starting segment}.
+        self._op_segment: Dict[int, Dict[str, int]] = {}
+        #: bus index -> {op name: bit width} for split-condition checks.
+        self._op_width: Dict[int, Dict[str, int]] = {}
+
+    # -- geometry helpers -------------------------------------------------
+    def _state_width(self, state: _BusState) -> int:
+        widths = list(state.out_w.values()) + list(state.in_w.values()) \
+            + list(state.bi_w.values())
+        return max(widths, default=0)
+
+    def _segs_of(self, state: _BusState) -> Optional[List[int]]:
+        return self._segments.get(state.index)
+
+    def _spanned(self, state: _BusState, start: int, width: int
+                 ) -> Optional[List[int]]:
+        segments = self._segs_of(state)
+        if segments is None:
+            return [0] if start == 0 else None
+        remaining = width
+        spanned: List[int] = []
+        for idx in range(start, len(segments)):
+            if remaining <= 0:
+                break
+            spanned.append(idx)
+            remaining -= segments[idx]
+        return spanned if remaining <= 0 else None
+
+    def _required_port(self, state: _BusState, start: int,
+                       width: int) -> int:
+        segments = self._segs_of(state)
+        offset = sum(segments[:start]) if segments else 0
+        return offset + width
+
+    # -- capacity ---------------------------------------------------------
+    def _capacity(self, state: _BusState) -> int:
+        segments = self._segs_of(state)
+        return self.capacity * (len(segments) if segments else 1)
+
+    def _demand(self, state: _BusState) -> int:
+        seen: Dict[str, int] = {}
+        positions = self._op_segment.get(state.index, {})
+        widths = self._op_width.get(state.index, {})
+        for op, start in positions.items():
+            key = self.share_groups.get(op, None)
+            node_value = key
+            if node_value is None:
+                node_value = self.graph.node(op).value or op
+            spanned = self._spanned(state, start, widths[op])
+            need = len(spanned) if spanned else 1
+            seen[node_value] = max(seen.get(node_value, 0), need)
+        return sum(seen.values())
+
+    # -- candidate generation ----------------------------------------------
+    def _candidates(self, node: Node) -> List[Candidate]:
+        scored: List[Tuple[float, int, Candidate]] = []
+        width = node.bit_width
+        for state in self._buses:
+            segments = self._segs_of(state)
+            if segments is None:
+                # Unsplit: plain whole-bus assignment (widths may grow).
+                if self._slot_ok(state, node, start=0):
+                    if self._delta_ok(state, node, start=0):
+                        gain = self._gain_at(state, node, 0)
+                        scored.append((gain, -state.index,
+                                       (state, 0, None)))
+                # Tentative split (Section 6.1.2).
+                plan = self._split_plan(state, node)
+                if plan is not None:
+                    cand = (state, 1, plan)
+                    if self._delta_ok(state, node, start=1, split=plan):
+                        gain = self._gain_at(state, node, 1, split=plan)
+                        scored.append((gain, -state.index, cand))
+            else:
+                for start in range(len(segments)):
+                    if self._spanned(state, start, width) is None:
+                        continue
+                    if not self._slot_ok(state, node, start):
+                        continue
+                    if not self._delta_ok(state, node, start):
+                        continue
+                    gain = self._gain_at(state, node, start)
+                    scored.append((gain, -state.index,
+                                   (state, start, None)))
+        fresh: Optional[_BusState] = None
+        if len(self._buses) < self.R:
+            fresh = _BusState(len(self._buses) + 1)
+            if self._delta_ok(fresh, node, start=0):
+                scored.append((self._gain_at(fresh, node, 0),
+                               -fresh.index, (fresh, 0, None)))
+            else:
+                fresh = None
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        picked = [cand for _g, _i, cand in scored[:self.branching]]
+        if fresh is not None and all(c[0] is not fresh for c in picked):
+            picked.append((fresh, 0, None))
+        return picked
+
+    def _split_plan(self, state: _BusState,
+                    node: Node) -> Optional[Tuple[int, int]]:
+        if not state.ops:
+            return None
+        width = self._state_width(state)
+        widths = self._op_width.get(state.index, {})
+        smallest = min(widths.values(), default=None)
+        if smallest is None:
+            return None
+        if width < node.bit_width + smallest:
+            return None
+        return (width - node.bit_width, node.bit_width)
+
+    def _slot_ok(self, state: _BusState, node: Node, start: int,
+                 split: Optional[Tuple[int, int]] = None) -> bool:
+        if self.value_key(node) in state.values:
+            return True
+        capacity = self.capacity * (2 if (split or self._segs_of(state)) else 1)
+        spanned = self._spanned(state, start, node.bit_width) \
+            if split is None else [start]
+        need = len(spanned) if spanned else 1
+        return self._demand(state) + need <= capacity
+
+    def _delta_ok(self, state: _BusState, node: Node, start: int,
+                  split: Optional[Tuple[int, int]] = None) -> bool:
+        return self._pin_delta_at(state, node, start, split) is not None
+
+    def _pin_delta_at(self, state: _BusState, node: Node, start: int,
+                      split: Optional[Tuple[int, int]] = None
+                      ) -> Optional[Dict[int, int]]:
+        if split is not None:
+            required = split[0] + node.bit_width
+        else:
+            segments = self._segs_of(state)
+            if segments is not None:
+                if self._spanned(state, start, node.bit_width) is None:
+                    return None
+                required = self._required_port(state, start,
+                                               node.bit_width)
+                if required > sum(segments):
+                    return None
+            else:
+                required = node.bit_width
+        src, dst = node.source_partition, node.dest_partition
+        delta: Dict[int, int] = {}
+        if self.bidirectional:
+            delta[src] = max(0, required - state.bi_w.get(src, 0))
+            delta[dst] = delta.get(dst, 0) + max(
+                0, required - state.bi_w.get(dst, 0))
+        else:
+            delta[src] = max(0, required - state.out_w.get(src, 0))
+            delta[dst] = delta.get(dst, 0) + max(
+                0, required - state.in_w.get(dst, 0))
+        for partition, extra in delta.items():
+            if self._pins_used[partition] + extra > \
+                    self.partitioning.total_pins(partition):
+                return None
+        return delta
+
+    def _gain_at(self, state: _BusState, node: Node, start: int,
+                 split: Optional[Tuple[int, int]] = None) -> float:
+        base = self._gain(state, node)  # g1/g2 identical; fix g3 below
+        g3_old = float(self.capacity - len(state.values))
+        capacity = self.capacity * (2 if (split or self._segs_of(state)) else 1)
+        g3_new = float(capacity - self._demand(state))
+        return base - g3_old + g3_new
+
+    # -- application ---------------------------------------------------
+    def _position_of(self, candidate: Candidate) -> Tuple[int, int]:
+        state, start, _split = candidate
+        return state.index, start
+
+    def _apply(self, node: Node, candidate: Candidate):
+        state, start, split = candidate
+        is_new = state not in self._buses
+        if is_new:
+            self._buses.append(state)
+        record = {
+            "new": is_new,
+            "out": dict(state.out_w), "in": dict(state.in_w),
+            "bi": dict(state.bi_w),
+            "had_value": self.value_key(node) in state.values,
+            "pins": dict(self._pins_used),
+            "segments": (list(self._segments[state.index])
+                         if state.index in self._segments else None),
+            "op_segment": dict(self._op_segment.get(state.index, {})),
+            "op_width": dict(self._op_width.get(state.index, {})),
+        }
+        delta = self._pin_delta_at(state, node, start, split)
+        assert delta is not None
+        for partition, extra in delta.items():
+            self._pins_used[partition] += extra
+        if split is not None:
+            self._segments[state.index] = list(split)
+        required = self._required_port(state, start, node.bit_width) \
+            if split is None else split[0] + node.bit_width
+        src, dst = node.source_partition, node.dest_partition
+        if self.bidirectional:
+            state.bi_w[src] = max(state.bi_w.get(src, 0), required)
+            state.bi_w[dst] = max(state.bi_w.get(dst, 0), required)
+        else:
+            state.out_w[src] = max(state.out_w.get(src, 0), required)
+            state.in_w[dst] = max(state.in_w.get(dst, 0), required)
+        state.values.add(self.value_key(node))
+        state.ops.append(node.name)
+        self._op_segment.setdefault(state.index, {})[node.name] = start
+        self._op_width.setdefault(state.index, {})[node.name] = \
+            node.bit_width
+        self._unassigned_bits[src] -= node.bit_width
+        self._unassigned_bits[dst] -= node.bit_width
+        return record
+
+    def _undo(self, node: Node, candidate: Candidate, record) -> None:
+        state, _start, _split = candidate
+        src, dst = node.source_partition, node.dest_partition
+        state.ops.pop()
+        if not record["had_value"]:
+            state.values.discard(self.value_key(node))
+        state.out_w = record["out"]
+        state.in_w = record["in"]
+        state.bi_w = record["bi"]
+        self._pins_used = record["pins"]
+        if record["segments"] is None:
+            self._segments.pop(state.index, None)
+        else:
+            self._segments[state.index] = record["segments"]
+        self._op_segment[state.index] = record["op_segment"]
+        self._op_width[state.index] = record["op_width"]
+        self._unassigned_bits[src] += node.bit_width
+        self._unassigned_bits[dst] += node.bit_width
+        if record["new"]:
+            self._buses.pop()
+
+    def _finish_bus(self, index: int, state: _BusState) -> Bus:
+        segments = self._segments.get(state.index)
+        return Bus(
+            index,
+            out_widths=dict(state.out_w),
+            in_widths=dict(state.in_w),
+            bi_widths=dict(state.bi_w),
+            segments=list(segments) if segments else [],
+        )
+
+
+def synthesize_connection_subbus(graph: Cdfg, partitioning: Partitioning,
+                                 initiation_rate: int,
+                                 branching_factor: int = 2,
+                                 share_groups: Optional[
+                                     Mapping[str, str]] = None,
+                                 ) -> Tuple[Interconnect, BusAssignment]:
+    """Convenience wrapper around :class:`SubBusConnectionSearch`."""
+    search = SubBusConnectionSearch(graph, partitioning, initiation_rate,
+                                    branching_factor=branching_factor,
+                                    share_groups=share_groups)
+    return search.run()

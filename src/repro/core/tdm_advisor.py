@@ -1,0 +1,130 @@
+"""Automatic time-division multiplexing advice (Section 7.3's open end).
+
+The dissertation leaves the *which transfers to split, and how* decision
+to the designer and calls a supporting tool future work ("Further study
+is required to develop a tool which could assist designers in making a
+time division I/O multiplexing decision or even to make the decision by
+itself").  This module implements a simple such advisor:
+
+1. Estimate each chip end's pin demand the way the pin-allocation
+   bundle model does — per-group peaks for external and interchip
+   traffic separately.
+2. While some chip exceeds its budget, pick the *widest* transfer
+   touching the most-overloaded chip and split it in half (respecting a
+   minimum component width), which halves its per-group footprint at
+   the price of an extra transfer cycle.
+3. Stop when everything fits or nothing splittable remains.
+
+The advice is a plan — (transfer, component widths) pairs —, which
+:func:`apply_advice` turns into the Figure 7.8 split/merge rewrite.
+The trade-off the thesis warns about is real and visible in the
+benches: fewer pins, longer pipes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.transform import insert_time_division_multiplexing
+from repro.errors import ConnectionError_
+from repro.partition.model import OUTSIDE_WORLD, Partitioning
+
+
+@dataclass
+class TdmPlan:
+    """Which transfers to split into which component widths."""
+
+    splits: Dict[str, List[int]] = field(default_factory=dict)
+    demand_before: Dict[int, int] = field(default_factory=dict)
+    demand_after: Dict[int, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.splits)
+
+
+def _pin_demand(graph: Cdfg, initiation_rate: int,
+                widths: Optional[Dict[str, int]] = None
+                ) -> Dict[int, int]:
+    """Lower-bound pin demand per chip (bundle-model peaks).
+
+    ``widths`` overrides transfer widths (to evaluate hypothetical
+    splits without rewriting the graph); a transfer split into ``n``
+    parts of width ``w`` contributes one ``w``-wide port if
+    ``n <= L``.
+    """
+    L = initiation_rate
+    demand: Dict[int, int] = {}
+    per_end: Dict[Tuple[int, str], List[int]] = {}
+    for node in graph.io_nodes():
+        width = (widths or {}).get(node.name, node.bit_width)
+        per_end.setdefault((node.dest_partition, "in"),
+                           []).append(width)
+        per_end.setdefault((node.source_partition, "out"),
+                           []).append(width)
+    for (partition, _direction), sizes in per_end.items():
+        sizes.sort(reverse=True)
+        # Greedy lower bound: the k widest transfers that must coexist
+        # in some group when spread as evenly as possible.
+        peak = sum(sizes[::L]) if sizes else 0
+        demand[partition] = demand.get(partition, 0) + peak
+    return demand
+
+
+def advise_tdm(graph: Cdfg, partitioning: Partitioning,
+               initiation_rate: int,
+               min_component: int = 4,
+               max_rounds: int = 16) -> TdmPlan:
+    """Propose splits until the estimated demand fits the budgets."""
+    plan = TdmPlan()
+    widths: Dict[str, int] = {n.name: n.bit_width
+                              for n in graph.io_nodes()}
+    pieces: Dict[str, int] = {n.name: 1 for n in graph.io_nodes()}
+    plan.demand_before = _pin_demand(graph, initiation_rate)
+
+    for _ in range(max_rounds):
+        demand = _pin_demand(graph, initiation_rate, widths)
+        overloaded = [(demand[p] - partitioning.total_pins(p), p)
+                      for p in demand
+                      if demand[p] > partitioning.total_pins(p)]
+        if not overloaded:
+            break
+        overloaded.sort(reverse=True)
+        _excess, chip = overloaded[0]
+        candidates = [n for n in graph.io_nodes()
+                      if chip in (n.source_partition, n.dest_partition)
+                      and widths[n.name] // 2 >= min_component
+                      and pieces[n.name] * 2 <= initiation_rate]
+        if not candidates:
+            break
+        victim = max(candidates,
+                     key=lambda n: (widths[n.name], n.name))
+        widths[victim.name] = math.ceil(widths[victim.name] / 2)
+        pieces[victim.name] *= 2
+    else:
+        pass
+
+    for node in graph.io_nodes():
+        if pieces[node.name] > 1:
+            n_pieces = pieces[node.name]
+            base = node.bit_width // n_pieces
+            parts = [base] * n_pieces
+            parts[0] += node.bit_width - base * n_pieces
+            plan.splits[node.name] = parts
+    plan.demand_after = _pin_demand(graph, initiation_rate, widths)
+    return plan
+
+
+def apply_advice(graph: Cdfg, plan: TdmPlan) -> Dict[str, List[str]]:
+    """Rewrite the graph per the plan (Figure 7.8 split/merge nodes).
+
+    Returns transfer name -> the new sub-transfer names.  The graph is
+    modified in place.
+    """
+    created: Dict[str, List[str]] = {}
+    for name, parts in sorted(plan.splits.items()):
+        created[name] = insert_time_division_multiplexing(graph, name,
+                                                          parts)
+    return created

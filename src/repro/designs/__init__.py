@@ -1,0 +1,41 @@
+"""Benchmark designs reconstructed from the dissertation's figures.
+
+The exact netlists exist only as figures in the original; these
+reconstructions preserve the published operation profile (AR lattice
+filter: 16 multiplications + 12 additions; fifth-order elliptic wave
+filter: 26 additions + 8 multiplications), the partition I/O statistics,
+the bit-width mix, and the pipelining structure (degree-4 data-recursive
+feedback for the elliptic filter).  See DESIGN.md §3 for the
+substitution rationale.
+"""
+
+from repro.designs.ar_filter import (
+    ar_simple_design,
+    ar_general_design,
+    AR_SIMPLE_PINS,
+    AR_GENERAL_PINS_UNIDIR,
+    AR_GENERAL_PINS_BIDIR,
+)
+from repro.designs.elliptic import (
+    elliptic_resources,
+    elliptic_design,
+    ELLIPTIC_PINS_UNIDIR,
+    ELLIPTIC_PINS_BIDIR,
+)
+from repro.designs.fir_filter import fir_design, FIR_PINS
+from repro.designs.random_designs import random_partitioned_design
+
+__all__ = [
+    "ar_simple_design",
+    "ar_general_design",
+    "AR_SIMPLE_PINS",
+    "AR_GENERAL_PINS_UNIDIR",
+    "AR_GENERAL_PINS_BIDIR",
+    "elliptic_design",
+    "elliptic_resources",
+    "ELLIPTIC_PINS_UNIDIR",
+    "ELLIPTIC_PINS_BIDIR",
+    "fir_design",
+    "FIR_PINS",
+    "random_partitioned_design",
+]

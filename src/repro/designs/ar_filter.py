@@ -1,0 +1,211 @@
+"""AR lattice filter benchmark (Kung 1984) in two partitionings.
+
+Operation profile: 16 multiplications + 12 additions, all values 8 bits
+wide in the simple partitioning (Section 3.4); the general partitioning
+(Figure 4.7) mixes widths (a few 12- and 16-bit values), which is what
+exercises port-width allocation in Chapter 4.
+
+Simple partitioning (Figure 3.5): four chips;
+
+* P1 and P2: 10 input operations, 2 output operations, (4*, 4+) each;
+* P3 and P4: 6 input operations, 2 output operations, (4*, 2+) each;
+* driver relation P4 -> {P1, P2} (fan-out star), {P1, P2} -> P3
+  (fan-in star) — simple per Definition 3.2.
+
+Timing (Section 3.4): 250 ns stage, 10 ns I/O, 30 ns adders, 210 ns
+multipliers, chaining allowed, minimum functional units, inputs every
+2 cycles (initiation rate 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+from repro.partition.model import ChipSpec, Partitioning, OUTSIDE_WORLD
+
+#: Pin budgets of the simple-partition experiment (Section 3.4): two
+#: chips with 48 data pins, two with 32; the system (pseudo partition)
+#: budget covers 26 inputs + 2 outputs at initiation rate 2.
+AR_SIMPLE_PINS = Partitioning({
+    OUTSIDE_WORLD: ChipSpec(120),
+    1: ChipSpec(48),
+    2: ChipSpec(48),
+    3: ChipSpec(32),
+    4: ChipSpec(32),
+})
+
+#: Pin budgets of the general-partition experiments with unidirectional
+#: ports (Table 4.1) and with bidirectional ports (Table 4.9).
+AR_GENERAL_PINS_UNIDIR = Partitioning({
+    OUTSIDE_WORLD: ChipSpec(120),
+    1: ChipSpec(135),
+    2: ChipSpec(95),
+    3: ChipSpec(95),
+})
+AR_GENERAL_PINS_BIDIR = Partitioning({
+    OUTSIDE_WORLD: ChipSpec(110, bidirectional=True),
+    1: ChipSpec(100, bidirectional=True),
+    2: ChipSpec(90, bidirectional=True),
+    3: ChipSpec(90, bidirectional=True),
+})
+
+
+def ar_simple_design() -> Cdfg:
+    """The simple-partition AR filter of Figure 3.5 (reconstruction)."""
+    b = CdfgBuilder("ar-simple")
+    W = OUTSIDE_WORLD
+
+    # ---- P4: 6 external inputs; values v5 and v6 each fan out to
+    # both P1 and P2, so P4's single 8-bit output bundle serves all
+    # four transfers across the two control-step groups (the Section
+    # 3.4 discussion of X5/X6 sharing P4's one output-pin group).
+    for k in range(1, 7):
+        b.io(f"In{k}", f"p{k}", source=b.const(f"src.p{k}", partition=W),
+             dests=[], source_partition=W, dest_partition=4)
+    b.op("m41", "mul", 4, inputs=["In1", "In2"])
+    b.op("m42", "mul", 4, inputs=["In3", "In4"])
+    b.op("m43", "mul", 4, inputs=["In5", "In6"])
+    b.op("m44", "mul", 4, inputs=["In1", "In6"])
+    b.op("a41", "add", 4, inputs=["m41", "m42"])
+    b.op("a42", "add", 4, inputs=["m43", "m44"])
+    b.io("X5", "v5", source="a41", dests=[], source_partition=4,
+         dest_partition=1)
+    b.io("X5b", "v5", source="a41", dests=[], source_partition=4,
+         dest_partition=2)
+    b.io("X6", "v6", source="a42", dests=[], source_partition=4,
+         dest_partition=1)
+    b.io("X6b", "v6", source="a42", dests=[], source_partition=4,
+         dest_partition=2)
+
+    # ---- P1: 8 external inputs + v5 + v6, outputs X1, X2 -------------
+    for k in range(1, 9):
+        b.io(f"I{k}", f"i{k}", source=b.const(f"src.i{k}", partition=W),
+             dests=[], source_partition=W, dest_partition=1)
+    b.op("m11", "mul", 1, inputs=["I1", "I2"])
+    b.op("m12", "mul", 1, inputs=["I3", "I4"])
+    b.op("m13", "mul", 1, inputs=["I5", "I6"])
+    b.op("m14", "mul", 1, inputs=["I7", "X5"])
+    b.op("a11", "add", 1, inputs=["m11", "m12"])
+    b.op("a12", "add", 1, inputs=["m13", "m14"])
+    b.op("a13", "add", 1, inputs=["a11", "X6"])
+    b.op("a14", "add", 1, inputs=["a12", "I8"])
+    b.io("X1", "v1", source="a13", dests=[], source_partition=1,
+         dest_partition=3)
+    b.io("X2", "v2", source="a14", dests=[], source_partition=1,
+         dest_partition=3)
+
+    # ---- P2: 8 external inputs + v5 + v6, outputs X3, X4 -------------
+    for k in range(1, 9):
+        b.io(f"J{k}", f"j{k}", source=b.const(f"src.j{k}", partition=W),
+             dests=[], source_partition=W, dest_partition=2)
+    b.op("m21", "mul", 2, inputs=["J1", "J2"])
+    b.op("m22", "mul", 2, inputs=["J3", "J4"])
+    b.op("m23", "mul", 2, inputs=["J5", "J6"])
+    b.op("m24", "mul", 2, inputs=["J7", "X5b"])
+    b.op("a21", "add", 2, inputs=["m21", "m22"])
+    b.op("a22", "add", 2, inputs=["m23", "m24"])
+    b.op("a23", "add", 2, inputs=["a21", "X6b"])
+    b.op("a24", "add", 2, inputs=["a22", "J8"])
+    b.io("X3", "v3", source="a23", dests=[], source_partition=2,
+         dest_partition=3)
+    b.io("X4", "v4", source="a24", dests=[], source_partition=2,
+         dest_partition=3)
+
+    # ---- P3: X1..X4 + 2 external inputs, outputs O1, O2 --------------
+    for k in range(1, 3):
+        b.io(f"K{k}", f"k{k}", source=b.const(f"src.k{k}", partition=W),
+             dests=[], source_partition=W, dest_partition=3)
+    b.op("m31", "mul", 3, inputs=["X1", "K1"])
+    b.op("m32", "mul", 3, inputs=["X2", "K2"])
+    b.op("m33", "mul", 3, inputs=["X3", "K1"])
+    b.op("m34", "mul", 3, inputs=["X4", "K2"])
+    b.op("a31", "add", 3, inputs=["m31", "m32"])
+    b.op("a32", "add", 3, inputs=["m33", "m34"])
+    b.io("O1", "out1", source="a31", dests=[], source_partition=3,
+         dest_partition=W)
+    b.io("O2", "out2", source="a32", dests=[], source_partition=3,
+         dest_partition=W)
+    return b.build()
+
+
+def ar_general_design() -> Cdfg:
+    """The general-partition AR filter of Figure 4.7 (reconstruction).
+
+    Three chips plus the outside world.  26 external input transfers
+    (``I1``-``I9``, ``Ia``-``Iq``), six interchip transfers
+    (``X1``-``X6``), two outputs.  Widths: ``I1``-``I4`` are 12 bits,
+    ``X1``/``X2`` and ``O1``/``O2`` are 16 bits, the rest are 8 bits —
+    the "variety of bit widths" Section 4.4.1 assumes.
+
+    Driver relation: P1 -> {P2, P3}, P2 -> {P3}; P3 has two drivers, so
+    the partitioning is general (not simple).
+    """
+    b = CdfgBuilder("ar-general")
+    W = OUTSIDE_WORLD
+
+    def ext(name: str, partition: int, bits: int = 8) -> str:
+        return b.io(name, f"v.{name}",
+                    source=b.const(f"src.{name}", partition=W),
+                    dests=[], source_partition=W,
+                    dest_partition=partition, bit_width=bits)
+
+    # ---- P1: 12 external inputs (I1..I9, Ia..Ic); 6 muls, 4 adds ----
+    for k in "123456789":
+        ext(f"I{k}", 1, bits=12 if k in "1234" else 8)
+    for k in "abc":
+        ext(f"I{k}", 1)
+    b.op("m11", "mul", 1, inputs=["I1", "I2"], bit_width=16)
+    b.op("m12", "mul", 1, inputs=["I3", "I4"], bit_width=16)
+    b.op("m13", "mul", 1, inputs=["I5", "I6"])
+    b.op("m14", "mul", 1, inputs=["I7", "I8"])
+    b.op("m15", "mul", 1, inputs=["I9", "Ia"])
+    b.op("m16", "mul", 1, inputs=["Ib", "Ic"])
+    b.op("a11", "add", 1, inputs=["m11", "m12"], bit_width=16)
+    b.op("a12", "add", 1, inputs=["m13", "m14"])
+    b.op("a13", "add", 1, inputs=["m15", "m16"])
+    b.op("a14", "add", 1, inputs=["a12", "a13"])
+    b.io("X1", "v.x1", source="a11", dests=[], source_partition=1,
+         dest_partition=2, bit_width=16)
+    b.io("X2", "v.x2", source="a14", dests=[], source_partition=1,
+         dest_partition=2, bit_width=16)
+    b.io("X3", "v.x3", source="a12", dests=[], source_partition=1,
+         dest_partition=3)
+    b.io("X4", "v.x4", source="a13", dests=[], source_partition=1,
+         dest_partition=3)
+
+    # ---- P2: 8 external inputs (Id..Ik); 5 muls, 4 adds -------------
+    for k in "defghijk":
+        ext(f"I{k}", 2)
+    b.op("m21", "mul", 2, inputs=["X1", "Id"], bit_width=16)
+    b.op("m22", "mul", 2, inputs=["X2", "Ie"], bit_width=16)
+    b.op("m23", "mul", 2, inputs=["If", "Ig"])
+    b.op("m24", "mul", 2, inputs=["Ih", "Ii"])
+    b.op("m25", "mul", 2, inputs=["Ij", "Ik"])
+    b.op("a21", "add", 2, inputs=["m21", "m22"], bit_width=16)
+    b.op("a22", "add", 2, inputs=["m23", "m24"])
+    b.op("a23", "add", 2, inputs=["m25", "a22"])
+    b.op("a24", "add", 2, inputs=["a21", "a23"], bit_width=16)
+    b.io("X5", "v.x5", source="a23", dests=[], source_partition=2,
+         dest_partition=3)
+    b.io("X6", "v.x6", source="a24", dests=[], source_partition=2,
+         dest_partition=3, bit_width=16)
+
+    # ---- P3: 6 external inputs (Il..Iq); 5 muls, 4 adds; O1, O2 -----
+    for k in "lmnopq":
+        ext(f"I{k}", 3)
+    b.op("m31", "mul", 3, inputs=["X3", "Il"])
+    b.op("m32", "mul", 3, inputs=["X4", "Im"])
+    b.op("m33", "mul", 3, inputs=["X5", "In"])
+    b.op("m34", "mul", 3, inputs=["X6", "Io"], bit_width=16)
+    b.op("m35", "mul", 3, inputs=["Ip", "Iq"])
+    b.op("a31", "add", 3, inputs=["m31", "m32"])
+    b.op("a32", "add", 3, inputs=["m33", "m35"])
+    b.op("a33", "add", 3, inputs=["a31", "a32"], bit_width=16)
+    b.op("a34", "add", 3, inputs=["m34", "a33"], bit_width=16)
+    b.io("O1", "v.o1", source="a33", dests=[], source_partition=3,
+         dest_partition=W, bit_width=16)
+    b.io("O2", "v.o2", source="a34", dests=[], source_partition=3,
+         dest_partition=W, bit_width=16)
+    return b.build()

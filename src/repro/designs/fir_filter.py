@@ -1,0 +1,98 @@
+"""16-tap FIR filter: an extra DSP workload beyond the dissertation.
+
+The thesis motivates multi-chip synthesis with DSP designs too large
+for one chip; the AR and elliptic filters are its two evaluations.
+This transposed-form FIR adds a third, structurally different workload:
+a long accumulation chain with per-tap recursive storage edges
+(``z^-1`` delays become degree-1 recursive edges), partitioned into a
+chip chain — four taps per chip.
+
+In transposed form every tap computes ``s_i = x * c_i + s_{i+1}[n-1]``:
+the products are embarrassingly parallel, the accumulations couple
+neighbouring taps across instances, and the chip cuts turn the
+inter-tap carries into interchip transfers — heavy pin traffic relative
+to compute, the regime where pin-constrained synthesis matters.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+from repro.partition.model import ChipSpec, Partitioning, OUTSIDE_WORLD
+
+#: Pin budgets for the 4-chip FIR (16-bit samples everywhere).
+FIR_PINS = Partitioning({
+    OUTSIDE_WORLD: ChipSpec(96),
+    1: ChipSpec(96),
+    2: ChipSpec(96),
+    3: ChipSpec(96),
+    4: ChipSpec(96),
+})
+
+
+def fir_design(taps: int = 16, chips: int = 4,
+               degree: int = 1) -> Cdfg:
+    """Build a transposed FIR with ``taps`` taps over ``chips`` chips.
+
+    ``degree`` sets the recursion degree of the delay elements
+    (``degree > 1`` models interleaved streams, as the dissertation
+    does for the elliptic filter).
+    """
+    if taps % chips:
+        raise ValueError("taps must divide evenly across chips")
+    per_chip = taps // chips
+    b = CdfgBuilder(f"fir{taps}")
+    W = OUTSIDE_WORLD
+    BITS = 16
+
+    # The input sample fans out to every chip (one value, `chips`
+    # transfers — a stress test for shared output pins and bus slots).
+    src = b.const("src.x", partition=W, bit_width=BITS)
+    x_in = {}
+    for chip in range(1, chips + 1):
+        x_in[chip] = b.io(f"Xin{chip}", "v.x", source=src, dests=[],
+                          source_partition=W, dest_partition=chip,
+                          bit_width=BITS)
+
+    # Taps are numbered from the output end (tap 0 produces y).
+    # Chip c owns taps [ (c-1)*per_chip, c*per_chip ).
+    carry_from_next = None  # transfer carrying s_{i+1} into this chip
+    prev_sum = None         # s_{i+1} within the current chip
+    for tap in reversed(range(taps)):
+        chip = tap // per_chip + 1
+        mul = b.op(f"m{tap}", "mul", chip,
+                   inputs=[x_in[chip]], bit_width=BITS)
+        inputs = [mul]
+        if prev_sum is not None:
+            inputs.append(prev_sum)
+        acc = b.op(f"s{tap}", "add", chip, inputs=inputs,
+                   bit_width=BITS)
+        if prev_sum is not None:
+            # The delay element between taps: s_{i+1} is consumed one
+            # instance later -> rewrite that edge as recursive.
+            _set_degree(b.build(), prev_sum, acc, degree)
+        # Crossing into the next chip (towards the output)?
+        if tap % per_chip == 0 and tap != 0:
+            transfer = b.io(f"C{tap}", f"v.c{tap}", source=acc,
+                            dests=[], source_partition=chip,
+                            dest_partition=chip - 1, bit_width=BITS)
+            prev_sum = transfer
+        else:
+            prev_sum = acc
+    b.io("Y", "v.y", source=prev_sum, dests=[], source_partition=1,
+         dest_partition=W, bit_width=BITS)
+    return b.build()
+
+
+def _set_degree(graph: Cdfg, src: str, dst: str, degree: int) -> None:
+    """Make the src -> dst edge recursive with the given degree."""
+    if degree <= 0:
+        return
+    from repro.cdfg.transform import _remove_edge
+
+    for edge in graph.in_edges(dst):
+        if edge.src == src and edge.degree == 0:
+            _remove_edge(graph, edge)
+            graph.add_edge(src, dst, degree)
+            return
+    raise ValueError(f"no plain edge {src!r} -> {dst!r}")

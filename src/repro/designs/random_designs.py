@@ -1,0 +1,77 @@
+"""Synthetic partitioned-design generator for tests and stress runs.
+
+Generates layered DAGs of adds/muls spread over chips, with I/O nodes
+inserted automatically on the cut arcs — useful for property-based
+tests (scheduling invariants must hold on *any* valid design, not just
+the two reconstructed benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+from repro.partition.io_insertion import insert_io_nodes
+from repro.partition.model import ChipSpec, Partitioning, OUTSIDE_WORLD
+
+
+def random_partitioned_design(seed: int,
+                              n_chips: int = 3,
+                              n_ops: int = 12,
+                              widths: Tuple[int, ...] = (8, 16),
+                              pin_budget: int = 256,
+                              bidirectional: bool = False,
+                              ) -> Tuple[Cdfg, Partitioning]:
+    """A random layered design plus a (generous) partitioning.
+
+    Deterministic for a given ``seed``.  Operations land on chips with
+    jitter, so cross-chip arcs are plentiful; :func:`insert_io_nodes`
+    then splices the I/O operations the synthesis flows consume.
+    External inputs feed the first operation of each chip.
+    """
+    rng = random.Random(seed)
+    b = CdfgBuilder(f"random-{seed}")
+
+    # One external input per chip, consumed inside that chip.
+    ext_inputs: Dict[int, str] = {}
+    for chip in range(1, n_chips + 1):
+        width = rng.choice(widths)
+        name = b.io(f"in{chip}", f"v.in{chip}",
+                    source=b.const(f"src{chip}",
+                                   partition=OUTSIDE_WORLD,
+                                   bit_width=width),
+                    dests=[], source_partition=OUTSIDE_WORLD,
+                    dest_partition=chip, bit_width=width)
+        ext_inputs[chip] = name
+
+    #: producer name -> chip; only *functional* producers may feed
+    #: other chips (the splicer inserts I/O nodes on those arcs).
+    functional: List[Tuple[str, int]] = []
+    for index in range(n_ops):
+        chip = 1 + ((index + rng.randrange(n_chips)) % n_chips)
+        op_type = rng.choice(["add", "add", "mul"])
+        width = rng.choice(widths)
+        candidates = [name for name, _c in functional[-8:]]
+        same_chip_input = ext_inputs[chip]
+        inputs = [same_chip_input] if not candidates else [
+            rng.choice(candidates) for _ in range(rng.randrange(1, 3))]
+        name = b.op(f"op{index}", op_type, chip, inputs=inputs,
+                    bit_width=width)
+        functional.append((name, chip))
+
+    # Route the last two values to the outside world.
+    for index, (producer, chip) in enumerate(functional[-2:]):
+        b.io(f"out{index}", f"v.out{index}", source=producer, dests=[],
+             source_partition=chip, dest_partition=OUTSIDE_WORLD,
+             bit_width=8)
+
+    graph = b.build()
+    insert_io_nodes(graph, prefix="c")
+
+    chips = {OUTSIDE_WORLD: ChipSpec(pin_budget,
+                                     bidirectional=bidirectional)}
+    for chip in range(1, n_chips + 1):
+        chips[chip] = ChipSpec(pin_budget, bidirectional=bidirectional)
+    return graph, Partitioning(chips)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro synthesis library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch every synthesis failure with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CdfgError(ReproError):
+    """Structural problem in a control/data-flow graph."""
+
+
+class ValidationError(CdfgError):
+    """A CDFG (or partitioning of one) violates a model assumption."""
+
+
+class PartitionError(ReproError):
+    """Problem with a partitioning (unknown partition, bad cut, ...)."""
+
+
+class ModuleLibraryError(ReproError):
+    """Problem with the hardware module library (missing module, ...)."""
+
+
+class IlpError(ReproError):
+    """Problem while building or solving an integer linear program."""
+
+
+class InfeasibleError(IlpError):
+    """An (I)LP or a synthesis subproblem has no feasible solution."""
+
+
+class UnboundedError(IlpError):
+    """A linear program is unbounded (should not occur in our models)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a schedule under the constraints."""
+
+
+class ConnectionError_(ReproError):
+    """Interchip connection synthesis failed.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`ConnectionError` (the OS-level one), which would be a trap for
+    callers writing ``except ConnectionError``.
+    """
+
+
+class BusAssignmentError(ReproError):
+    """No valid assignment of an I/O operation to a communication bus."""

@@ -1,0 +1,24 @@
+"""Graph-algorithm substrate: matchings and compatibility graphs.
+
+* maximum-cardinality bipartite matching via augmenting paths — the
+  engine behind dynamic bus reassignment (Section 4.2: reassigning I/O
+  operations to communication slots is exactly an augmenting-path
+  search);
+* the Hungarian algorithm for maximum-weight bipartite matching —
+  Chapter 5 builds interchip connections by a series of weighted
+  matchings between control-step groups;
+* compatibility-graph utilities shared by the Chapter 5 clique
+  partitioning and the Chapter 7.2 conditional-sharing heuristic.
+"""
+
+from repro.graphs.bipartite import BipartiteMatcher, max_bipartite_matching
+from repro.graphs.hungarian import hungarian_max_weight
+from repro.graphs.cliques import CompatibilityGraph, SuperNode
+
+__all__ = [
+    "BipartiteMatcher",
+    "max_bipartite_matching",
+    "hungarian_max_weight",
+    "CompatibilityGraph",
+    "SuperNode",
+]

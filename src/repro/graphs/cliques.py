@@ -1,0 +1,121 @@
+"""Compatibility graphs with super-node merging.
+
+Both interchip-connection synthesis after scheduling (Section 5.2) and
+conditional I/O sharing (Section 7.2) work on a *compatibility graph*:
+nodes are (sets of) I/O operations, an edge says its endpoints may share
+a communication bus / slot, and synthesis proceeds by repeatedly
+*combining* two adjacent nodes into a super-node.  Combining ``v1`` and
+``v2`` keeps an edge to ``v'`` only if ``v'`` was adjacent to *both*
+(members of a clique must be pairwise compatible), and the new edge
+weight is the sum of the old ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+Member = Hashable
+
+
+@dataclass(frozen=True)
+class SuperNode:
+    """An immutable set of members standing for one clique-in-progress."""
+
+    members: FrozenSet[Member]
+
+    @classmethod
+    def of(cls, *members: Member) -> "SuperNode":
+        return cls(frozenset(members))
+
+    def merged(self, other: "SuperNode") -> "SuperNode":
+        return SuperNode(self.members | other.members)
+
+    def __iter__(self):
+        return iter(sorted(self.members, key=repr))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        inner = ",".join(str(m) for m in sorted(self.members, key=repr))
+        return f"{{{inner}}}"
+
+
+class CompatibilityGraph:
+    """Undirected weighted graph over :class:`SuperNode` instances."""
+
+    def __init__(self) -> None:
+        self._nodes: Set[SuperNode] = set()
+        self._weights: Dict[FrozenSet[SuperNode], Fraction] = {}
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: SuperNode) -> SuperNode:
+        self._nodes.add(node)
+        return node
+
+    def add_edge(self, a: SuperNode, b: SuperNode,
+                 weight: Fraction = Fraction(0)) -> None:
+        if a == b:
+            raise ValueError("self-edges are meaningless here")
+        if a not in self._nodes or b not in self._nodes:
+            raise KeyError("both endpoints must be nodes")
+        self._weights[frozenset((a, b))] = Fraction(weight)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[SuperNode]:
+        return sorted(self._nodes, key=repr)
+
+    def has_edge(self, a: SuperNode, b: SuperNode) -> bool:
+        return frozenset((a, b)) in self._weights
+
+    def weight(self, a: SuperNode, b: SuperNode) -> Optional[Fraction]:
+        return self._weights.get(frozenset((a, b)))
+
+    def neighbors(self, node: SuperNode) -> List[SuperNode]:
+        out = []
+        for pair in self._weights:
+            if node in pair:
+                (other,) = pair - {node}
+                out.append(other)
+        return sorted(out, key=repr)
+
+    def edges(self) -> List[Tuple[SuperNode, SuperNode, Fraction]]:
+        out = []
+        for pair, weight in self._weights.items():
+            a, b = sorted(pair, key=repr)
+            out.append((a, b, weight))
+        return sorted(out, key=lambda e: (repr(e[0]), repr(e[1])))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    def combine(self, a: SuperNode, b: SuperNode) -> SuperNode:
+        """Merge two nodes; keep edges common to both, summing weights."""
+        if a not in self._nodes or b not in self._nodes:
+            raise KeyError("both endpoints must be nodes")
+        merged = a.merged(b)
+        neighbors_a = {n: self.weight(a, n) for n in self.neighbors(a)
+                       if n != b}
+        neighbors_b = {n: self.weight(b, n) for n in self.neighbors(b)
+                       if n != a}
+        # Drop everything touching a or b.
+        self._weights = {pair: w for pair, w in self._weights.items()
+                         if a not in pair and b not in pair}
+        self._nodes.discard(a)
+        self._nodes.discard(b)
+        self._nodes.add(merged)
+        for other in set(neighbors_a) & set(neighbors_b):
+            self._weights[frozenset((merged, other))] = (
+                neighbors_a[other] + neighbors_b[other])
+        return merged
+
+    def best_edge(self) -> Optional[Tuple[SuperNode, SuperNode, Fraction]]:
+        """Highest-weight edge (deterministic tie-breaking), if any."""
+        best = None
+        for a, b, weight in self.edges():
+            if best is None or weight > best[2]:
+                best = (a, b, weight)
+        return best

@@ -1,0 +1,55 @@
+"""Integer linear programming substrate (implemented from scratch).
+
+The dissertation solves its pin-allocation feasibility problem with
+Gomory's 1960 *dual all-integer cutting plane* algorithm on a
+dual-feasible all-integer tableau (Section 3.3), updating the tableau
+incrementally as scheduling pins I/O operations to control-step groups
+(Equations 3.12 -> 3.13).  The connection-synthesis ILPs of Chapters 4
+and 6 were fed to external packages (Bozo, Lindo); here a two-phase
+exact-rational primal simplex plus branch & bound stands in.
+
+Everything computes over :class:`fractions.Fraction`, so results are
+exact — no tolerance tuning, no cycling from round-off.
+"""
+
+from repro.ilp.model import (
+    Model,
+    Var,
+    LinExpr,
+    Constraint,
+    Sense,
+    SolveStatus,
+    Solution,
+    lsum,
+)
+from repro.ilp.simplex import solve_lp
+from repro.ilp.branch_bound import solve_ilp
+from repro.ilp.gomory import DualAllIntegerSolver
+from repro.ilp.linearize import (
+    linearize_max_binary,
+    linearize_min_binary,
+    linearize_xor,
+    linearize_implies_zero,
+    linearize_positive_iff,
+    linearize_implies_ge,
+)
+
+__all__ = [
+    "Model",
+    "Var",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "SolveStatus",
+    "Solution",
+    "lsum",
+    "solve_lp",
+    "solve_ilp",
+    "DualAllIntegerSolver",
+    "linearize_max_binary",
+    "linearize_min_binary",
+    "linearize_xor",
+    "linearize_implies_zero",
+    "linearize_positive_iff",
+    "linearize_implies_ge",
+]

@@ -1,0 +1,277 @@
+"""Gomory's dual all-integer cutting-plane algorithm (Section 3.3).
+
+The pin-allocation ILP has all-integer data and a trivial objective, so
+its initial tableau is dual feasible and all-integer.  Each iteration of
+the dual simplex generates an all-integer cut from the pivot row chosen
+so the pivot element is exactly ``-1``; pivoting then keeps every
+tableau entry integral.  The scheduler re-checks feasibility before each
+I/O operation is placed by adding ``x_{w,k} >= 1`` to the *current*
+tableau via the substitution update of Equations 3.12 -> 3.13 (the rhs
+column decreases by the variable's current column), then resuming the
+cutting-plane loop — usually a handful of iterations, since the feasible
+region changed only slightly.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IlpError, InfeasibleError
+from repro.ilp.model import Model, Sense, Solution, SolveStatus, Var
+from repro.ilp.tableau import Tableau, ZERO, ONE
+
+
+def _require_integer(value: Fraction, what: str) -> Fraction:
+    if value.denominator != 1:
+        raise IlpError(f"{what} must be integral, got {value}")
+    return value
+
+
+class DualAllIntegerSolver:
+    """Feasibility/optimization of all-integer dual-feasible ILPs.
+
+    Requirements checked at construction time:
+
+    * every variable is integer with an integral lower bound;
+    * every constraint coefficient and constant is integral;
+    * the (minimization-form) objective has non-negative integral
+      coefficients — the trivial ``minimize 0`` of the pin-allocation
+      problem qualifies.
+    """
+
+    def __init__(self, model: Model, max_iter: int = 50_000) -> None:
+        self.model = model
+        self.max_iter = max_iter
+        self._shifts: Dict[int, Fraction] = {}
+        self._col_of: Dict[int, int] = {}
+        self.cuts_generated = 0
+        self.pivots = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        model = self.model
+        n = len(model.vars)
+        direction = ONE if model.sense is Sense.MINIMIZE else -ONE
+
+        cost = [ZERO] * (n)  # structural columns; slacks appended later
+        for idx, coef in model.objective.terms.items():
+            value = _require_integer(coef * direction, "objective coeff")
+            if value < 0:
+                raise IlpError(
+                    "initial tableau is not dual feasible: objective "
+                    f"coefficient of {model.vars[idx].name} is negative "
+                    "in minimization form")
+            cost[idx] = value
+
+        rows: List[Tuple[Dict[int, Fraction], Fraction]] = []
+
+        def push_le(coeffs: Dict[int, Fraction], b: Fraction) -> None:
+            # Euclidean row reduction: dividing an all-integer row by the
+            # gcd of its coefficients (flooring the rhs) preserves the
+            # integer feasible set and makes +-1 pivots far more common,
+            # which slashes the number of cuts the dual all-integer
+            # algorithm needs.
+            g = 0
+            for c in coeffs.values():
+                g = math.gcd(g, abs(int(c)))
+            if g > 1:
+                coeffs = {i: c / g for i, c in coeffs.items()}
+                b = Fraction(math.floor(b / g))
+            rows.append((coeffs, b))
+
+        for var in model.vars:
+            if not var.integer:
+                raise IlpError(
+                    f"dual all-integer solver needs integer variables; "
+                    f"{var.name} is continuous")
+            _require_integer(var.lb, f"lower bound of {var.name}")
+            self._shifts[var.index] = var.lb
+            if var.ub is not None:
+                ub = _require_integer(var.ub, f"upper bound of {var.name}")
+                push_le({var.index: ONE}, ub - var.lb)
+
+        for constraint in model.constraints:
+            shift = constraint.expr.const
+            coeffs = dict(constraint.expr.terms)
+            for i, c in coeffs.items():
+                _require_integer(c, "constraint coefficient")
+                shift += c * model.vars[i].lb
+            b = _require_integer(-shift, "constraint constant")
+            if constraint.op == "<=":
+                push_le(coeffs, b)
+            elif constraint.op == ">=":
+                push_le({i: -c for i, c in coeffs.items()}, -b)
+            else:  # ==
+                push_le(dict(coeffs), b)
+                push_le({i: -c for i, c in coeffs.items()}, -b)
+
+        m = len(rows)
+        total = n + m
+        tab_rows: List[List[Fraction]] = []
+        basis: List[int] = []
+        for i, (coeffs, b) in enumerate(rows):
+            row = [ZERO] * (total + 1)
+            for idx, c in coeffs.items():
+                row[idx] = c
+            row[n + i] = ONE
+            row[-1] = b
+            tab_rows.append(row)
+            basis.append(n + i)
+        full_cost = cost + [ZERO] * m + [ZERO]
+        self.tableau = Tableau(tab_rows, full_cost, basis)
+        for var in model.vars:
+            self._col_of[var.index] = var.index
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[Tableau, Dict[int, Fraction], int, int]:
+        return (self.tableau.copy(), dict(self._shifts),
+                self.cuts_generated, self.pivots)
+
+    def restore(self, state) -> None:
+        tableau, shifts, cuts, pivots = state
+        self.tableau = tableau
+        self._shifts = shifts
+        self.cuts_generated = cuts
+        self.pivots = pivots
+
+    # ------------------------------------------------------------------
+    def add_lower_bound(self, var: Var, amount: int = 1) -> None:
+        """Raise ``var``'s lower bound by ``amount`` incrementally.
+
+        Implements the tableau update of Equations 3.12 -> 3.13:
+        substituting ``x = x' + amount`` subtracts ``amount`` times the
+        variable's current column from the rhs column.
+        """
+        if amount <= 0:
+            raise IlpError("amount must be positive")
+        col = self._col_of[var.index]
+        tab = self.tableau
+        for i in range(tab.n_rows):
+            coef = tab.rows[i][col]
+            if coef:
+                tab.rows[i][-1] -= coef * amount
+        # Objective shifts too (cost[-1] holds -z).
+        if tab.cost[col]:
+            tab.cost[-1] -= tab.cost[col] * amount
+        self._shifts[var.index] += amount
+
+    # ------------------------------------------------------------------
+    def reoptimize(self) -> bool:
+        """Run the dual all-integer loop; True iff (still) feasible."""
+        tab = self.tableau
+        for _ in range(self.max_iter):
+            # Most-negative-rhs row selection.
+            row = None
+            most_negative: Optional[Fraction] = None
+            for i in range(tab.n_rows):
+                value = tab.rhs(i)
+                if value < 0 and (most_negative is None
+                                  or value < most_negative):
+                    most_negative = value
+                    row = i
+            if row is None:
+                return True
+
+            # Eligible columns: negative entries in the pivot row.
+            eligible = [j for j in range(tab.n_cols)
+                        if tab.rows[row][j] < 0]
+            if not eligible:
+                return False
+
+            # Column choice: smallest reduced cost (guarantees m_j >= 1
+            # below); among cost ties prefer entries of -1 — they pivot
+            # directly without generating a cut — then small magnitudes.
+            k = min(eligible,
+                    key=lambda j: (tab.cost[j], -tab.rows[row][j] != 1,
+                                   -tab.rows[row][j], j))
+            cost_k = tab.cost[k]
+            if cost_k == 0:
+                lam = -tab.rows[row][k]
+            else:
+                lam = -tab.rows[row][k]
+                for j in eligible:
+                    if j == k:
+                        continue
+                    m_j = tab.cost[j] // cost_k  # floor; >= 1 by choice of k
+                    candidate = Fraction(-tab.rows[row][j], 1) / m_j
+                    if candidate > lam:
+                        lam = candidate
+
+            if lam == 1:
+                # Pivot element is already -1: plain dual-simplex pivot.
+                tab.pivot(row, k)
+                self.pivots += 1
+                continue
+
+            # Generate the all-integer cut floor(row / lam) and pivot on
+            # its k entry, which equals -1 by construction.
+            cut = [Fraction(_floor_div(tab.rows[row][j], lam))
+                   for j in range(tab.n_cols)]
+            cut_rhs = Fraction(_floor_div(tab.rows[row][-1], lam))
+            slack_col = tab.add_column(ZERO)
+            cut.append(ONE)  # the new slack column
+            cut_row = tab.add_row(cut, cut_rhs, slack_col)
+            if tab.rows[cut_row][k] != -1:  # pragma: no cover - invariant
+                raise IlpError("all-integer cut pivot is not -1")
+            tab.pivot(cut_row, k)
+            self.cuts_generated += 1
+            self.pivots += 1
+        raise IlpError("dual all-integer iteration limit exceeded")
+
+    # ------------------------------------------------------------------
+    def check_feasible(self) -> bool:
+        """Non-destructively check feasibility of the current state."""
+        state = self.snapshot()
+        try:
+            return self.reoptimize()
+        finally:
+            self.restore(state)
+
+    def try_lower_bound(self, var: Var, amount: int = 1) -> bool:
+        """Would raising the bound keep the ILP feasible?  (Restores.)"""
+        state = self.snapshot()
+        self.add_lower_bound(var, amount)
+        try:
+            feasible = self.reoptimize()
+        except IlpError:
+            self.restore(state)
+            raise
+        if not feasible:
+            self.restore(state)
+            return False
+        # Keep the re-optimized tableau only if the caller commits.
+        self.restore(state)
+        return True
+
+    def commit_lower_bound(self, var: Var, amount: int = 1) -> None:
+        """Raise the bound for real; raises if it makes the ILP infeasible."""
+        state = self.snapshot()
+        self.add_lower_bound(var, amount)
+        if not self.reoptimize():
+            self.restore(state)
+            raise InfeasibleError(
+                f"raising {var.name} by {amount} makes the pin allocation "
+                f"infeasible")
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Solution:
+        """Solve to optimality (for models with a dual-feasible start)."""
+        if not self.reoptimize():
+            return Solution(SolveStatus.INFEASIBLE)
+        values: Dict[int, Fraction] = {}
+        basic = dict(self.tableau.basic_values())
+        for var in self.model.vars:
+            col = self._col_of[var.index]
+            value = basic.get(col, ZERO) + self._shifts[var.index]
+            values[var.index] = value
+        objective = self.model.objective.value(values)
+        return Solution(SolveStatus.OPTIMAL, objective, values)
+
+
+def _floor_div(a: Fraction, lam: Fraction) -> int:
+    """floor(a / lam) for exact rationals."""
+    q = a / lam
+    return q.numerator // q.denominator

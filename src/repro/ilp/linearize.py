@@ -1,0 +1,85 @@
+"""Linearization helpers for the Chapter 6 ILP (Section 6.1.1.4).
+
+Each helper adds the constraints to the model and returns them, so the
+connection-synthesis formulations read close to the dissertation's
+equations: max/min of binaries, exclusive-or, and the big-M implication
+forms ``(C >= 2) => (I = 0)``, ``(I > 0) <=> (B = 1)`` and
+``(B = 1) => (I_x >= I_y)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.ilp.model import Constraint, LinExpr, Model, Var
+
+ExprLike = Union[Var, LinExpr]
+
+
+def linearize_max_binary(model: Model, target: Var,
+                         items: Sequence[ExprLike],
+                         exact: bool = True) -> List[Constraint]:
+    """``target >= max(items)``; with ``exact`` also ``target <= sum``.
+
+    For binary variables ``target <= sum(items)`` forces target to zero
+    when every item is zero, yielding ``target == max(items)``.
+    """
+    added = [model.add(target >= item) for item in items]
+    if exact:
+        total = LinExpr()
+        for item in items:
+            total = total + item
+        added.append(model.add(target <= total))
+    return added
+
+
+def linearize_min_binary(model: Model, target: Var,
+                         items: Sequence[ExprLike],
+                         exact: bool = True) -> List[Constraint]:
+    """``target <= min(items)``; with ``exact`` also the n-1 lower bound."""
+    added = [model.add(target <= item) for item in items]
+    if exact:
+        total = LinExpr()
+        for item in items:
+            total = total + item
+        added.append(model.add(target >= total - (len(items) - 1)))
+    return added
+
+
+def linearize_xor(model: Model, target: Var, x: ExprLike,
+                  y: ExprLike) -> List[Constraint]:
+    """``target == x XOR y`` for binaries (== max(x,y) - min(x,y))."""
+    return [
+        model.add(target >= x - y),
+        model.add(target >= y - x),
+        model.add(target <= x + y),
+        model.add(target <= 2 - x - y),
+    ]
+
+
+def linearize_implies_zero(model: Model, counter: ExprLike,
+                           expr: ExprLike, threshold: int,
+                           big_m: int) -> List[Constraint]:
+    """``(counter >= threshold) => (expr == 0)`` for ``expr >= 0``.
+
+    Realized as ``(threshold - counter) * M >= expr`` (the text's
+    ``(2 - C) M >= I_x`` with threshold 2).
+    """
+    lhs = (threshold - LinExpr._coerce(counter)) * big_m
+    return [model.add(lhs >= expr)]
+
+
+def linearize_positive_iff(model: Model, amount: ExprLike, flag: Var,
+                           big_m: int) -> List[Constraint]:
+    """``(amount > 0) <=> (flag == 1)`` for integer ``amount >= 0``."""
+    return [
+        model.add(LinExpr._coerce(amount) <= big_m * flag),
+        model.add(LinExpr._coerce(amount) >= flag),
+    ]
+
+
+def linearize_implies_ge(model: Model, flag: Var, bigger: ExprLike,
+                         smaller: ExprLike, big_m: int) -> List[Constraint]:
+    """``(flag == 1) => (bigger >= smaller)`` via big-M relaxation."""
+    rhs = LinExpr._coerce(smaller) - (1 - flag) * big_m
+    return [model.add(LinExpr._coerce(bigger) >= rhs)]

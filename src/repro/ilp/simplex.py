@@ -1,0 +1,155 @@
+"""Two-phase exact-rational primal simplex over :class:`Model`.
+
+Bland's rule guarantees termination; Fractions guarantee exactness.
+This is the LP relaxation engine under the branch & bound solver and a
+general-purpose checker for the connection ILPs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IlpError
+from repro.ilp.model import Model, Sense, Solution, SolveStatus
+from repro.ilp.tableau import Tableau, ZERO, ONE
+
+
+def _standard_rows(model: Model) -> Tuple[List[List[Fraction]],
+                                          List[Fraction], List[str]]:
+    """Rows over *shifted* variables (x' = x - lb >= 0): (A, b, ops).
+
+    Upper bounds become explicit ``<=`` rows.  Every returned op is
+    ``"<="`` or ``"=="`` (``>=`` rows are negated).
+    """
+    n = len(model.vars)
+    rows: List[List[Fraction]] = []
+    rhs: List[Fraction] = []
+    ops: List[str] = []
+
+    def push(coeffs: Dict[int, Fraction], b: Fraction, op: str) -> None:
+        if op == ">=":
+            coeffs = {i: -c for i, c in coeffs.items()}
+            b = -b
+            op = "<="
+        row = [ZERO] * n
+        for i, c in coeffs.items():
+            row[i] = c
+        rows.append(row)
+        rhs.append(b)
+        ops.append(op)
+
+    for var in model.vars:
+        if var.ub is not None:
+            push({var.index: ONE}, var.ub - var.lb, "<=")
+
+    for constraint in model.constraints:
+        shift = constraint.expr.const
+        coeffs = dict(constraint.expr.terms)
+        for i, c in coeffs.items():
+            shift += c * model.vars[i].lb
+        # expr op 0  ->  sum c_i x'_i  op  -shift
+        push(coeffs, -shift, constraint.op)
+    return rows, rhs, ops
+
+
+def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
+    """Solve the LP relaxation of ``model`` exactly."""
+    n = len(model.vars)
+    rows, rhs, ops = _standard_rows(model)
+    m = len(rows)
+
+    # Normalize to b >= 0 (flips <= rows to >= which then need surplus +
+    # artificial; track per-row what we need).
+    need_slack: List[Optional[int]] = [None] * m     # +1 slack column
+    need_surplus: List[Optional[int]] = [None] * m   # -1 surplus column
+    need_artificial: List[Optional[int]] = [None] * m
+    for i in range(m):
+        if rhs[i] < 0:
+            rows[i] = [-c for c in rows[i]]
+            rhs[i] = -rhs[i]
+            if ops[i] == "<=":
+                ops[i] = ">="
+
+    total_cols = n
+    for i in range(m):
+        if ops[i] == "<=":
+            need_slack[i] = total_cols
+            total_cols += 1
+        elif ops[i] == ">=":
+            need_surplus[i] = total_cols
+            total_cols += 1
+    artificial_start = total_cols
+    for i in range(m):
+        if ops[i] == "==" or need_surplus[i] is not None:
+            need_artificial[i] = total_cols
+            total_cols += 1
+
+    tab_rows: List[List[Fraction]] = []
+    basis: List[int] = []
+    for i in range(m):
+        row = rows[i] + [ZERO] * (total_cols - n) + [rhs[i]]
+        if need_slack[i] is not None:
+            row[need_slack[i]] = ONE
+            basis.append(need_slack[i])
+        if need_surplus[i] is not None:
+            row[need_surplus[i]] = -ONE
+        if need_artificial[i] is not None:
+            row[need_artificial[i]] = ONE
+            basis.append(need_artificial[i])
+        tab_rows.append(row)
+
+    # Phase 1: minimize sum of artificials; price out basic artificials.
+    cost = [ZERO] * (total_cols + 1)
+    for j in range(artificial_start, total_cols):
+        cost[j] = ONE
+    tableau = Tableau(tab_rows, cost, basis)
+    for i in range(m):
+        if tableau.basis[i] >= artificial_start:
+            tableau.cost = [a - b for a, b in
+                            zip(tableau.cost, tableau.rows[i])]
+    status = tableau.primal_simplex(max_iter)
+    if status == "unbounded":  # pragma: no cover - cannot happen in phase 1
+        raise IlpError("phase-1 LP unbounded")
+    if tableau.objective_value() > 0:
+        return Solution(SolveStatus.INFEASIBLE)
+
+    # Drive remaining artificials out of the basis (they sit at value 0).
+    for i in range(m):
+        if tableau.basis[i] >= artificial_start:
+            pivot_col = None
+            for j in range(artificial_start):
+                if tableau.rows[i][j] != 0:
+                    pivot_col = j
+                    break
+            if pivot_col is not None:
+                tableau.pivot(i, pivot_col)
+    # Artificial columns are retired: they may never re-enter the basis
+    # (a leftover basic artificial sits at zero in a redundant row).
+    blocked = set(range(artificial_start, total_cols))
+
+    # Phase 2: install the real objective and price out the basis.
+    direction = ONE if model.sense is Sense.MINIMIZE else -ONE
+    cost2 = [ZERO] * (total_cols + 1)
+    for idx, coef in model.objective.terms.items():
+        cost2[idx] = coef * direction
+    # objective constant (incl. lb shifts) folded in at extraction time.
+    tableau.cost = cost2
+    for i in range(m):
+        b = tableau.basis[i]
+        coef = tableau.cost[b]
+        if coef:
+            tableau.cost = [a - coef * r for a, r in
+                            zip(tableau.cost, tableau.rows[i])]
+    status = tableau.primal_simplex(max_iter, banned=blocked)
+    if status == "unbounded":
+        return Solution(SolveStatus.UNBOUNDED)
+
+    shifted: Dict[int, Fraction] = {}
+    for col, value in tableau.basic_values():
+        if col < n:
+            shifted[col] = value
+    values = {var.index: shifted.get(var.index, ZERO) + var.lb
+              for var in model.vars}
+    objective = model.objective.value(values)
+    return Solution(SolveStatus.OPTIMAL, objective, values)

@@ -1,0 +1,180 @@
+"""Dense exact-rational simplex tableau.
+
+One shared structure serves the two-phase primal simplex, the dual
+simplex, and the Gomory dual all-integer cutting-plane algorithm: ``m``
+constraint rows over ``n`` columns plus a right-hand side, a cost row of
+reduced costs, and an explicit basis.  All arithmetic is over
+:class:`fractions.Fraction` so pivoting is exact; pivots on ``±1``
+(guaranteed by the all-integer cut construction) preserve integrality of
+every entry.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.errors import IlpError
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+class Tableau:
+    """Simplex tableau: ``rows[i][j]`` coefficients, ``rows[i][-1]`` rhs.
+
+    ``cost[j]`` are reduced costs of a *minimization* objective;
+    ``cost[-1]`` holds ``-z`` (so the objective value is ``-cost[-1]``).
+    ``basis[i]`` is the column basic in row ``i``.
+    """
+
+    def __init__(self, rows: List[List[Fraction]], cost: List[Fraction],
+                 basis: List[int]) -> None:
+        if len(basis) != len(rows):
+            raise IlpError("basis size must match row count")
+        width = len(cost)
+        for row in rows:
+            if len(row) != width:
+                raise IlpError("ragged tableau")
+        self.rows = rows
+        self.cost = cost
+        self.basis = basis
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        """Number of variable columns (excluding the rhs)."""
+        return len(self.cost) - 1
+
+    def rhs(self, i: int) -> Fraction:
+        return self.rows[i][-1]
+
+    def objective_value(self) -> Fraction:
+        return -self.cost[-1]
+
+    def copy(self) -> "Tableau":
+        return Tableau([row[:] for row in self.rows], self.cost[:],
+                       self.basis[:])
+
+    def add_column(self, value: Fraction = ZERO) -> int:
+        """Append a fresh column (zero everywhere); returns its index."""
+        for row in self.rows:
+            row.insert(-1, ZERO)
+        self.cost.insert(-1, value)
+        return self.n_cols - 1
+
+    def add_row(self, coeffs: List[Fraction], rhs: Fraction,
+                basic_col: int) -> int:
+        """Append a row whose basic column is ``basic_col``."""
+        if len(coeffs) != self.n_cols:
+            raise IlpError("row width mismatch")
+        self.rows.append(coeffs + [rhs])
+        self.basis.append(basic_col)
+        return self.n_rows - 1
+
+    # ------------------------------------------------------------------
+    def pivot(self, row: int, col: int) -> None:
+        """Pivot so column ``col`` becomes basic in ``row``."""
+        pivot_value = self.rows[row][col]
+        if pivot_value == 0:
+            raise IlpError("pivot on zero element")
+        prow = self.rows[row]
+        if pivot_value != ONE:
+            inv = ONE / pivot_value
+            self.rows[row] = prow = [x * inv for x in prow]
+        for i, other in enumerate(self.rows):
+            if i == row:
+                continue
+            factor = other[col]
+            if factor:
+                self.rows[i] = [a - factor * b for a, b in zip(other, prow)]
+        factor = self.cost[col]
+        if factor:
+            self.cost = [a - factor * b for a, b in zip(self.cost, prow)]
+        self.basis[row] = col
+
+    # ------------------------------------------------------------------
+    def primal_simplex(self, max_iter: int = 100_000,
+                       banned: Optional[set] = None) -> str:
+        """Minimize with Bland's rule from a primal-feasible basis.
+
+        ``banned`` columns never *enter* the basis (used to retire the
+        phase-1 artificial variables — later pivots can make their
+        reduced costs negative again, and letting one back in would
+        silently relax its constraint).  Returns ``"optimal"`` or
+        ``"unbounded"``.
+        """
+        for _ in range(max_iter):
+            entering = None
+            for j in range(self.n_cols):
+                if banned is not None and j in banned:
+                    continue
+                if self.cost[j] < 0:
+                    entering = j
+                    break
+            if entering is None:
+                return "optimal"
+            leaving = None
+            best: Optional[Fraction] = None
+            for i in range(self.n_rows):
+                coef = self.rows[i][entering]
+                if coef > 0:
+                    ratio = self.rows[i][-1] / coef
+                    if (best is None or ratio < best
+                            or (ratio == best
+                                and self.basis[i] < self.basis[leaving])):
+                        best = ratio
+                        leaving = i
+            if leaving is None:
+                return "unbounded"
+            self.pivot(leaving, entering)
+        raise IlpError("primal simplex iteration limit exceeded")
+
+    def dual_simplex(self, max_iter: int = 100_000) -> str:
+        """Restore primal feasibility from a dual-feasible tableau.
+
+        Returns ``"optimal"`` or ``"infeasible"``.
+        """
+        for _ in range(max_iter):
+            leaving = None
+            most_negative: Optional[Fraction] = None
+            for i in range(self.n_rows):
+                value = self.rows[i][-1]
+                if value < 0 and (most_negative is None
+                                  or value < most_negative):
+                    most_negative = value
+                    leaving = i
+            if leaving is None:
+                return "optimal"
+            entering = None
+            best: Optional[Fraction] = None
+            for j in range(self.n_cols):
+                coef = self.rows[leaving][j]
+                if coef < 0:
+                    ratio = self.cost[j] / (-coef)
+                    if best is None or ratio < best or (
+                            ratio == best and (entering is None
+                                               or j < entering)):
+                        best = ratio
+                        entering = j
+            if entering is None:
+                return "infeasible"
+            self.pivot(leaving, entering)
+        raise IlpError("dual simplex iteration limit exceeded")
+
+    # ------------------------------------------------------------------
+    def basic_values(self) -> List[Tuple[int, Fraction]]:
+        """(column, value) for every basic variable."""
+        return [(self.basis[i], self.rows[i][-1])
+                for i in range(self.n_rows)]
+
+    def is_integral(self) -> bool:
+        return all(self.rows[i][-1].denominator == 1
+                   for i in range(self.n_rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tableau(rows={self.n_rows}, cols={self.n_cols})"

@@ -1,0 +1,38 @@
+"""Hardware module library: functional units with delay/cost/cycles.
+
+Section 2.2 assumes module selection happened before scheduling: for
+every operation type there is exactly one module per partition that can
+execute it.  The library binds ``op_type`` strings to modules, possibly
+per partition, and derives the :class:`~repro.cdfg.analysis.TimingSpec`
+used by the analyses and schedulers.
+"""
+
+from repro.modules.library import (
+    HardwareModule,
+    ModuleSet,
+    DesignTiming,
+    IO_DELAY_DEFAULT_NS,
+    ar_filter_timing,
+    elliptic_filter_timing,
+)
+from repro.modules.allocation import (
+    min_units_single_cycle,
+    min_units_multi_cycle,
+    min_module_counts,
+    format_resource_vector,
+    ResourceVector,
+)
+
+__all__ = [
+    "HardwareModule",
+    "ModuleSet",
+    "DesignTiming",
+    "IO_DELAY_DEFAULT_NS",
+    "ar_filter_timing",
+    "elliptic_filter_timing",
+    "min_units_single_cycle",
+    "min_units_multi_cycle",
+    "min_module_counts",
+    "format_resource_vector",
+    "ResourceVector",
+]

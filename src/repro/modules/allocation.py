@@ -1,0 +1,92 @@
+"""Functional-unit lower bounds and resource vectors.
+
+For pipelined designs with initiation rate ``L``, operations in the same
+control-step *group* overlap in time and cannot share a unit, so a unit
+serves at most ``L`` single-cycle operations.  For non-pipelined
+``m``-cycle units the dissertation tightens the classical bound to
+Equation 7.5: ``o_i >= ceil(n_i / floor(L / m_i))`` (undefined when
+``L < m_i`` — no pipelined design exists with an initiation rate below
+the longest operation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.errors import ModuleLibraryError, SchedulingError
+from repro.modules.library import DesignTiming
+
+
+def min_units_single_cycle(n_ops: int, initiation_rate: int) -> int:
+    """Classical bound: each unit serves one op per control-step group."""
+    if initiation_rate < 1:
+        raise SchedulingError("initiation rate must be >= 1")
+    if n_ops < 0:
+        raise SchedulingError("operation count must be >= 0")
+    return math.ceil(n_ops / initiation_rate)
+
+
+def min_units_multi_cycle(n_ops: int, initiation_rate: int,
+                          cycles: int, pipelined: bool = False) -> int:
+    """Equation 7.5 bound for non-pipelined multi-cycle units.
+
+    A non-pipelined ``m``-cycle unit fits only ``floor(L / m)``
+    operations into its length-``L`` allocation wheel; a pipelined unit
+    behaves like a single-cycle one for this bound.
+    """
+    if cycles < 1:
+        raise ModuleLibraryError("cycles must be >= 1")
+    if pipelined or cycles == 1:
+        return min_units_single_cycle(n_ops, initiation_rate)
+    if initiation_rate < cycles:
+        raise SchedulingError(
+            f"no pipelined design with initiation rate {initiation_rate} "
+            f"exists: an operation takes {cycles} cycles (Section 7.4)")
+    slots_per_unit = initiation_rate // cycles
+    return math.ceil(n_ops / slots_per_unit)
+
+
+#: (partition, op_type) -> number of functional units.
+ResourceVector = Dict[Tuple[int, str], int]
+
+
+def min_module_counts(graph: Cdfg, timing: DesignTiming,
+                      initiation_rate: int) -> ResourceVector:
+    """Per-partition lower bounds on functional-unit counts."""
+    ops: Dict[Tuple[int, str], int] = {}
+    for node in graph.functional_nodes():
+        key = (node.partition, node.op_type)
+        ops[key] = ops.get(key, 0) + 1
+    bounds: ResourceVector = {}
+    for (partition, op_type), count in sorted(ops.items()):
+        module = timing.module_set(partition).module(op_type)
+        cycles = module.cycles_at(timing.clock_period)
+        bounds[(partition, op_type)] = min_units_multi_cycle(
+            count, initiation_rate, cycles, module.pipelined)
+    return bounds
+
+
+def format_resource_vector(resources: Mapping[Tuple[int, str], int],
+                           symbols: Optional[Mapping[str, str]] = None
+                           ) -> str:
+    """Compact human-readable form like ``P1:(2+,2*) P2:(1+,1*)``.
+
+    ``symbols`` maps op types to short glyphs; defaults to the
+    dissertation's ``+`` for adds and ``*`` for multiplies.
+    """
+    glyphs = {"add": "+", "mul": "*", "sub": "-"}
+    if symbols:
+        glyphs.update(symbols)
+    per_part: Dict[int, Dict[str, int]] = {}
+    for (partition, op_type), count in resources.items():
+        per_part.setdefault(partition, {})[op_type] = count
+    chunks = []
+    for partition in sorted(per_part):
+        inner = ",".join(
+            f"{count}{glyphs.get(op, op)}"
+            for op, count in sorted(per_part[partition].items()))
+        chunks.append(f"P{partition}:({inner})")
+    return " ".join(chunks)

@@ -1,0 +1,38 @@
+"""Partitioning model: chips, pin budgets, and the simple/general split.
+
+Partitioning itself happens *before* synthesis (the dissertation assumes
+a behavioral partitioner such as CHOP produced the clusters); this
+package models the result — which operation lives on which chip, how
+many data-transfer pins each chip has — and classifies a partitioning as
+*simple* (Definition 3.2) or general, which selects the synthesis flow.
+"""
+
+from repro.partition.model import ChipSpec, Partitioning, OUTSIDE_WORLD
+from repro.partition.simple import (
+    driver_graph,
+    is_simple_partitioning,
+    simple_partitioning_violations,
+)
+from repro.partition.io_insertion import (
+    insert_io_nodes,
+    externalize_world_io,
+)
+from repro.partition.auto import (
+    PartitionResult,
+    partition_cdfg,
+    partition_and_synthesize,
+)
+
+__all__ = [
+    "ChipSpec",
+    "Partitioning",
+    "OUTSIDE_WORLD",
+    "driver_graph",
+    "is_simple_partitioning",
+    "simple_partitioning_violations",
+    "insert_io_nodes",
+    "externalize_world_io",
+    "PartitionResult",
+    "partition_cdfg",
+    "partition_and_synthesize",
+]

@@ -1,0 +1,249 @@
+"""Behavioral-level partitioning (the CHOP role) with synthesis feedback.
+
+The dissertation *assumes* a partitioner: "Using predictions, the
+behavioral partitioner, such as CHOP, partitions the behavioral
+specification into a number of clusters in such a way that the
+synthesized multi-chip design will likely be feasible" (Section 1.2),
+and its closing future work asks for "useful information from the
+synthesis tools [to] be fed back to guide the behavioral-level
+partitioner" (Section 8.2).  This module supplies both:
+
+* :func:`partition_cdfg` — Fiduccia–Mattheyses-style iterative
+  improvement over an unpartitioned flat CDFG: minimize the *cut bits*
+  (the predictor of pin cost) subject to per-chip operation-count
+  balance;
+* :func:`partition_and_synthesize` — the feedback loop: partition,
+  insert I/O nodes, synthesize; if a chip busts its pin budget (or the
+  connection search fails), raise that chip's cost weight and
+  repartition.
+
+This is a predictor-driven front end, not a reproduction of CHOP
+itself; it exists so the repository is usable end to end from an
+*unpartitioned* behavioral description.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.ops import OpKind
+from repro.errors import PartitionError, ReproError
+from repro.partition.io_insertion import insert_io_nodes
+from repro.partition.model import OUTSIDE_WORLD, Partitioning
+
+
+@dataclass
+class PartitionResult:
+    """Assignment of functional nodes to chips plus cut statistics."""
+
+    assignment: Dict[str, int]
+    cut_bits: int
+    loads: Dict[int, int]
+
+    def apply(self, graph: Cdfg) -> Cdfg:
+        """Return a copy of the graph with partitions set, external
+        INPUT/OUTPUT nodes turned into world transfers (one per
+        consuming chip), and I/O nodes inserted on the cut arcs."""
+        from repro.cdfg.transform import _remove_edge
+        from repro.partition.io_insertion import externalize_world_io
+
+        clone = graph.copy()
+        for name, chip in self.assignment.items():
+            node = clone.node(name)
+            clone.replace_node(Node(
+                name=node.name, kind=node.kind, op_type=node.op_type,
+                partition=chip, bit_width=node.bit_width,
+                value=node.value, source_partition=node.source_partition,
+                dest_partition=node.dest_partition, guard=node.guard))
+        externalize_world_io(clone)
+        # An external input consumed on several chips becomes several
+        # sibling transfers of one value (Section 2.2.1's multi-output
+        # option) — a transfer never routes through another chip.
+        counter = 0
+        for node in list(clone.io_nodes()):
+            if node.source_partition != OUTSIDE_WORLD:
+                continue
+            foreign = [e for e in clone.out_edges(node.name)
+                       if not e.is_recursive()
+                       and clone.node(e.dst).partition is not None
+                       and clone.node(e.dst).partition
+                       != node.dest_partition]
+            by_chip: Dict[int, List] = {}
+            for edge in foreign:
+                by_chip.setdefault(clone.node(edge.dst).partition,
+                                   []).append(edge)
+            for chip, edges in sorted(by_chip.items()):
+                counter += 1
+                sibling = Node(
+                    name=f"{node.name}@p{chip}", kind=OpKind.IO,
+                    op_type="io", bit_width=node.bit_width,
+                    value=node.value or node.name,
+                    source_partition=OUTSIDE_WORLD,
+                    dest_partition=chip, guard=node.guard)
+                clone.add_node(sibling)
+                for edge in list(clone.in_edges(node.name)):
+                    clone.add_edge(edge.src, sibling.name, edge.degree)
+                for edge in edges:
+                    clone.add_edge(sibling.name, edge.dst, edge.degree)
+                    _remove_edge(clone, edge)
+        insert_io_nodes(clone)
+        return clone
+
+
+def _movable(graph: Cdfg) -> List[Node]:
+    return [n for n in graph.nodes()
+            if n.kind in (OpKind.FUNCTIONAL, OpKind.INPUT,
+                          OpKind.OUTPUT)]
+
+
+def _cut_bits(graph: Cdfg, assignment: Mapping[str, int],
+              weights: Mapping[int, float]) -> float:
+    """Weighted predictor of pin cost: bits crossing each chip border.
+
+    A producer's value crossing to ``k`` distinct chips costs its width
+    once per destination chip (each needs an input port) plus once at
+    the source — matching how the connection synthesizer pays pins.
+    """
+    total = 0.0
+    for node in _movable(graph):
+        src_chip = assignment[node.name]
+        dest_chips = set()
+        for edge in graph.out_edges(node.name):
+            dst = edge.dst
+            if dst in assignment and assignment[dst] != src_chip:
+                dest_chips.add(assignment[dst])
+        if dest_chips:
+            total += node.bit_width * weights.get(src_chip, 1.0)
+            for chip in dest_chips:
+                total += node.bit_width * weights.get(chip, 1.0)
+    return total
+
+
+def partition_cdfg(graph: Cdfg,
+                   n_chips: int,
+                   balance_slack: float = 0.30,
+                   weights: Optional[Mapping[int, float]] = None,
+                   seed: int = 0,
+                   passes: int = 8) -> PartitionResult:
+    """FM-flavoured min-cut partitioning of a flat CDFG.
+
+    Nodes start round-robin (topological order, so neighbours tend to
+    co-locate); each pass greedily moves the node with the best cut
+    gain whose move keeps every chip within ``balance_slack`` of the
+    average load, until no improving move remains.
+    """
+    if n_chips < 2:
+        raise PartitionError("partitioning needs at least 2 chips")
+    movable = _movable(graph)
+    if len(movable) < n_chips:
+        raise PartitionError("fewer operations than chips")
+    weights = dict(weights or {})
+    rng = random.Random(seed)
+
+    from repro.cdfg.analysis import topological_order
+    order = [n for n in topological_order(graph)
+             if graph.node(n).kind in (OpKind.FUNCTIONAL, OpKind.INPUT,
+                                       OpKind.OUTPUT)]
+    chunk = max(1, len(order) // n_chips)
+    assignment: Dict[str, int] = {}
+    for position, name in enumerate(order):
+        assignment[name] = min(n_chips, position // chunk + 1)
+
+    avg = len(order) / n_chips
+    low = max(1, int(avg * (1 - balance_slack)))
+    high = int(avg * (1 + balance_slack)) + 1
+
+    def loads() -> Dict[int, int]:
+        out = {chip: 0 for chip in range(1, n_chips + 1)}
+        for chip in assignment.values():
+            out[chip] += 1
+        return out
+
+    current = _cut_bits(graph, assignment, weights)
+    for _ in range(passes):
+        improved = False
+        names = list(order)
+        rng.shuffle(names)
+        for name in names:
+            here = assignment[name]
+            chip_loads = loads()
+            best_gain = 0.0
+            best_chip = None
+            for chip in range(1, n_chips + 1):
+                if chip == here:
+                    continue
+                if chip_loads[chip] + 1 > high:
+                    continue
+                if chip_loads[here] - 1 < low:
+                    continue
+                assignment[name] = chip
+                candidate = _cut_bits(graph, assignment, weights)
+                gain = current - candidate
+                if gain > best_gain:
+                    best_gain = gain
+                    best_chip = chip
+                assignment[name] = here
+            if best_chip is not None:
+                assignment[name] = best_chip
+                current -= best_gain
+                improved = True
+        if not improved:
+            break
+    return PartitionResult(assignment=assignment,
+                           cut_bits=int(current),
+                           loads=loads())
+
+
+def partition_and_synthesize(graph: Cdfg,
+                             partitioning: Partitioning,
+                             timing,
+                             initiation_rate: int,
+                             max_rounds: int = 4,
+                             seed: int = 0,
+                             **flow_kwargs):
+    """The Section 8.2 feedback loop around the Chapter 4 flow.
+
+    Partition, synthesize; on pin overflow or connection failure, the
+    offending chips' weights rise (the predictor starts avoiding cuts
+    that touch them) and partitioning reruns.  Returns
+    ``(SynthesisResult, PartitionResult)``.
+    """
+    from repro.core.flow import synthesize_connection_first
+
+    n_chips = len(partitioning.real_chips())
+    weights: Dict[int, float] = {}
+    last_error: Optional[Exception] = None
+    for round_index in range(max_rounds):
+        plan = partition_cdfg(graph, n_chips, weights=weights,
+                              seed=seed + round_index)
+        partitioned = plan.apply(graph)
+        try:
+            result = synthesize_connection_first(
+                partitioned, partitioning, timing, initiation_rate,
+                **flow_kwargs)
+            return result, plan
+        except ReproError as exc:
+            last_error = exc
+            # Feedback: blame the chips nearest their budgets.
+            usage = _estimated_usage(partitioned, partitioning)
+            for chip, fraction in usage.items():
+                if fraction > 0.7:
+                    weights[chip] = weights.get(chip, 1.0) * 2.0
+    assert last_error is not None
+    raise last_error
+
+
+def _estimated_usage(graph: Cdfg,
+                     partitioning: Partitioning) -> Dict[int, float]:
+    """Cut-bit pressure per chip relative to its pin budget."""
+    pressure: Dict[int, float] = {}
+    for node in graph.io_nodes():
+        for chip in (node.source_partition, node.dest_partition):
+            if chip == OUTSIDE_WORLD:
+                continue
+            pressure[chip] = pressure.get(chip, 0.0) + node.bit_width
+    return {chip: bits / max(1, partitioning.total_pins(chip))
+            for chip, bits in pressure.items()}

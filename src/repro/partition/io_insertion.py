@@ -1,0 +1,116 @@
+"""Inserting I/O operation nodes on partition-crossing arcs.
+
+Given a CDFG whose functional nodes are already labelled with partition
+indices, :func:`insert_io_nodes` splices an I/O operation node onto
+every arc whose endpoints live on different chips — one I/O node per
+(value, destination partition) pair, since a value need only be input
+once per chip and stored (Section 2.2.1).
+
+:func:`externalize_world_io` rewrites external ``INPUT``/``OUTPUT``
+nodes into I/O operations to/from the pseudo partition 0, which is how
+the ILP formulations model system-level pin constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.ops import OpKind
+from repro.errors import PartitionError
+from repro.partition.model import OUTSIDE_WORLD
+
+
+def insert_io_nodes(graph: Cdfg, prefix: str = "X") -> List[str]:
+    """Splice I/O nodes onto cross-partition arcs; return their names.
+
+    The input graph is modified in place.  Arcs between a producer in
+    partition ``a`` and consumers in partition ``b != a`` are replaced by
+    ``producer -> IO -> consumer`` with a single IO node per
+    ``(producer, b)`` pair.  Recursive arcs keep their degree on the
+    producer -> IO leg (the transfer happens when the value is produced;
+    consumption ``d`` instances later is a property of the consumer arc).
+    """
+    counter = 0
+    created: List[str] = []
+    # Collect first: we mutate the edge set while splicing.
+    cross: Dict[Tuple[str, int], List] = {}
+    for edge in list(graph.edges()):
+        src = graph.node(edge.src)
+        dst = graph.node(edge.dst)
+        if src.kind is OpKind.IO or dst.kind is OpKind.IO:
+            continue
+        if src.partition is None or dst.partition is None:
+            continue
+        if src.partition != dst.partition:
+            cross.setdefault((edge.src, dst.partition), []).append(edge)
+
+    from repro.cdfg.transform import _remove_edge  # lazy: avoid cycle
+
+    for (producer, dest_part), edges in sorted(cross.items()):
+        counter += 1
+        src_node = graph.node(producer)
+        name = f"{prefix}{counter}"
+        while name in graph:
+            counter += 1
+            name = f"{prefix}{counter}"
+        io = Node(
+            name=name,
+            kind=OpKind.IO,
+            op_type="io",
+            bit_width=src_node.bit_width,
+            value=producer,
+            source_partition=src_node.partition,
+            dest_partition=dest_part,
+            guard=src_node.guard,
+        )
+        graph.add_node(io)
+        graph.add_edge(producer, name)
+        for edge in edges:
+            graph.add_edge(name, edge.dst, edge.degree)
+            _remove_edge(graph, edge)
+        created.append(name)
+    return created
+
+
+def externalize_world_io(graph: Cdfg) -> List[str]:
+    """Convert INPUT/OUTPUT nodes into I/O nodes from/to partition 0.
+
+    An ``INPUT`` node in partition ``p`` becomes an I/O node with source
+    partition :data:`OUTSIDE_WORLD` and destination ``p``; an ``OUTPUT``
+    node becomes an I/O node to partition 0.  Names and graph shape are
+    preserved, so figures' labels (``I1``, ``O1`` ...) stay meaningful.
+    """
+    converted: List[str] = []
+    for node in list(graph.nodes()):
+        if node.kind is OpKind.INPUT:
+            if node.partition is None:
+                raise PartitionError(
+                    f"input {node.name!r} has no partition")
+            graph.replace_node(Node(
+                name=node.name,
+                kind=OpKind.IO,
+                op_type="io",
+                bit_width=node.bit_width,
+                value=node.value or node.name,
+                source_partition=OUTSIDE_WORLD,
+                dest_partition=node.partition,
+                guard=node.guard,
+            ))
+            converted.append(node.name)
+        elif node.kind is OpKind.OUTPUT:
+            if node.partition is None:
+                raise PartitionError(
+                    f"output {node.name!r} has no partition")
+            graph.replace_node(Node(
+                name=node.name,
+                kind=OpKind.IO,
+                op_type="io",
+                bit_width=node.bit_width,
+                value=node.value or node.name,
+                source_partition=node.partition,
+                dest_partition=OUTSIDE_WORLD,
+                guard=node.guard,
+            ))
+            converted.append(node.name)
+    return converted

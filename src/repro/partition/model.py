@@ -1,0 +1,132 @@
+"""Chip and partitioning descriptions.
+
+Each partition (chip) has a budget of I/O pins usable for data transfers
+(power/control pins are excluded throughout, Section 3.1.1).  Pins may be
+pre-split into input and output pins, or left as a single pool that the
+synthesizer divides (the ``o_j`` variables of the ILP formulations), or
+declared *bidirectional* (Section 4.3) so one physical pin serves both
+directions across control steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import PartitionError
+
+#: Index of the pseudo partition modelling the outside world
+#: (Section 3.1.1): its "output pins" are the system's input pins and
+#: vice versa.
+OUTSIDE_WORLD = 0
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Pin budget of one chip.
+
+    ``total_pins`` counts only data-transfer pins.  If ``input_pins`` /
+    ``output_pins`` are given they must sum to ``total_pins`` and fix the
+    split; otherwise the synthesizer chooses the split.  With
+    ``bidirectional=True`` the split is irrelevant: every pin can drive
+    or sample in any given cycle.
+    """
+
+    total_pins: int
+    input_pins: Optional[int] = None
+    output_pins: Optional[int] = None
+    bidirectional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.total_pins < 0:
+            raise PartitionError("total_pins must be >= 0")
+        fixed = (self.input_pins is not None, self.output_pins is not None)
+        if any(fixed) and not all(fixed):
+            raise PartitionError(
+                "input_pins and output_pins must be given together")
+        if all(fixed):
+            if self.bidirectional:
+                raise PartitionError(
+                    "a bidirectional chip has no fixed input/output split")
+            if self.input_pins + self.output_pins != self.total_pins:
+                raise PartitionError(
+                    f"input_pins + output_pins = "
+                    f"{self.input_pins + self.output_pins} "
+                    f"!= total_pins = {self.total_pins}")
+
+    @property
+    def split_fixed(self) -> bool:
+        return self.input_pins is not None
+
+
+class Partitioning:
+    """A set of chips plus the outside-world pseudo chip.
+
+    The pseudo partition's pin budget is the *system's* pin budget: what
+    the outside world can drive into / sample out of the design.
+    """
+
+    def __init__(self, chips: Mapping[int, ChipSpec]) -> None:
+        if OUTSIDE_WORLD not in chips:
+            raise PartitionError(
+                f"partitioning must include the outside-world pseudo "
+                f"partition {OUTSIDE_WORLD}")
+        for index in chips:
+            if index < 0:
+                raise PartitionError(f"negative partition index {index}")
+        self._chips: Dict[int, ChipSpec] = dict(chips)
+
+    # ------------------------------------------------------------------
+    def chip(self, index: int) -> ChipSpec:
+        try:
+            return self._chips[index]
+        except KeyError:
+            raise PartitionError(f"unknown partition {index}") from None
+
+    def indices(self) -> List[int]:
+        return sorted(self._chips)
+
+    def real_chips(self) -> List[int]:
+        return [i for i in sorted(self._chips) if i != OUTSIDE_WORLD]
+
+    def __len__(self) -> int:
+        return len(self._chips)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._chips
+
+    def total_pins(self, index: int) -> int:
+        return self.chip(index).total_pins
+
+    def any_bidirectional(self) -> bool:
+        return any(spec.bidirectional for spec in self._chips.values())
+
+    def all_bidirectional(self) -> bool:
+        return all(spec.bidirectional for spec in self._chips.values())
+
+    def with_pins(self, pins: Mapping[int, int]) -> "Partitioning":
+        """Copy with some chips' total pin budgets replaced."""
+        chips = dict(self._chips)
+        for index, total in pins.items():
+            old = self.chip(index)
+            chips[index] = ChipSpec(
+                total_pins=total,
+                bidirectional=old.bidirectional,
+            )
+        return Partitioning(chips)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"P{i}={spec.total_pins}{'b' if spec.bidirectional else ''}"
+            for i, spec in sorted(self._chips.items()))
+        return f"Partitioning({parts})"
+
+
+def uniform_partitioning(n_chips: int, pins: int, world_pins: int,
+                         bidirectional: bool = False) -> Partitioning:
+    """Convenience: ``n_chips`` identical chips plus the pseudo chip."""
+    chips = {OUTSIDE_WORLD: ChipSpec(world_pins,
+                                     bidirectional=bidirectional)}
+    for index in range(1, n_chips + 1):
+        chips[index] = ChipSpec(pins, bidirectional=bidirectional)
+    return Partitioning(chips)

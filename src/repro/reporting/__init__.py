@@ -1,0 +1,22 @@
+"""Text reporting: the dissertation's tables and schedule listings."""
+
+from repro.reporting.tables import TextTable
+from repro.reporting.gantt import gantt_chart, synthesis_report
+from repro.reporting.schedule_report import (
+    schedule_listing,
+    bus_allocation_table,
+    bus_assignment_table,
+    interconnect_listing,
+    pins_summary,
+)
+
+__all__ = [
+    "TextTable",
+    "gantt_chart",
+    "synthesis_report",
+    "schedule_listing",
+    "bus_allocation_table",
+    "bus_assignment_table",
+    "interconnect_listing",
+    "pins_summary",
+]

@@ -1,0 +1,106 @@
+"""ASCII Gantt rendering of pipelined schedules.
+
+One lane per bound functional unit (and per bus), columns are control
+steps; multi-cycle operations stretch across their cycles, and the
+modulo-L steady state is visible as the lane pattern repeating every
+initiation interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.core.interconnect import BusAssignment, Interconnect
+from repro.rtl.binding import FuBinding, bind_functional_units
+from repro.scheduling.base import Schedule
+
+_CELL = 6
+
+
+def _clip(text: str, width: int = _CELL - 1) -> str:
+    return text[:width].ljust(width)
+
+
+def gantt_chart(schedule: Schedule,
+                interconnect: Optional[Interconnect] = None,
+                assignment: Optional[BusAssignment] = None,
+                binding: Optional[FuBinding] = None) -> str:
+    """Render the schedule as unit/bus lanes over control steps."""
+    graph = schedule.graph
+    timing = schedule.timing
+    binding = binding or bind_functional_units(schedule)
+    n_steps = max((schedule.end_step(name)
+                   for name in schedule.start_step), default=0) + 1
+
+    lanes: Dict[str, List[str]] = {}
+
+    def lane(label: str) -> List[str]:
+        if label not in lanes:
+            lanes[label] = [""] * n_steps
+        return lanes[label]
+
+    for node in graph.functional_nodes():
+        if node.name not in schedule.start_step:
+            continue
+        unit = binding.unit_of.get(node.name)
+        label = (f"P{node.partition}.{unit[1]}{unit[2]}"
+                 if unit else f"P{node.partition}.?")
+        row = lane(label)
+        start = schedule.step(node.name)
+        cycles = max(1, timing.cycles(node))
+        for k in range(cycles):
+            marker = node.name if k == 0 else "~" + node.name
+            row[start + k] = marker
+
+    for node in graph.io_nodes():
+        if node.name not in schedule.start_step:
+            continue
+        if assignment is not None and node.name in assignment.bus_of:
+            bus_index, _seg = assignment.of(node.name)
+            label = f"bus C{bus_index}"
+        else:
+            label = f"io P{node.source_partition}>" \
+                    f"P{node.dest_partition}"
+        row = lane(label)
+        step = schedule.step(node.name)
+        existing = row[step]
+        row[step] = (existing + "/" + node.name) if existing \
+            else node.name
+
+    width = max((len(label) for label in lanes), default=4) + 1
+    header = " " * width + "".join(
+        str(step).ljust(_CELL) for step in range(n_steps))
+    ruler = " " * width + ("|" + " " * (_CELL - 1)) * n_steps
+    lines = [f"initiation rate {schedule.initiation_rate}, "
+             f"pipe length {schedule.pipe_length}",
+             header, ruler]
+    for label in sorted(lanes):
+        cells = "".join(_clip(cell) + " " if cell else "." * (_CELL - 1)
+                        + " " for cell in lanes[label])
+        lines.append(label.ljust(width) + cells)
+    return "\n".join(lines)
+
+
+def synthesis_report(result) -> str:
+    """One-call full report of a SynthesisResult."""
+    from repro.reporting.schedule_report import (bus_allocation_table,
+                                                 interconnect_listing,
+                                                 pins_summary,
+                                                 schedule_listing)
+
+    blocks = [schedule_listing(result.schedule)]
+    blocks.append(gantt_chart(result.schedule, result.interconnect,
+                              result.assignment))
+    if result.interconnect is not None:
+        blocks.append(interconnect_listing(result.interconnect))
+        if result.assignment is not None:
+            blocks.append(bus_allocation_table(
+                result.graph, result.schedule, result.interconnect,
+                result.assignment))
+    if result.simple_allocation is not None:
+        blocks.append(interconnect_listing(
+            result.simple_allocation.interconnect))
+    blocks.append(pins_summary(result.partitioning, result.pins_used(),
+                               pipe_length=result.pipe_length))
+    return "\n\n".join(blocks)

@@ -1,0 +1,112 @@
+"""Renderers mirroring the dissertation's result presentation.
+
+* :func:`schedule_listing` — per-control-step operation listing (the
+  schedule figures, e.g. Figure 3.6);
+* :func:`bus_allocation_table` — which transfer each bus carries in
+  each control step (Tables 4.4, 4.6, ...);
+* :func:`bus_assignment_table` — initial vs final I/O-to-bus assignment
+  (Tables 4.3, 4.5, ...);
+* :func:`interconnect_listing` — bus/port structure (the connection
+  figures);
+* :func:`pins_summary` — the summarized-results rows (Tables 4.2/4.10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.cdfg.graph import Cdfg
+from repro.core.interconnect import BusAssignment, Interconnect
+from repro.partition.model import Partitioning
+from repro.reporting.tables import TextTable
+from repro.scheduling.base import Schedule
+
+
+def schedule_listing(schedule: Schedule) -> str:
+    """Per-step listing of functional and I/O operations."""
+    by_step: Dict[int, List[str]] = {}
+    for name, step in schedule.start_step.items():
+        by_step.setdefault(step, []).append(name)
+    table = TextTable(["step", "group", "operations"],
+                      title=f"schedule (L={schedule.initiation_rate}, "
+                            f"pipe length {schedule.pipe_length})")
+    for step in sorted(by_step):
+        ops = sorted(by_step[step],
+                     key=lambda n: (not schedule.graph.node(n).is_io(), n))
+        table.add(step, step % schedule.initiation_rate, " ".join(ops))
+    return table.render()
+
+
+def bus_allocation_table(graph: Cdfg, schedule: Schedule,
+                         interconnect: Interconnect,
+                         assignment: BusAssignment) -> str:
+    """Control-step-group x bus grid of transfers (Table 4.4 style)."""
+    L = schedule.initiation_rate
+    headers = ["steps"] + [f"C{bus.index}" for bus in interconnect.buses]
+    table = TextTable(headers, title="bus allocation")
+    cells: Dict[int, Dict[int, List[str]]] = {}
+    for node in graph.io_nodes():
+        if node.name not in assignment.bus_of:
+            continue
+        bus_index, _seg = assignment.of(node.name)
+        group = schedule.group(node.name)
+        cells.setdefault(group, {}).setdefault(bus_index, []).append(
+            node.name)
+    for group in range(L):
+        row = [f"{group}, {group + L}, ..."]
+        for bus in interconnect.buses:
+            row.append(" ".join(sorted(
+                cells.get(group, {}).get(bus.index, []))))
+        table.add(*row)
+    return table.render()
+
+
+def bus_assignment_table(initial: BusAssignment,
+                         final: BusAssignment) -> str:
+    """Initial vs final assignment per bus (Table 4.3 style)."""
+    table = TextTable(["bus", "initial assignment", "final assignment"],
+                      title="I/O operation to bus assignment")
+    buses = sorted(set(initial.bus_of.values())
+                   | set(final.bus_of.values()))
+    initial_by = initial.by_bus()
+    final_by = final.by_bus()
+    for bus in buses:
+        table.add(f"C{bus}",
+                  " ".join(initial_by.get(bus, [])),
+                  " ".join(final_by.get(bus, [])))
+    return table.render()
+
+
+def interconnect_listing(interconnect: Interconnect) -> str:
+    """Bus structure: ports, widths, segments."""
+    table = TextTable(["bus", "ports", "segments"],
+                      title="interchip connection")
+    for bus in interconnect.buses:
+        if bus.bidirectional:
+            ports = " ".join(f"P{p}<->{w}"
+                             for p, w in sorted(bus.bi_widths.items()))
+        else:
+            outs = " ".join(f"P{p}->{w}"
+                            for p, w in sorted(bus.out_widths.items()))
+            ins = " ".join(f"->P{p}:{w}"
+                           for p, w in sorted(bus.in_widths.items()))
+            ports = f"{outs} | {ins}"
+        segs = "/".join(str(s) for s in bus.effective_segments())
+        table.add(f"C{bus.index}", ports, segs)
+    return table.render()
+
+
+def pins_summary(partitioning: Partitioning,
+                 pins_used: Mapping[int, int],
+                 pipe_length: Optional[int] = None,
+                 label: str = "") -> str:
+    """Pins-used vs budget per partition (Table 4.2 style row set)."""
+    table = TextTable(["partition", "pins used", "budget"],
+                      title=label or "pin usage")
+    for index in partitioning.indices():
+        table.add(f"P{index}", pins_used.get(index, 0),
+                  partitioning.total_pins(index))
+    text = table.render()
+    if pipe_length is not None:
+        text += f"\npipe length: {pipe_length} control steps"
+    return text

@@ -1,0 +1,49 @@
+"""Minimal fixed-width text tables (no external dependencies)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class TextTable:
+    """Accumulates rows, renders an aligned ASCII table."""
+
+    def __init__(self, headers: Sequence[str],
+                 title: Optional[str] = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> "TextTable":
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(row)}")
+        self.rows.append(row)
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(
+                cell.ljust(widths[i]) for i, cell in enumerate(cells)
+            ) + " |"
+
+        rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        out: List[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(rule)
+        out.append(line(self.headers))
+        out.append(rule)
+        for row in self.rows:
+            out.append(line(row))
+        out.append(rule)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

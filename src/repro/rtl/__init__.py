@@ -1,0 +1,37 @@
+"""RTL data-path generation from a synthesized multi-chip design.
+
+The dissertation's output is a register-transfer-level design: "an RTL
+data path consists of operators and registers interconnected via
+multiplexers, buses, and wires" (Chapter 1), with a *distributed*
+controller per chip (Section 2.2).  This package performs the classical
+binding steps the thesis assumes downstream:
+
+* :mod:`repro.rtl.binding` — functional-unit binding (first-fit over
+  control-step groups / allocation wheels) and pipelined register
+  allocation (modular-interval left-edge; values alive longer than one
+  initiation interval get one register per concurrent instance);
+* :mod:`repro.rtl.netlist` — per-chip netlists with multiplexers
+  inserted wherever a unit input or bus driver has several sources;
+* :mod:`repro.rtl.controller` — steady-state control tables (one word
+  per control-step group) for the distributed controllers;
+* :mod:`repro.rtl.emit` — a structural, Verilog-flavoured text dump.
+"""
+
+from repro.rtl.binding import (FuBinding, RegisterAllocation,
+                               bind_functional_units, allocate_registers)
+from repro.rtl.netlist import ChipNetlist, DesignNetlist, build_netlist
+from repro.rtl.controller import ControlTable, build_control_tables
+from repro.rtl.emit import emit_structural
+
+__all__ = [
+    "FuBinding",
+    "RegisterAllocation",
+    "bind_functional_units",
+    "allocate_registers",
+    "ChipNetlist",
+    "DesignNetlist",
+    "build_netlist",
+    "ControlTable",
+    "build_control_tables",
+    "emit_structural",
+]

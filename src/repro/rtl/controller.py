@@ -1,0 +1,129 @@
+"""Distributed steady-state controllers (Section 2.2).
+
+Each chip carries its own controller — central control would burn pins
+and add off-chip control delay, so the thesis mandates one per chip.
+In steady state a pipelined design repeats every ``L`` control steps;
+the controller is a modulo-``L`` counter indexing a control word that
+says, for that group: which operations fire on which units, which
+registers load, which bus ports drive or sample, and which mux inputs
+are selected.
+
+(Pipeline fill is handled, as usual, by a validity shift register that
+masks control words until the first instances flow through; the table
+itself is the steady-state one.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg
+from repro.cdfg.ops import OpKind
+from repro.core.interconnect import BusAssignment, Interconnect
+from repro.rtl.binding import FuBinding, RegisterAllocation
+from repro.scheduling.base import Schedule
+
+
+@dataclass
+class ControlWord:
+    """Signals asserted during one control-step group."""
+
+    group: int
+    fire: List[Tuple[str, str]] = field(default_factory=list)
+    reg_load: List[Tuple[str, str]] = field(default_factory=list)
+    bus_drive: List[Tuple[int, str]] = field(default_factory=list)
+    bus_sample: List[Tuple[int, str]] = field(default_factory=list)
+    #: (mux name, selected source) for every mux active this group.
+    mux_select: List[Tuple[str, str]] = field(default_factory=list)
+
+    def signal_count(self) -> int:
+        return (len(self.fire) + len(self.reg_load)
+                + len(self.bus_drive) + len(self.bus_sample)
+                + len(self.mux_select))
+
+
+@dataclass
+class ControlTable:
+    """One chip's steady-state control store."""
+
+    partition: int
+    words: List[ControlWord]
+
+    def word(self, group: int) -> ControlWord:
+        return self.words[group]
+
+    def total_signals(self) -> int:
+        return sum(w.signal_count() for w in self.words)
+
+
+def build_control_tables(graph: Cdfg, schedule: Schedule,
+                         binding: FuBinding,
+                         registers: RegisterAllocation,
+                         interconnect: Optional[Interconnect] = None,
+                         assignment: Optional[BusAssignment] = None
+                         ) -> Dict[int, ControlTable]:
+    """Control tables for every chip in the design."""
+    L = schedule.initiation_rate
+    partitions = sorted({n.partition for n in graph.functional_nodes()
+                         if n.partition is not None}
+                        | {n.dest_partition for n in graph.io_nodes()
+                           if n.dest_partition != 0}
+                        | {n.source_partition for n in graph.io_nodes()
+                           if n.source_partition != 0})
+    tables = {p: ControlTable(p, [ControlWord(g) for g in range(L)])
+              for p in partitions}
+
+    from repro.rtl.netlist import _source_label, unit_port_sources
+
+    port_sources, _widths = unit_port_sources(graph, binding, registers)
+    for node in graph.functional_nodes():
+        if not schedule.is_scheduled(node.name):
+            continue
+        unit = binding.unit_of.get(node.name)
+        if unit is None:
+            continue
+        group = schedule.group(node.name)
+        word = tables[node.partition].words[group]
+        word.fire.append((f"{unit[1]}{unit[2]}", node.name))
+        # Mux selects: ports with several possible sources need the
+        # right one steered while this operation fires.
+        for position, edge in enumerate(graph.in_edges(node.name)):
+            key = (unit, position)
+            if len(port_sources.get(key, {})) > 1:
+                label = _source_label(graph, registers, edge.src)
+                word.mux_select.append(
+                    (f"mux_{unit[1]}{unit[2]}_in{position}", label))
+        regs = registers.regs_of.get(node.name)
+        if regs:
+            done = (schedule.end_step(node.name)) % L
+            load_word = tables[node.partition].words[done]
+            for _partition, index in regs[:1]:
+                load_word.reg_load.append((f"r{index}", node.name))
+
+    for node in graph.io_nodes():
+        if not schedule.is_scheduled(node.name):
+            continue
+        group = schedule.group(node.name)
+        bus_index = None
+        if assignment is not None and node.name in assignment.bus_of:
+            bus_index, _seg = assignment.of(node.name)
+        if node.source_partition in tables:
+            tables[node.source_partition].words[group].bus_drive.append(
+                (bus_index if bus_index is not None else -1, node.name))
+        if node.dest_partition in tables:
+            word = tables[node.dest_partition].words[group]
+            word.bus_sample.append(
+                (bus_index if bus_index is not None else -1, node.name))
+            regs = registers.regs_of.get(node.name)
+            if regs:
+                word.reg_load.append((f"r{regs[0][1]}", node.name))
+
+    for table in tables.values():
+        for word in table.words:
+            word.fire.sort()
+            word.reg_load.sort()
+            word.bus_drive.sort()
+            word.bus_sample.sort()
+            word.mux_select.sort()
+    return tables

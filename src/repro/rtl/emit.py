@@ -1,0 +1,99 @@
+"""Structural text emission (Verilog-flavoured) of the RTL design.
+
+One module per chip with its units, registers, muxes, I/O port slices
+and the modulo-L controller ROM, plus a top module wiring chip ports
+together through the passive interchip buses.  The output is meant for
+human inspection and diffing, not tape-out: it documents exactly what
+the synthesizer decided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cdfg.graph import Cdfg
+from repro.core.interconnect import BusAssignment, Interconnect
+from repro.rtl.controller import ControlTable, build_control_tables
+from repro.rtl.netlist import DesignNetlist, build_netlist
+from repro.scheduling.base import Schedule
+
+
+def emit_structural(graph: Cdfg, schedule: Schedule,
+                    interconnect: Optional[Interconnect] = None,
+                    assignment: Optional[BusAssignment] = None,
+                    design_name: str = "design") -> str:
+    """Build everything and return the structural text."""
+    netlist = build_netlist(graph, schedule, interconnect, assignment)
+    tables = build_control_tables(graph, schedule, netlist.binding,
+                                  netlist.registers, interconnect,
+                                  assignment)
+    lines: List[str] = []
+    lines.append(f"// {design_name}: {len(netlist.chips)} chips, "
+                 f"initiation rate {schedule.initiation_rate}, "
+                 f"pipe length {schedule.pipe_length}")
+    for partition in sorted(netlist.chips):
+        lines.extend(_emit_chip(netlist, tables.get(partition),
+                                partition))
+        lines.append("")
+    lines.extend(_emit_top(netlist, design_name))
+    return "\n".join(lines)
+
+
+def _emit_chip(netlist: DesignNetlist, table: Optional[ControlTable],
+               partition: int) -> List[str]:
+    chip = netlist.chip(partition)
+    lines = [f"module chip_p{partition} ("]
+    ports = []
+    for bus_index, width in sorted(chip.out_ports.items()):
+        ports.append(f"  output wire [{width - 1}:0] bus{bus_index}_out")
+    for bus_index, width in sorted(chip.in_ports.items()):
+        ports.append(f"  input  wire [{width - 1}:0] bus{bus_index}_in")
+    ports.append("  input  wire clk")
+    lines.append(",\n".join(ports))
+    lines.append(");")
+
+    for unit in chip.units:
+        lines.append(f"  // functional unit {unit[1]}{unit[2]}")
+        lines.append(f"  fu_{unit[1]} u_{unit[1]}{unit[2]} (...);")
+    for (part, index), width in sorted(chip.registers.items()):
+        lines.append(f"  reg [{width - 1}:0] r{index};")
+    for mux in chip.muxes:
+        lines.append(f"  // {mux.ways}-way mux "
+                     f"({', '.join(mux.sources)})")
+        lines.append(f"  wire [{mux.width - 1}:0] {mux.name};")
+
+    if table is not None:
+        lines.append(f"  // controller ROM (modulo-"
+                     f"{len(table.words)} steady state)")
+        for word in table.words:
+            ops = " ".join(f"{u}<={op}" for u, op in word.fire)
+            loads = " ".join(f"{r}<={v}" for r, v in word.reg_load)
+            drives = " ".join(f"C{b}!{v}" for b, v in word.bus_drive)
+            samples = " ".join(f"C{b}?{v}" for b, v in word.bus_sample)
+            lines.append(f"  //   step {word.group}: "
+                         f"fire[{ops}] load[{loads}] "
+                         f"drive[{drives}] sample[{samples}]")
+    lines.append("endmodule")
+    return lines
+
+
+def _emit_top(netlist: DesignNetlist, design_name: str) -> List[str]:
+    lines = [f"module {design_name}_top (input wire clk);"]
+    if netlist.interconnect is not None:
+        for bus in netlist.interconnect.buses:
+            lines.append(f"  wire [{bus.width - 1}:0] "
+                         f"bus{bus.index};  // "
+                         f"{'/'.join(str(s) for s in bus.effective_segments())}"
+                         f" bit segment(s)")
+    for partition in sorted(netlist.chips):
+        chip = netlist.chips[partition]
+        connections = [".clk(clk)"]
+        for bus_index in sorted(chip.out_ports):
+            connections.append(
+                f".bus{bus_index}_out(bus{bus_index})")
+        for bus_index in sorted(chip.in_ports):
+            connections.append(f".bus{bus_index}_in(bus{bus_index})")
+        lines.append(f"  chip_p{partition} p{partition} "
+                     f"({', '.join(connections)});")
+    lines.append("endmodule")
+    return lines

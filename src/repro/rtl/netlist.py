@@ -1,0 +1,182 @@
+"""Per-chip RTL netlists with multiplexer insertion.
+
+A chip's data path contains its bound functional units, its allocated
+registers, input latches for incoming transfers, and the I/O port
+slices defined by the interchip connection.  Any unit input port or bus
+driver fed from more than one register gets a multiplexer (Figure
+2.2(b)'s ``MUX`` in front of ``Sub1``); off-chip, never (Section 2.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.ops import OpKind
+from repro.core.interconnect import BusAssignment, Interconnect
+from repro.rtl.binding import (FuBinding, RegId, RegisterAllocation,
+                               UnitId, allocate_registers,
+                               bind_functional_units)
+from repro.scheduling.base import Schedule
+
+
+@dataclass(frozen=True)
+class MuxSpec:
+    """A multiplexer: ``name`` selects one of ``sources``."""
+
+    name: str
+    width: int
+    sources: Tuple[str, ...]
+
+    @property
+    def ways(self) -> int:
+        return len(self.sources)
+
+
+@dataclass
+class ChipNetlist:
+    """Structural content of one chip."""
+
+    partition: int
+    units: List[UnitId] = field(default_factory=list)
+    registers: Dict[RegId, int] = field(default_factory=dict)
+    muxes: List[MuxSpec] = field(default_factory=list)
+    #: bus index -> port width (driving side)
+    out_ports: Dict[int, int] = field(default_factory=dict)
+    #: bus index -> port width (sampling side)
+    in_ports: Dict[int, int] = field(default_factory=dict)
+
+    def mux_input_total(self) -> int:
+        return sum(m.ways for m in self.muxes)
+
+    def area_estimate(self, unit_cost: float = 10.0,
+                      reg_cost_per_bit: float = 0.5,
+                      mux_cost_per_input: float = 0.25) -> float:
+        """Crude relative area figure for reporting/ablation."""
+        return (len(self.units) * unit_cost
+                + sum(self.registers.values()) * reg_cost_per_bit
+                + self.mux_input_total() * mux_cost_per_input)
+
+
+@dataclass
+class DesignNetlist:
+    """All chips plus the (passive) interchip buses."""
+
+    chips: Dict[int, ChipNetlist]
+    interconnect: Optional[Interconnect]
+    binding: FuBinding
+    registers: RegisterAllocation
+
+    def chip(self, partition: int) -> ChipNetlist:
+        return self.chips[partition]
+
+
+def _source_label(graph: Cdfg, registers: RegisterAllocation,
+                  producer: str) -> str:
+    """Where a consumer reads a value from inside the chip."""
+    regs = registers.regs_of.get(producer)
+    if regs:
+        partition, index = regs[0]
+        return f"r{index}"
+    # Chained or constant: read combinationally from the producer.
+    node = graph.node(producer)
+    if node.kind is OpKind.CONSTANT:
+        return f"const:{producer}"
+    return f"wire:{producer}"
+
+
+def unit_port_sources(graph: Cdfg, binding: FuBinding,
+                      registers: RegisterAllocation
+                      ) -> Tuple[Dict[Tuple[UnitId, int], Dict[str, None]],
+                                 Dict[Tuple[UnitId, int], int]]:
+    """Per (unit, input position): the source labels and port width."""
+    port_sources: Dict[Tuple[UnitId, int], Dict[str, None]] = {}
+    port_width: Dict[Tuple[UnitId, int], int] = {}
+    for node in graph.functional_nodes():
+        if node.name not in binding.unit_of:
+            continue
+        unit = binding.unit_of[node.name]
+        for position, edge in enumerate(graph.in_edges(node.name)):
+            label = _source_label(graph, registers, edge.src)
+            key = (unit, position)
+            port_sources.setdefault(key, {})[label] = None
+            port_width[key] = max(port_width.get(key, 0),
+                                  graph.node(edge.src).bit_width)
+    return port_sources, port_width
+
+
+def build_netlist(graph: Cdfg, schedule: Schedule,
+                  interconnect: Optional[Interconnect] = None,
+                  assignment: Optional[BusAssignment] = None,
+                  binding: Optional[FuBinding] = None,
+                  registers: Optional[RegisterAllocation] = None
+                  ) -> DesignNetlist:
+    """Bind (if not already bound) and assemble every chip's netlist."""
+    binding = binding or bind_functional_units(schedule)
+    registers = registers or allocate_registers(graph, schedule)
+
+    chips: Dict[int, ChipNetlist] = {}
+
+    def chip(partition: int) -> ChipNetlist:
+        if partition not in chips:
+            chips[partition] = ChipNetlist(partition)
+        return chips[partition]
+
+    for unit in binding.units():
+        chip(unit[0]).units.append(unit)
+    for reg, width in registers.widths.items():
+        chip(reg[0]).registers[reg] = width
+
+    # Multiplexers in front of unit input ports: collect, per unit and
+    # port position, the set of sources feeding it across the ops bound
+    # to that unit.
+    port_sources, port_width = unit_port_sources(graph, binding,
+                                                 registers)
+    for (unit, position), sources in sorted(port_sources.items(),
+                                            key=lambda kv: (repr(kv[0]))):
+        if len(sources) > 1:
+            name = (f"mux_{unit[1]}{unit[2]}_in{position}")
+            chip(unit[0]).muxes.append(MuxSpec(
+                name, port_width[(unit, position)],
+                tuple(sorted(sources))))
+
+    # Bus driver multiplexers: several values leaving one chip over one
+    # bus port need an on-chip mux before the output pins.
+    if interconnect is not None and assignment is not None:
+        driver_sources: Dict[Tuple[int, int], Dict[str, None]] = {}
+        for node in graph.io_nodes():
+            if node.name not in assignment.bus_of:
+                continue
+            bus_index, _segment = assignment.of(node.name)
+            src_part = node.source_partition
+            if src_part != 0:
+                producers = [e.src for e in graph.in_edges(node.name)]
+                label = _source_label(graph, registers, producers[0]) \
+                    if producers else f"wire:{node.name}"
+                driver_sources.setdefault((src_part, bus_index),
+                                          {})[label] = None
+        for (partition, bus_index), sources in sorted(
+                driver_sources.items()):
+            if len(sources) > 1:
+                bus = interconnect.bus(bus_index)
+                width = bus.source_width(partition)
+                chip(partition).muxes.append(MuxSpec(
+                    f"mux_bus{bus_index}_out", width,
+                    tuple(sorted(sources))))
+
+        for bus in interconnect.buses:
+            if bus.bidirectional:
+                for partition, width in bus.bi_widths.items():
+                    chip(partition).out_ports[bus.index] = width
+                    chip(partition).in_ports[bus.index] = width
+            else:
+                for partition, width in bus.out_widths.items():
+                    chip(partition).out_ports[bus.index] = width
+                for partition, width in bus.in_widths.items():
+                    chip(partition).in_ports[bus.index] = width
+
+    for netlist in chips.values():
+        netlist.units.sort()
+    return DesignNetlist(chips=chips, interconnect=interconnect,
+                         binding=binding, registers=registers)

@@ -1,0 +1,234 @@
+"""Force-directed scheduling for multi-chip pipelined designs (Ch. 5).
+
+Paulin's FDS balances expected resource concurrency across control
+steps, folded modulo the initiation rate for pipelined designs.  All
+partitions schedule together.  For I/O operations the distribution
+graphs of the *output side* (source partition) and the *input side*
+(destination partition) are combined, weighted by bit width — the
+approximation the dissertation itself notes cannot capture bus usage
+exactly (Section 5.1); the subsequent interchip-connection synthesis of
+:mod:`repro.core.post_sched` does the pin optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.cdfg.analysis import (TimingSpec, compute_time_frames,
+                                 topological_order, _EPS)
+from repro.cdfg.graph import Cdfg, Node
+from repro.errors import SchedulingError
+from repro.scheduling.base import Schedule
+
+#: Distribution-graph bucket: ("fu", partition, op_type) for functional
+#: units, ("out", partition)/("in", partition) for pin pressure.
+DgKey = Tuple
+
+
+class ForceDirectedScheduler:
+    """Schedule within ``pipe_length`` steps minimizing concurrency."""
+
+    def __init__(self, graph: Cdfg, timing: TimingSpec,
+                 initiation_rate: int, pipe_length: int,
+                 io_weight_by_bits: bool = True) -> None:
+        self.graph = graph
+        self.timing = timing
+        self.L = initiation_rate
+        self.pipe_length = pipe_length
+        self.io_weight_by_bits = io_weight_by_bits
+
+    # ------------------------------------------------------------------
+    def run(self) -> Schedule:
+        graph, timing, L = self.graph, self.timing, self.L
+        fixed: Dict[str, int] = {}
+        movable = [n.name for n in graph.nodes() if not n.is_free()]
+
+        frames = compute_time_frames(graph, timing, self.pipe_length,
+                                     initiation_rate=L)
+        if not frames.feasible():
+            raise SchedulingError(
+                f"no feasible frames within pipe length {self.pipe_length}")
+
+        while len(fixed) < len(movable):
+            dgs = self._distribution_graphs(frames, fixed)
+            best: Optional[Tuple[float, str, int]] = None
+            for name in movable:
+                if name in fixed:
+                    continue
+                lo, hi = frames.frame(name)
+                for step in range(lo, hi + 1):
+                    force = self._total_force(name, step, frames, dgs,
+                                              fixed)
+                    key = (force, name, step)
+                    if best is None or key < best:
+                        best = key
+            assert best is not None
+            _, chosen, step = best
+            fixed[chosen] = step
+            frames = compute_time_frames(graph, timing, self.pipe_length,
+                                         initiation_rate=L, fixed=fixed)
+            if not frames.feasible():
+                raise SchedulingError(
+                    f"fixing {chosen!r} at step {step} emptied a frame "
+                    f"(pipe length {self.pipe_length} too tight)")
+        return self._legalize(fixed)
+
+    # ------------------------------------------------------------------
+    def _dg_entries(self, node: Node) -> List[Tuple[DgKey, float]]:
+        if node.is_io():
+            weight = float(node.bit_width) if self.io_weight_by_bits else 1.0
+            return [(("out", node.source_partition), weight),
+                    (("in", node.dest_partition), weight)]
+        if node.is_functional():
+            return [(("fu", node.partition, node.op_type), 1.0)]
+        return []
+
+    def _occupied_groups(self, node: Node, step: int) -> List[int]:
+        cycles = max(1, self.timing.cycles(node))
+        return [(step + j) % self.L for j in range(cycles)]
+
+    def _distribution_graphs(self, frames, fixed: Dict[str, int]
+                             ) -> Dict[DgKey, List[float]]:
+        dgs: Dict[DgKey, List[float]] = {}
+        for node in self.graph.nodes():
+            entries = self._dg_entries(node)
+            if not entries:
+                continue
+            lo, hi = frames.frame(node.name)
+            if node.name in fixed:
+                lo = hi = fixed[node.name]
+            prob = 1.0 / (hi - lo + 1)
+            for key, weight in entries:
+                dg = dgs.setdefault(key, [0.0] * self.L)
+                for step in range(lo, hi + 1):
+                    for group in self._occupied_groups(node, step):
+                        dg[group] += prob * weight
+        return dgs
+
+    def _probability(self, name: str, frames,
+                     fixed: Dict[str, int]) -> Dict[int, float]:
+        """Current per-group probability mass of one node."""
+        node = self.graph.node(name)
+        lo, hi = frames.frame(name)
+        if name in fixed:
+            lo = hi = fixed[name]
+        prob = 1.0 / (hi - lo + 1)
+        mass: Dict[int, float] = {}
+        for step in range(lo, hi + 1):
+            for group in self._occupied_groups(node, step):
+                mass[group] = mass.get(group, 0.0) + prob
+        return mass
+
+    def _self_force(self, name: str, step: int, frames,
+                    dgs, fixed: Dict[str, int]) -> float:
+        node = self.graph.node(name)
+        old = self._probability(name, frames, fixed)
+        new: Dict[int, float] = {}
+        for group in self._occupied_groups(node, step):
+            new[group] = new.get(group, 0.0) + 1.0
+        force = 0.0
+        for key, weight in self._dg_entries(node):
+            dg = dgs.get(key, [0.0] * self.L)
+            for group in set(old) | set(new):
+                force += weight * dg[group] * (new.get(group, 0.0)
+                                               - old.get(group, 0.0))
+        return force
+
+    def _total_force(self, name: str, step: int, frames, dgs,
+                     fixed: Dict[str, int]) -> float:
+        force = self._self_force(name, step, frames, dgs, fixed)
+        # First-order predecessor/successor forces: tightening their
+        # frames by the candidate assignment.
+        node = self.graph.node(name)
+        cycles = max(1, self.timing.cycles(node))
+        for edge in self.graph.in_edges(name):
+            if edge.is_recursive() or edge.src in fixed:
+                continue
+            pred = self.graph.node(edge.src)
+            if pred.is_free():
+                continue
+            gap = max(1, self.timing.cycles(pred)) \
+                if not self.timing.chaining_allowed() else 0
+            force += self._restrict_force(edge.src, None, step - gap,
+                                          frames, dgs, fixed)
+        for edge in self.graph.out_edges(name):
+            if edge.is_recursive() or edge.dst in fixed:
+                continue
+            succ = self.graph.node(edge.dst)
+            if succ.is_free():
+                continue
+            gap = cycles if not self.timing.chaining_allowed() else 0
+            force += self._restrict_force(edge.dst, step + gap, None,
+                                          frames, dgs, fixed)
+        return force
+
+    def _restrict_force(self, name: str, new_lo: Optional[int],
+                        new_hi: Optional[int], frames, dgs,
+                        fixed: Dict[str, int]) -> float:
+        node = self.graph.node(name)
+        lo, hi = frames.frame(name)
+        rlo = lo if new_lo is None else max(lo, new_lo)
+        rhi = hi if new_hi is None else min(hi, new_hi)
+        if rlo > rhi:
+            return float("inf")  # would empty the neighbor's frame
+        if (rlo, rhi) == (lo, hi):
+            return 0.0
+        old = self._probability(name, frames, fixed)
+        prob = 1.0 / (rhi - rlo + 1)
+        new: Dict[int, float] = {}
+        for step in range(rlo, rhi + 1):
+            for group in self._occupied_groups(node, step):
+                new[group] = new.get(group, 0.0) + prob
+        force = 0.0
+        for key, weight in self._dg_entries(node):
+            dg = dgs.get(key, [0.0] * self.L)
+            for group in set(old) | set(new):
+                force += weight * dg[group] * (new.get(group, 0.0)
+                                               - old.get(group, 0.0))
+        return force
+
+    # ------------------------------------------------------------------
+    def _legalize(self, fixed: Dict[str, int]) -> Schedule:
+        """Assign exact ns starts; chained ops may slip to later steps.
+
+        FDS works at step granularity, so chains longer than one clock
+        period could be over-packed; the legalizer respects each fixed
+        step as a *minimum* and pushes operations later when the data
+        arrives late, failing if the pipe length is exceeded.
+        """
+        schedule = Schedule(self.graph, self.timing, self.L)
+        period = self.timing.clock_period
+        for name in topological_order(self.graph):
+            node = self.graph.node(name)
+            if node.is_free():
+                continue
+            ready = 0.0
+            for edge in self.graph.in_edges(name):
+                if edge.is_recursive():
+                    continue
+                src = self.graph.node(edge.src)
+                if src.is_free():
+                    continue
+                ready = max(ready, schedule.finish_ns(edge.src))
+            target = fixed[name]
+            start = max(ready, target * period)
+            if self.timing.must_start_at_boundary(node) \
+                    or not self.timing.chaining_allowed():
+                start = math.ceil(start / period - _EPS) * period
+            else:
+                delay = self.timing.delay_ns(node)
+                boundary = math.floor(start / period + _EPS) * period
+                if start + delay > boundary + period + _EPS:
+                    start = boundary + period  # cannot chain; next step
+            step = int(math.floor(start / period + _EPS))
+            schedule.place(name, step, start)
+        if schedule.pipe_length > self.pipe_length:
+            raise SchedulingError(
+                f"legalized schedule needs {schedule.pipe_length} steps "
+                f"(> pipe length {self.pipe_length})")
+        problems = [p for p in schedule.verify() if "unscheduled" not in p]
+        if problems:
+            raise SchedulingError(
+                "FDS produced an invalid schedule: " + "; ".join(problems))
+        return schedule

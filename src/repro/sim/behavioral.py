@@ -1,0 +1,128 @@
+"""Golden-reference behavioral evaluation of a CDFG.
+
+Each *execution instance* ``n`` evaluates the whole graph once.
+External inputs are supplied per instance; data-recursive edges of
+degree ``d`` read the producer's value from instance ``n - d`` (zero
+before the pipeline fills — matching hardware registers that reset to
+zero).  Operation semantics are word-level modular arithmetic; unknown
+operation types fall back to a deterministic mixing function so any
+``op_type`` simulates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.cdfg.analysis import topological_order
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.ops import OpKind
+from repro.errors import CdfgError
+
+#: instance -> {node name -> value}
+Trace = List[Dict[str, int]]
+
+
+def _mask(value: int, bits: int) -> int:
+    return value & ((1 << max(1, bits)) - 1)
+
+
+def _apply(node: Node, operands: List[int]) -> int:
+    if node.op_type == "add":
+        return _mask(sum(operands), node.bit_width)
+    if node.op_type == "sub":
+        total = operands[0] if operands else 0
+        for operand in operands[1:]:
+            total -= operand
+        return _mask(total, node.bit_width)
+    if node.op_type == "mul":
+        total = 1
+        for operand in operands:
+            total *= operand
+        return _mask(total, node.bit_width)
+    # Deterministic mixing for cmp/shift/custom types.
+    total = hash(node.op_type) & 0xFFFF
+    for operand in operands:
+        total = (total * 31 + operand) & 0xFFFFFFFF
+    return _mask(total, node.bit_width)
+
+
+def default_branch_outcome(instance: int, var: str) -> bool:
+    """Deterministic pseudo-random branch outcome per instance."""
+    return (hash((instance, var)) & 1) == 1
+
+
+def guard_satisfied(node: Node, instance: int,
+                    outcome=default_branch_outcome) -> bool:
+    """Whether the node executes in this instance (Section 7.2)."""
+    return all(outcome(instance, var) == taken
+               for var, taken in node.guard)
+
+
+def evaluate_behavior(graph: Cdfg,
+                      inputs: Mapping[str, List[int]],
+                      n_instances: int,
+                      const_values: Optional[Mapping[str, int]] = None,
+                      branch_outcome=default_branch_outcome) -> Trace:
+    """Evaluate ``n_instances`` executions of the graph.
+
+    ``inputs`` maps the name of each *external* I/O node (source
+    partition 0) or INPUT node to its per-instance value list.
+    Guarded operations execute only when ``branch_outcome(instance,
+    var)`` matches their guard; skipped operations are absent from the
+    instance's trace, and a consumer simply ignores missing operands
+    (join/mux semantics).  Returns the per-instance value trace.
+    """
+    order = topological_order(graph)
+    consts = dict(const_values or {})
+    trace: Trace = []
+    for instance in range(n_instances):
+        values: Dict[str, int] = {}
+        for name in order:
+            node = graph.node(name)
+            if not guard_satisfied(node, instance, branch_outcome):
+                continue
+            if node.kind is OpKind.CONSTANT:
+                values[name] = _mask(consts.get(name, 1), node.bit_width)
+                continue
+            if name in inputs:
+                series = inputs[name]
+                if instance >= len(series):
+                    raise CdfgError(
+                        f"input {name!r} has no value for instance "
+                        f"{instance}")
+                values[name] = _mask(series[instance], node.bit_width)
+                continue
+            operands: List[int] = []
+            for edge in graph.in_edges(name):
+                if edge.is_recursive():
+                    past = instance - edge.degree
+                    if past >= 0 and edge.src in trace[past]:
+                        operands.append(trace[past][edge.src])
+                    elif past < 0:
+                        operands.append(0)
+                elif edge.src in values:
+                    operands.append(values[edge.src])
+                # else: the producer's branch was not taken — skip.
+            if node.kind in (OpKind.IO, OpKind.INPUT, OpKind.OUTPUT,
+                             OpKind.SPLIT, OpKind.MERGE):
+                # Transfers and wiring pass their (single) operand on;
+                # SPLIT/MERGE semantics are bit-slicing, modelled here
+                # as identity on the masked value.
+                values[name] = _mask(operands[0] if operands else 0,
+                                     node.bit_width)
+            else:
+                values[name] = _apply(node, operands)
+        trace.append(values)
+    return trace
+
+
+def external_input_names(graph: Cdfg) -> List[str]:
+    """I/O nodes fed by the outside world (need user-supplied data)."""
+    names = []
+    for node in graph.io_nodes():
+        if node.source_partition == 0:
+            names.append(node.name)
+    for node in graph.nodes():
+        if node.kind is OpKind.INPUT:
+            names.append(node.name)
+    return sorted(names)

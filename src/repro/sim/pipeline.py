@@ -1,0 +1,296 @@
+"""Cycle-accurate simulation of a synthesized multi-chip design.
+
+The simulator launches a new pipeline instance every ``L`` control
+steps and executes each instance's operations at the absolute times the
+schedule dictates.  Three classes of dynamic checks run continuously:
+
+* **data availability** — an operand must have been produced (at
+  nanosecond precision, so illegal chaining or multi-cycle overlap is
+  caught even if the static checks were bypassed);
+* **bus conflict-freedom** — an interchip value physically occupies its
+  assigned bus segments for one cycle; two *different* values driving
+  the same wires in the same cycle abort the run;
+* **result correctness** — every transferred and output value must
+  match the golden behavioral trace instance by instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cdfg.analysis import _EPS
+from repro.cdfg.graph import Cdfg, Node
+from repro.cdfg.ops import OpKind
+from repro.core.interconnect import BusAssignment, Interconnect
+from repro.errors import ReproError
+from repro.scheduling.base import Schedule
+from repro.sim.behavioral import (_apply, _mask, default_branch_outcome,
+                                  evaluate_behavior, guard_satisfied)
+
+
+class SimulationError(ReproError):
+    """A dynamic check failed during cycle-accurate simulation."""
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of a pipeline simulation run."""
+
+    n_instances: int
+    steps_simulated: int
+    transfers_checked: int
+    values_checked: int
+    bus_drives: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.n_instances} instances over "
+                f"{self.steps_simulated} steps: "
+                f"{self.values_checked} values and "
+                f"{self.transfers_checked} transfers verified, "
+                f"{self.bus_drives} bus drives conflict-free")
+
+
+class PipelineSimulator:
+    """Construct once per design; :meth:`run` simulates and verifies."""
+
+    def __init__(self,
+                 graph: Cdfg,
+                 schedule: Schedule,
+                 interconnect: Optional[Interconnect] = None,
+                 assignment: Optional[BusAssignment] = None,
+                 simple_allocation=None) -> None:
+        """``simple_allocation`` accepts a Chapter-3
+        :class:`~repro.core.simple_connection.SimpleConnectionResult`:
+        its bit-level bundle allocation is driven instead of
+        segment-level bus assignments (a transfer's bits may straddle a
+        dedicated bundle and the shared bundle C)."""
+        self.graph = graph
+        self.schedule = schedule
+        self.L = schedule.initiation_rate
+        self.interconnect = interconnect
+        self.assignment = assignment
+        self.simple_allocation = simple_allocation
+        if (interconnect is None) != (assignment is None):
+            raise SimulationError(
+                "interconnect and assignment must be given together")
+        if simple_allocation is not None and interconnect is not None:
+            raise SimulationError(
+                "give either a bus assignment or a simple allocation")
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Mapping[str, List[int]], n_instances: int,
+            const_values: Optional[Mapping[str, int]] = None,
+            branch_outcome=default_branch_outcome) -> SimulationReport:
+        graph = self.graph
+        schedule = self.schedule
+        period = schedule.timing.clock_period
+        golden = evaluate_behavior(graph, inputs, n_instances,
+                                   const_values, branch_outcome)
+
+        #: (instance, node) -> (value, absolute availability in ns)
+        store: Dict[Tuple[int, str], Tuple[int, float]] = {}
+        transfers_checked = 0
+        values_checked = 0
+        bus_drives = 0
+
+        # Pre-sort each instance's operations by (step, ns start).
+        ops_by_step: Dict[int, List[str]] = {}
+        for name, step in schedule.start_step.items():
+            ops_by_step.setdefault(step, []).append(name)
+        for step in ops_by_step:
+            ops_by_step[step].sort(key=lambda n: (schedule.start_ns[n],
+                                                  n))
+        pipe = max(schedule.start_step.values(), default=0) + 4
+
+        last_step = n_instances * self.L + pipe
+        for tau in range(last_step + 1):
+            #: (bus, segment) -> (value key, int value) driven this cycle
+            wires: Dict[Tuple[int, int], Tuple[str, int]] = {}
+            for instance in range(n_instances):
+                local = tau - instance * self.L
+                if local < 0 or local not in ops_by_step:
+                    continue
+                for name in ops_by_step[local]:
+                    node = graph.node(name)
+                    if not guard_satisfied(node, instance,
+                                           branch_outcome):
+                        continue  # branch not taken this instance
+                    value = self._execute(node, instance, tau, store,
+                                          golden, inputs, const_values)
+                    if node.kind is OpKind.IO:
+                        bus_drives += self._drive(node, instance, tau,
+                                                  value, wires)
+                        transfers_checked += 1
+                        expected = golden[instance][name]
+                        if value != expected:
+                            raise SimulationError(
+                                f"instance {instance}: transfer "
+                                f"{name!r} carried {value}, golden "
+                                f"trace says {expected}")
+                    values_checked += 1
+                    if golden[instance].get(name) != value:
+                        raise SimulationError(
+                            f"instance {instance}: {name!r} computed "
+                            f"{value}, golden {golden[instance][name]}")
+        return SimulationReport(
+            n_instances=n_instances,
+            steps_simulated=last_step + 1,
+            transfers_checked=transfers_checked,
+            values_checked=values_checked,
+            bus_drives=bus_drives,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, node: Node, instance: int, tau: int,
+                 store, golden, inputs, const_values) -> int:
+        schedule = self.schedule
+        period = schedule.timing.clock_period
+        start_abs_ns = instance * self.L * period \
+            + schedule.start_ns[node.name]
+        operands: List[int] = []
+        for edge in self.graph.in_edges(node.name):
+            src_node = self.graph.node(edge.src)
+            if edge.is_recursive():
+                past = instance - edge.degree
+                if past < 0:
+                    operands.append(0)
+                    continue
+                if edge.src not in golden[past]:
+                    continue  # producer's branch not taken then
+                operands.append(self._read(edge.src, past,
+                                           start_abs_ns, store))
+            elif src_node.kind is OpKind.CONSTANT:
+                operands.append(_mask((const_values or {}).get(
+                    edge.src, 1), src_node.bit_width))
+            elif src_node.is_free():
+                # split/merge wiring: defer to the golden trace (their
+                # semantics are pure rewiring).
+                operands.append(golden[instance][edge.src]
+                                if edge.src in golden[instance] else 0)
+            elif edge.src not in golden[instance]:
+                continue  # producer's branch not taken this instance
+            else:
+                operands.append(self._read(edge.src, instance,
+                                           start_abs_ns, store))
+
+        if node.kind is OpKind.IO and node.source_partition == 0 \
+                and node.name in inputs:
+            value = _mask(inputs[node.name][instance], node.bit_width)
+        elif node.kind in (OpKind.IO, OpKind.INPUT, OpKind.OUTPUT):
+            value = _mask(operands[0] if operands else 0,
+                          node.bit_width)
+        else:
+            value = _apply(node, operands)
+
+        finish_abs_ns = instance * self.L * period \
+            + schedule.finish_ns(node.name)
+        store[(instance, node.name)] = (value, finish_abs_ns)
+        return value
+
+    def _read(self, name: str, instance: int, when_ns: float,
+              store) -> int:
+        entry = store.get((instance, name))
+        if entry is None:
+            raise SimulationError(
+                f"instance {instance}: {name!r} read before it was "
+                f"ever produced")
+        value, available_ns = entry
+        if available_ns > when_ns + _EPS:
+            raise SimulationError(
+                f"instance {instance}: {name!r} read at "
+                f"{when_ns:.1f} ns but only available at "
+                f"{available_ns:.1f} ns")
+        return value
+
+    def _drive(self, node: Node, instance: int, tau: int, value: int,
+               wires: Dict[Tuple[int, int], Tuple[str, int]]) -> int:
+        """Put the transfer on its bus wires; detect conflicts."""
+        if self.simple_allocation is not None:
+            return self._drive_simple(node, tau, value, wires)
+        if self.interconnect is None or self.assignment is None:
+            return 0
+        if node.name not in self.assignment.bus_of:
+            raise SimulationError(
+                f"transfer {node.name!r} has no bus assignment")
+        bus_index, segment = self.assignment.of(node.name)
+        bus = self.interconnect.bus(bus_index)
+        if not bus.capable(node, segment):
+            raise SimulationError(
+                f"bus {bus_index} cannot physically carry {node.name!r}")
+        key = node.value or node.name
+        drives = 0
+        for seg in bus.segments_spanned(node, segment):
+            wire = (bus_index, seg)
+            if wire in wires:
+                other_key, other_value = wires[wire]
+                if other_key != key or other_value != value:
+                    raise SimulationError(
+                        f"cycle {tau}: bus {bus_index} segment {seg} "
+                        f"driven with {key}={value} and "
+                        f"{other_key}={other_value} simultaneously")
+            else:
+                wires[wire] = (key, value)
+                drives += 1
+        return drives
+
+
+    def _drive_simple(self, node: Node, tau: int, value: int,
+                      wires) -> int:
+        """Chapter-3 bundles: bit-sliced occupancy per (bus, cycle).
+
+        Different values may legitimately share a bundle's wires in one
+        cycle (the proof of Theorem 3.1 routes overflow bits of several
+        values through connection C); the invariant is that the *total*
+        bits on a bundle never exceed its width, with transfers of one
+        value in one step counted once (shared drive).
+        """
+        alloc = self.simple_allocation.allocation.get(node.name)
+        if alloc is None:
+            raise SimulationError(
+                f"transfer {node.name!r} has no bundle allocation")
+        key = (node.value or node.name, value)
+        drives = 0
+        for bus_index, bits in alloc:
+            bus = self.simple_allocation.interconnect.bus(bus_index)
+            wire = ("simple", bus_index)
+            loads = wires.setdefault(wire, {})
+            previous = loads.get(key, 0)
+            loads[key] = max(previous, bits)
+            total = sum(loads.values())
+            if total > bus.width:
+                raise SimulationError(
+                    f"cycle {tau}: bundle {bus_index} carries {total} "
+                    f"bits on {bus.width} wires")
+            if previous == 0:
+                drives += 1
+        return drives
+
+
+def simulate_result(result, n_instances: int = 8,
+                    seed: int = 0) -> SimulationReport:
+    """Simulate a :class:`~repro.core.flow.SynthesisResult` end to end.
+
+    Random per-instance stimuli are generated for every external input
+    value (transfers of one value get identical series), the behavioral
+    reference is computed, and the pipeline is run with all dynamic
+    checks on.
+    """
+    rng = random.Random(seed)
+    graph = result.graph
+    series_by_value: Dict[str, List[int]] = {}
+    inputs: Dict[str, List[int]] = {}
+    for node in graph.io_nodes():
+        if node.source_partition != 0:
+            continue
+        key = node.value or node.name
+        if key not in series_by_value:
+            series_by_value[key] = [
+                rng.randrange(1 << min(node.bit_width, 16))
+                for _ in range(n_instances)]
+        inputs[node.name] = series_by_value[key]
+    simulator = PipelineSimulator(
+        graph, result.schedule, result.interconnect, result.assignment,
+        simple_allocation=getattr(result, "simple_allocation", None))
+    return simulator.run(inputs, n_instances)

@@ -1,0 +1,151 @@
+"""Tests for ASAP/ALAP, critical path, and time-frame tightening."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.analysis import (UnitTiming, alap_schedule, asap_schedule,
+                                 compute_time_frames, critical_path_length,
+                                 topological_order)
+from repro.errors import CdfgError, SchedulingError
+from repro.modules.library import ar_filter_timing
+
+
+def chain(n=3):
+    b = CdfgBuilder()
+    prev = b.op("n0", "add", 1)
+    for i in range(1, n):
+        prev = b.op(f"n{i}", "add", 1, inputs=[prev])
+    return b.build()
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        g = chain(4)
+        order = topological_order(g)
+        assert order.index("n0") < order.index("n3")
+
+    def test_cycle_detected(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        b.edge(y, x)  # plain (non-recursive) back edge = cycle
+        with pytest.raises(CdfgError):
+            topological_order(b.build())
+
+    def test_recursive_edges_do_not_count_as_cycles(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        b.recursive(y, x)
+        topological_order(b.build())  # no exception
+
+
+class TestUnitTiming:
+    def test_chain_schedules_one_per_step(self):
+        g = chain(3)
+        asap = asap_schedule(g, UnitTiming())
+        assert asap == {"n0": 0, "n1": 1, "n2": 2}
+
+    def test_multicycle_table(self):
+        b = CdfgBuilder()
+        m = b.op("m", "mul", 1)
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        timing = UnitTiming(cycles_by_op_type={"mul": 2})
+        asap = asap_schedule(g, timing)
+        assert asap == {"m": 0, "a": 2}
+
+    def test_critical_path(self):
+        g = chain(5)
+        assert critical_path_length(g, UnitTiming()) == 5
+
+    def test_alap_against_deadline(self):
+        g = chain(3)
+        alap = alap_schedule(g, UnitTiming(), pipe_length=5)
+        assert alap == {"n0": 2, "n1": 3, "n2": 4}
+
+    def test_alap_too_tight_raises(self):
+        g = chain(3)
+        with pytest.raises(SchedulingError):
+            alap_schedule(g, UnitTiming(), pipe_length=2)
+
+
+class TestChainingTiming:
+    def test_mul_add_chain_shares_step(self):
+        # 10ns io + 210ns mul + 30ns add = 250ns: all in step 0.
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        asap = asap_schedule(g, ar_filter_timing())
+        assert asap == {"i": 0, "m": 0, "a": 0}
+        assert critical_path_length(g, ar_filter_timing()) == 1
+
+    def test_chain_overflow_pushes_next_step(self):
+        # mul + add + add: the second add crosses the 250ns boundary.
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a1 = b.op("a1", "add", 1, inputs=[m])
+        a2 = b.op("a2", "add", 1, inputs=[a1])
+        g = b.build()
+        asap = asap_schedule(g, ar_filter_timing())
+        assert asap["a1"] == 0
+        assert asap["a2"] == 1
+
+    def test_no_chaining_mode(self):
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        asap = asap_schedule(g, ar_filter_timing(chaining=False))
+        assert asap == {"i": 0, "m": 1, "a": 2}
+
+
+class TestTimeFrames:
+    def test_frames_bound_by_asap_alap(self):
+        g = chain(3)
+        frames = compute_time_frames(g, UnitTiming(), pipe_length=5)
+        assert frames.frame("n0") == (0, 2)
+        assert frames.frame("n2") == (2, 4)
+        assert frames.width("n1") == 3
+
+    def test_fixed_node_pins_frame(self):
+        g = chain(3)
+        frames = compute_time_frames(g, UnitTiming(), pipe_length=5,
+                                     fixed={"n1": 2})
+        assert frames.frame("n1") == (2, 2)
+        assert frames.frame("n0") == (0, 1)
+        assert frames.frame("n2") == (3, 4)
+
+    def test_recursive_edge_tightens_producer(self):
+        # consumer x at start; producer y later; y -> x recursive deg 1.
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        z = b.op("z", "add", 1, inputs=[y])
+        b.recursive(z, x, degree=1)
+        g = b.build()
+        # L=4: t_z <= t_x + 4*1 - 1 = alap(x) + 3.
+        frames = compute_time_frames(g, UnitTiming(), pipe_length=10,
+                                     initiation_rate=4)
+        assert frames.alap["z"] <= frames.alap["x"] + 3
+        assert frames.feasible()
+
+    def test_recursive_infeasible_when_loop_too_long(self):
+        b = CdfgBuilder()
+        prev = b.op("n0", "add", 1)
+        for i in range(1, 6):
+            prev = b.op(f"n{i}", "add", 1, inputs=[prev])
+        b.recursive("n5", "n0", degree=1)
+        g = b.build()
+        # Loop needs 5 steps start-to-start but 1*L - 1 = 3 at L=4.
+        frames = compute_time_frames(g, UnitTiming(), pipe_length=12,
+                                     initiation_rate=4)
+        assert not frames.feasible()
+        # L=6 gives slack 5: feasible.
+        frames6 = compute_time_frames(g, UnitTiming(), pipe_length=12,
+                                      initiation_rate=6)
+        assert frames6.feasible()

@@ -1,0 +1,92 @@
+"""Additional timing-analysis edge cases."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.analysis import (UnitTiming, alap_schedule,
+                                 asap_finish_ns, asap_schedule,
+                                 compute_time_frames,
+                                 critical_path_length)
+from repro.errors import SchedulingError
+from repro.modules.library import ar_filter_timing
+
+
+class TestBoundaryPlacement:
+    def test_exact_fit_chain(self):
+        # io(10) + mul(210) + add(30) = 250 = period: exact fit.
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        finish = asap_finish_ns(g, ar_filter_timing())
+        assert finish["a"] == pytest.approx(250.0)
+        assert critical_path_length(g, ar_filter_timing()) == 1
+
+    def test_one_ns_overflow_rolls_over(self):
+        from repro.modules.library import (DesignTiming, HardwareModule,
+                                           ModuleSet)
+        timing = DesignTiming(
+            clock_period=250.0,
+            default=ModuleSet.of(
+                HardwareModule("mul", "mul", 210.0),
+                HardwareModule("add", "add", 31.0)),  # 10+210+31 > 250
+            io_delay_ns=10.0)
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        asap = asap_schedule(g, timing)
+        assert asap["a"] == 1
+
+    def test_constants_are_free(self):
+        b = CdfgBuilder()
+        k = b.const("k", partition=1)
+        a = b.op("a", "add", 1, inputs=[k])
+        g = b.build()
+        assert asap_schedule(g, UnitTiming())["a"] == 0
+
+
+class TestAlap:
+    def test_alap_chained(self):
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        alap = alap_schedule(g, ar_filter_timing(), pipe_length=3)
+        # The whole chain fits one step; latest start is step 2.
+        assert alap["a"] == 2
+        assert alap["m"] == 2
+
+    def test_alap_multicycle_boundary(self):
+        b = CdfgBuilder()
+        m = b.op("m", "mul", 1, bit_width=16)
+        g = b.build()
+        timing = UnitTiming(cycles_by_op_type={"mul": 2})
+        alap = alap_schedule(g, timing, pipe_length=5)
+        assert alap["m"] == 3  # occupies steps 3-4
+
+
+class TestFrames:
+    def test_fixed_conflicting_with_precedence_infeasible(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        g = b.build()
+        frames = compute_time_frames(g, UnitTiming(), 4,
+                                     initiation_rate=2,
+                                     fixed={"x": 3, "y": 1})
+        assert not frames.feasible()
+
+    def test_degree_zero_edges_only_no_recursion_effect(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        g = b.build()
+        with_rate = compute_time_frames(g, UnitTiming(), 5,
+                                        initiation_rate=3)
+        without = compute_time_frames(g, UnitTiming(), 5)
+        assert with_rate.asap == without.asap
+        assert with_rate.alap == without.alap

@@ -1,0 +1,98 @@
+"""Tests for the branch & bound ILP solver."""
+
+from fractions import Fraction
+
+from repro.ilp import Model, SolveStatus, lsum, solve_ilp
+
+
+def test_integer_rounding_matters():
+    # LP optimum is fractional; ILP must branch.
+    m = Model()
+    x = m.add_var("x", 0, None)
+    y = m.add_var("y", 0, None)
+    m.add(x + 2 * y <= 4)
+    m.add(3 * x + y <= 6)
+    m.maximize(x + y)
+    s = solve_ilp(m)
+    assert s.status is SolveStatus.OPTIMAL
+    assert s.objective == 2
+    assert all(v.denominator == 1 for v in s.values.values())
+
+
+def test_knapsack():
+    values = [60, 100, 120]
+    weights = [10, 20, 30]
+    m = Model()
+    xs = [m.binary(f"x{i}") for i in range(3)]
+    m.add(lsum(weights[i] * xs[i] for i in range(3)) <= 50)
+    m.maximize(lsum(values[i] * xs[i] for i in range(3)))
+    s = solve_ilp(m)
+    assert s.objective == 220  # items 1 and 2
+    assert s.as_int(xs[0]) == 0
+    assert s.as_int(xs[1]) == 1
+    assert s.as_int(xs[2]) == 1
+
+
+def test_infeasible_ilp():
+    m = Model()
+    x = m.binary("x")
+    y = m.binary("y")
+    m.add(x + y >= 3)
+    m.minimize(0)
+    assert solve_ilp(m).status is SolveStatus.INFEASIBLE
+
+
+def test_integrality_gap_infeasible():
+    # 2x == 1 has an LP solution but no integer one.
+    m = Model()
+    x = m.add_var("x", 0, 5)
+    m.add(2 * x == 1)
+    m.minimize(x)
+    assert solve_ilp(m).status is SolveStatus.INFEASIBLE
+
+
+def test_minimization_covering():
+    # Vertex cover of a triangle: optimum 2 (LP relaxation 3/2).
+    m = Model()
+    xs = [m.binary(f"x{i}") for i in range(3)]
+    m.add(xs[0] + xs[1] >= 1)
+    m.add(xs[0] + xs[2] >= 1)
+    m.add(xs[1] + xs[2] >= 1)
+    m.minimize(lsum(xs))
+    s = solve_ilp(m)
+    assert s.objective == 2
+
+
+def test_equality_with_integers():
+    m = Model()
+    x = m.add_var("x", 0, None)
+    y = m.add_var("y", 0, None)
+    m.add(3 * x + 5 * y == 19)
+    m.minimize(x + y)
+    s = solve_ilp(m)
+    assert s.status is SolveStatus.OPTIMAL
+    assert 3 * s[x] + 5 * s[y] == 19
+    assert s.objective == 5  # x=3, y=2
+
+
+def test_mixed_integer():
+    m = Model()
+    x = m.add_var("x", 0, None)                     # integer
+    y = m.add_var("y", 0, None, integer=False)       # continuous
+    m.add(x + y <= Fraction(7, 2))
+    m.maximize(2 * x + y)
+    s = solve_ilp(m)
+    assert s.status is SolveStatus.OPTIMAL
+    assert s[x] == 3 and s[y] == Fraction(1, 2)
+    assert s.objective == Fraction(13, 2)
+
+
+def test_solution_verifies_against_model():
+    m = Model()
+    xs = [m.add_var(f"x{i}", 0, 3) for i in range(4)]
+    m.add(lsum(xs) >= 5)
+    m.add(xs[0] + 2 * xs[1] <= 4)
+    m.minimize(lsum((i + 1) * xs[i] for i in range(4)))
+    s = solve_ilp(m)
+    assert s.status is SolveStatus.OPTIMAL
+    assert m.check(s.values)

@@ -1,0 +1,50 @@
+"""Additional CLI coverage: simulate, emit-rtl, flows, options."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCommand:
+    def test_simulate_ar(self, capsys):
+        assert main(["simulate", "ar-general", "-L", "3",
+                     "--instances", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "conflict-free" in out
+
+    def test_simulate_schedule_first(self, capsys):
+        assert main(["simulate", "ar-general", "-L", "3",
+                     "--flow", "schedule-first", "--pipe-length", "8",
+                     "--instances", "2"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+
+class TestEmitRtl:
+    def test_emit_to_stdout(self, capsys):
+        assert main(["emit-rtl", "ar-general", "-L", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "module chip_p1" in out
+
+    def test_emit_to_file(self, tmp_path, capsys):
+        path = str(tmp_path / "design.v")
+        assert main(["emit-rtl", "ar-general", "-L", "4",
+                     "--output", path]) == 0
+        assert "module" in open(path).read()
+
+
+class TestFlows:
+    def test_simple_flow(self, capsys):
+        assert main(["synthesize", "ar-simple", "-L", "2",
+                     "--flow", "simple"]) == 0
+        assert "pipe length" in capsys.readouterr().out
+
+    def test_subbus_option(self, capsys):
+        assert main(["synthesize", "ar-general-bidir", "-L", "5",
+                     "--subbus"]) == 0
+
+    def test_slot_reserve_rescues_elliptic(self, capsys):
+        assert main(["synthesize", "elliptic", "-L", "5",
+                     "--slot-reserve", "3"]) == 0
+
+    def test_unknown_design_fails(self, capsys):
+        assert main(["synthesize", "/nonexistent.json"]) != 0

@@ -1,0 +1,122 @@
+"""Tests for conditional I/O sharing (Section 7.2, Figure 7.7)."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.analysis import UnitTiming
+from repro.core.conditional import ConditionalSharer, share_conditionally
+from repro.errors import CdfgError
+
+
+def conditional_design():
+    """Two mutually exclusive branches each sending a value cross-chip."""
+    b = CdfgBuilder()
+    src = b.op("src", "add", 1)
+    then_op = b.op("t", "add", 1, inputs=[src], guard={"c": True})
+    else_op = b.op("e", "add", 1, inputs=[src], guard={"c": False})
+    b.io("wt", "vt", source=then_op, dests=[], source_partition=1,
+         dest_partition=2, guard={"c": True})
+    b.io("we", "ve", source=else_op, dests=[], source_partition=1,
+         dest_partition=2, guard={"c": False})
+    return b.build()
+
+
+class TestSharer:
+    def test_exclusive_branches_grouped(self):
+        g = conditional_design()
+        result = share_conditionally(g, UnitTiming(), pipe_length=6)
+        groups = [s for s in result.groups if len(s) > 1]
+        assert groups == [frozenset({"we", "wt"})]
+        share = result.share_groups()
+        assert share["wt"] == share["we"]
+
+    def test_same_branch_not_grouped(self):
+        b = CdfgBuilder()
+        src = b.op("src", "add", 1)
+        x = b.op("x", "add", 1, inputs=[src], guard={"c": True})
+        y = b.op("y", "add", 1, inputs=[src], guard={"c": True})
+        b.io("wx", "vx", source=x, dests=[], source_partition=1,
+             dest_partition=2, guard={"c": True})
+        b.io("wy", "vy", source=y, dests=[], source_partition=1,
+             dest_partition=2, guard={"c": True})
+        g = b.build()
+        result = share_conditionally(g, UnitTiming(), pipe_length=6)
+        assert all(len(s) == 1 for s in result.groups)
+
+    def test_disjoint_frames_not_grouped(self):
+        # Mutually exclusive but time frames cannot overlap.
+        b = CdfgBuilder()
+        src = b.op("src", "add", 1)
+        early = b.io("we", "ve", source=src, dests=[],
+                     source_partition=1, dest_partition=2,
+                     guard={"c": True})
+        late_src = b.op("l1", "add", 1, inputs=[src])
+        l2 = b.op("l2", "add", 1, inputs=[late_src])
+        l3 = b.op("l3", "add", 1, inputs=[l2])
+        b.io("wl", "vl", source=l3, dests=[], source_partition=1,
+             dest_partition=2, guard={"c": False})
+        # Force the early transfer's ALAP before the late one's ASAP by
+        # consuming it immediately.
+        sink = b.op("sink", "add", 2, inputs=["we"])
+        b.edge("sink", "l2")  # cross-partition? no: sink in 2, l2 in 1
+        g = b.build()
+        # The synthetic edge above is partition-crossing; keep the test
+        # structural by not validating the CDFG here.
+        # Critical path is 6 steps; at pipe length 6 every frame is a
+        # single step and the two transfers land at steps 1 and 5.
+        sharer = ConditionalSharer(g, UnitTiming(), pipe_length=6)
+        result = sharer.run()
+        assert all(len(s) == 1 for s in result.groups)
+
+    def test_unguarded_ops_excluded(self):
+        b = CdfgBuilder()
+        src = b.op("src", "add", 1)
+        b.io("w", "v", source=src, dests=[], source_partition=1,
+             dest_partition=2)
+        g = b.build()
+        result = share_conditionally(g, UnitTiming(), pipe_length=4)
+        assert result.groups == []
+
+    def test_three_way_exclusivity(self):
+        b = CdfgBuilder()
+        src = b.op("src", "add", 1)
+        for idx, guard in enumerate((
+                {"c1": True},
+                {"c1": False, "c2": True},
+                {"c1": False, "c2": False})):
+            op = b.op(f"op{idx}", "add", 1, inputs=[src], guard=guard)
+            b.io(f"w{idx}", f"v{idx}", source=op, dests=[],
+                 source_partition=1, dest_partition=2, guard=guard)
+        g = b.build()
+        result = share_conditionally(g, UnitTiming(), pipe_length=8)
+        merged = [s for s in result.groups if len(s) > 1]
+        # All three are pairwise exclusive: one group of three.
+        assert merged == [frozenset({"w0", "w1", "w2"})]
+
+    def test_bad_exclusion_factor_rejected(self):
+        g = conditional_design()
+        with pytest.raises(CdfgError):
+            ConditionalSharer(g, UnitTiming(), 6, exclusion_factor=2.0)
+
+    def test_penalty_discourages_tight_merges(self):
+        # With a huge penalty factor, merging nodes whose frames barely
+        # overlap becomes unattractive.
+        g = conditional_design()
+        relaxed = share_conditionally(g, UnitTiming(), pipe_length=6,
+                                      penalty_factor=0.0)
+        assert any(len(s) > 1 for s in relaxed.groups)
+
+
+class TestIntegrationWithSearch:
+    def test_share_groups_save_slots(self):
+        from repro.core.connection_search import ConnectionSearch
+        from repro.partition.model import (ChipSpec, OUTSIDE_WORLD,
+                                           Partitioning)
+        g = conditional_design()
+        result = share_conditionally(g, UnitTiming(), pipe_length=6)
+        p = Partitioning({OUTSIDE_WORLD: ChipSpec(64),
+                          1: ChipSpec(8), 2: ChipSpec(8)})
+        # At L=1, one slot: only possible because wt/we share it.
+        ic, assignment = ConnectionSearch(
+            g, p, 1, share_groups=result.share_groups()).run()
+        assert assignment.bus_of["wt"] == assignment.bus_of["we"]

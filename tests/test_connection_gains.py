@@ -1,0 +1,108 @@
+"""White-box tests for the Figure 4.3 gain function (g1/g2/g3)."""
+
+import pytest
+
+from repro.cdfg import Cdfg
+from repro.cdfg.graph import make_io_node
+from repro.core.connection_search import (ConnectionSearch, G1_WEIGHT,
+                                          G2_WEIGHT, _BusState)
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+
+
+def make_search(ops, budgets, L=2, **kwargs):
+    g = Cdfg()
+    for name, value, src, dst, width in ops:
+        g.add_node(make_io_node(name, value, src, dst, bit_width=width))
+    chips = {OUTSIDE_WORLD: ChipSpec(budgets.get(0, 0))}
+    for chip, total in budgets.items():
+        if chip != 0:
+            chips[chip] = ChipSpec(total)
+    return g, ConnectionSearch(g, Partitioning(chips), L, **kwargs)
+
+
+class TestGainFactors:
+    def test_fresh_bus_gain_is_pure_g3(self):
+        g, search = make_search(
+            [("w", "v", 1, 2, 8)], {1: 32, 2: 32}, L=3)
+        fresh = _BusState(1)
+        gain = search._gain(fresh, g.node("w"))
+        assert gain == 3.0  # g1 = g2 = 0, g3 = free slots = L
+
+    def test_existing_path_dominates(self):
+        g, search = make_search(
+            [("w0", "a", 1, 2, 8), ("w1", "b", 1, 2, 8)],
+            {1: 32, 2: 32}, L=2)
+        state = _BusState(1)
+        search._apply(g.node("w0"), state)
+        reuse_gain = search._gain(state, g.node("w1"))
+        fresh_gain = search._gain(_BusState(2), g.node("w1"))
+        # Both ports already connected: g1 = wf_1 + wf_2 > 0 and the
+        # 10000x weight makes reuse dominate any g3 difference.
+        assert reuse_gain > fresh_gain
+        assert reuse_gain >= G1_WEIGHT * 0.1
+
+    def test_same_value_bonus(self):
+        g, search = make_search(
+            [("wa", "v", 1, 2, 8), ("wb", "v", 1, 3, 8)],
+            {1: 32, 2: 32, 3: 32}, L=2)
+        state = _BusState(1)
+        search._apply(g.node("wa"), state)
+        with_value = search._gain(state, g.node("wb"))
+        # Same situation but distinct values: only g2 differs.
+        g_no_value, search2 = make_search(
+            [("wa", "u", 1, 2, 8), ("wb", "v", 1, 3, 8)],
+            {1: 32, 2: 32, 3: 32}, L=2)
+        state2 = _BusState(1)
+        search2._apply(g_no_value.node("wa"), state2)
+        without_value = search2._gain(state2, g_no_value.node("wb"))
+        assert with_value - without_value == pytest.approx(G2_WEIGHT)
+
+    def test_wf_rises_as_pins_deplete(self):
+        g, search = make_search(
+            [("w0", "a", 1, 2, 16), ("w1", "b", 1, 2, 16)],
+            {1: 32, 2: 64}, L=2)
+        before = search._wf(1)
+        state = _BusState(1)
+        search._apply(g.node("w0"), state)
+        after = search._wf(1)
+        # Half the pins are gone and half the bits assigned: the
+        # pressure ratio (bits / free pins) stays the binding signal
+        # and must not decrease for the tight chip.
+        assert after >= before / 2
+        # The starved limit: zero free pins -> huge weight.
+        search._pins_used[1] = 32
+        assert search._wf(1) > 1000
+
+    def test_capacity_reserve_lowers_g3(self):
+        g, search = make_search([("w", "v", 1, 2, 8)],
+                                {1: 32, 2: 32}, L=4,
+                                slot_reserve=2)
+        fresh = _BusState(1)
+        assert search._gain(fresh, g.node("w")) == 2.0  # capacity 4-2
+
+
+class TestApplyUndo:
+    def test_apply_undo_roundtrip(self):
+        g, search = make_search(
+            [("w0", "a", 1, 2, 8), ("w1", "b", 2, 3, 16)],
+            {1: 32, 2: 48, 3: 32}, L=2)
+        state = _BusState(1)
+        snapshot = (dict(search._pins_used),
+                    dict(search._unassigned_bits))
+        record = search._apply(g.node("w0"), state)
+        assert search._pins_used[1] == 8
+        search._undo(g.node("w0"), state, record)
+        assert (search._pins_used, search._unassigned_bits) == snapshot
+        assert state not in search._buses
+
+    def test_port_widening_costs_only_delta(self):
+        g, search = make_search(
+            [("w0", "a", 1, 2, 8), ("w1", "b", 1, 2, 16)],
+            {1: 32, 2: 32}, L=2)
+        state = _BusState(1)
+        search._apply(g.node("w0"), state)
+        assert search._pins_used[1] == 8
+        search._apply(g.node("w1"), state)
+        # Widening 8 -> 16 costs 8 extra, not 16.
+        assert search._pins_used[1] == 16
+        assert state.out_w[1] == 16

@@ -1,0 +1,164 @@
+"""Tests for the reconstructed benchmark designs."""
+
+import pytest
+
+from repro.cdfg.analysis import (asap_schedule, compute_time_frames,
+                                 critical_path_length)
+from repro.cdfg.validate import validate_cdfg
+from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
+                           AR_SIMPLE_PINS, ELLIPTIC_PINS_BIDIR,
+                           ELLIPTIC_PINS_UNIDIR, ar_general_design,
+                           ar_simple_design, elliptic_design,
+                           elliptic_resources, random_partitioned_design)
+from repro.modules.allocation import min_module_counts
+from repro.modules.library import ar_filter_timing, elliptic_filter_timing
+from repro.partition.simple import is_simple_partitioning
+
+
+class TestArSimple:
+    def test_operation_profile(self):
+        g = ar_simple_design()
+        assert g.op_type_counts() == {"mul": 16, "add": 12}
+
+    def test_partition_io_statistics(self):
+        # Figure 3.5: P1/P2 have 10 input + 2 output operations,
+        # P3/P4 have 6 input + 2 output operations.
+        g = ar_simple_design()
+        for chip, (n_in, n_out) in {1: (10, 2), 2: (10, 2),
+                                    3: (6, 2), 4: (6, 2)}.items():
+            ins = [n for n in g.io_nodes() if n.dest_partition == chip]
+            out_values = {n.value for n in g.io_nodes()
+                          if n.source_partition == chip}
+            assert len(ins) == n_in, f"P{chip} inputs"
+            assert len(out_values) == n_out, f"P{chip} outputs"
+
+    def test_is_simple(self):
+        assert is_simple_partitioning(ar_simple_design())
+
+    def test_min_units_match_section_3_4(self):
+        g = ar_simple_design()
+        res = min_module_counts(g, ar_filter_timing(), 2)
+        assert res[(1, "add")] == 2 and res[(1, "mul")] == 2
+        assert res[(3, "add")] == 1 and res[(3, "mul")] == 2
+
+    def test_validates(self):
+        validate_cdfg(ar_simple_design(), require_partitions=False)
+
+
+class TestArGeneral:
+    def test_operation_profile(self):
+        g = ar_general_design()
+        assert g.op_type_counts() == {"mul": 16, "add": 12}
+
+    def test_io_inventory(self):
+        g = ar_general_design()
+        names = {n.name for n in g.io_nodes()}
+        # 26 external inputs, 6 interchip transfers, 2 outputs.
+        externals = [n for n in g.io_nodes() if n.source_partition == 0]
+        outputs = [n for n in g.io_nodes() if n.dest_partition == 0]
+        cross = [n for n in g.io_nodes()
+                 if 0 not in (n.source_partition, n.dest_partition)]
+        assert len(externals) == 26
+        assert len(outputs) == 2
+        assert len(cross) == 6
+        assert {"X1", "X2", "O1", "O2", "I1", "Iq"} <= names
+
+    def test_width_variety(self):
+        g = ar_general_design()
+        widths = {n.bit_width for n in g.io_nodes()}
+        assert widths == {8, 12, 16}
+
+    def test_not_simple(self):
+        assert not is_simple_partitioning(ar_general_design())
+
+
+class TestElliptic:
+    def test_operation_profile(self):
+        g = elliptic_design()
+        assert g.op_type_counts() == {"add": 26, "mul": 8}
+
+    def test_recursive_edges_degree_4(self):
+        g = elliptic_design()
+        assert len(g.recursive_edges()) == 4
+        assert all(e.degree == 4 for e in g.recursive_edges())
+
+    def test_minimum_rate_is_5(self):
+        # The Section 4.4.2 property: frames infeasible at rate 4,
+        # boundary-feasible at rate 5.
+        g = elliptic_design()
+        t = elliptic_filter_timing()
+        assert not compute_time_frames(g, t, 30,
+                                       initiation_rate=4).feasible()
+        assert compute_time_frames(g, t, 30,
+                                   initiation_rate=5).feasible()
+
+    def test_degree_parameter(self):
+        g = elliptic_design(degree=1)
+        assert all(e.degree == 1 for e in g.recursive_edges())
+        t = elliptic_filter_timing()
+        # Degree 1 pushes the minimum rate to ~20 (the unmodified
+        # filter's critical loop, Section 4.4.2).
+        assert not compute_time_frames(g, t, 40,
+                                       initiation_rate=16).feasible()
+        assert compute_time_frames(g, t, 40,
+                                   initiation_rate=20).feasible()
+
+    def test_multifanout_input_value(self):
+        g = elliptic_design()
+        values = g.values_map()
+        assert len(values["v.in"]) == 2  # Ia and Ib
+
+    def test_resources_cover_rates(self):
+        for L in (5, 6, 7):
+            res = elliptic_resources(L)
+            assert all(count >= 1 for count in res.values())
+            assert len(res) == 10  # 5 chips x 2 op types
+
+
+class TestRandomDesigns:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_designs_validate(self, seed):
+        g, p = random_partitioned_design(seed)
+        validate_cdfg(g, require_partitions=False)
+        assert len(g.io_nodes()) >= 3
+
+    def test_deterministic(self):
+        g1, _ = random_partitioned_design(7)
+        g2, _ = random_partitioned_design(7)
+        assert sorted(g1.node_names()) == sorted(g2.node_names())
+        assert [(e.src, e.dst) for e in g1.edges()] == \
+            [(e.src, e.dst) for e in g2.edges()]
+
+
+class TestFir:
+    def test_profile(self):
+        from repro.designs import fir_design
+        g = fir_design()
+        assert g.op_type_counts() == {"mul": 16, "add": 16}
+        assert len(g.recursive_edges()) == 15  # one delay per tap join
+
+    def test_validates(self):
+        from repro.designs import fir_design
+        validate_cdfg(fir_design(), require_partitions=False)
+        validate_cdfg(fir_design(taps=8, chips=2),
+                      require_partitions=False)
+
+    def test_input_fans_out_to_every_chip(self):
+        from repro.designs import fir_design
+        g = fir_design(chips=4)
+        assert len(g.values_map()["v.x"]) == 4
+
+    def test_uneven_split_rejected(self):
+        from repro.designs import fir_design
+        with pytest.raises(ValueError):
+            fir_design(taps=10, chips=4)
+
+    def test_synthesizes_and_simulates(self):
+        from repro import synthesize_connection_first
+        from repro.designs import FIR_PINS, fir_design
+        from repro.sim import simulate_result
+        result = synthesize_connection_first(
+            fir_design(), FIR_PINS, elliptic_filter_timing(), 3)
+        assert result.verify() == []
+        report = simulate_result(result, n_instances=5, seed=9)
+        assert report.transfers_checked == 8 * 5

@@ -1,0 +1,94 @@
+"""Tests for force-directed scheduling (Chapter 5)."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.analysis import UnitTiming
+from repro.errors import SchedulingError
+from repro.modules.library import ar_filter_timing, elliptic_filter_timing
+from repro.scheduling import ForceDirectedScheduler, measured_resources
+
+
+def parallel_adds(n=4):
+    b = CdfgBuilder()
+    src = b.op("s", "add", 1)
+    for i in range(n):
+        b.op(f"a{i}", "add", 1, inputs=[src])
+    return b.build()
+
+
+class TestBalancing:
+    def test_spreads_parallel_ops(self):
+        # 4 independent adds, frames [1, 4] at pipe 5, L=2: balancing
+        # should use both groups with at most 2 per group.
+        g = parallel_adds(4)
+        s = ForceDirectedScheduler(g, UnitTiming(), 2, 5).run()
+        usage = measured_resources(s)
+        assert usage[(1, "add")] <= 3  # balanced, not all-in-one-group
+
+    def test_respects_pipe_length(self):
+        g = parallel_adds(2)
+        s = ForceDirectedScheduler(g, UnitTiming(), 2, 3).run()
+        assert s.pipe_length <= 3
+        assert s.verify() == []
+
+    def test_infeasible_pipe_raises(self):
+        b = CdfgBuilder()
+        prev = b.op("n0", "add", 1)
+        for i in range(1, 5):
+            prev = b.op(f"n{i}", "add", 1, inputs=[prev])
+        g = b.build()
+        with pytest.raises(SchedulingError):
+            ForceDirectedScheduler(g, UnitTiming(), 2, 3).run()
+
+
+class TestRecursion:
+    def test_loop_constraint_respected(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        z = b.op("z", "add", 1, inputs=[y])
+        b.recursive(z, x, degree=1)
+        g = b.build()
+        s = ForceDirectedScheduler(g, UnitTiming(), 4, 6).run()
+        assert s.step("z") - s.step("x") <= 3
+        assert s.verify() == []
+
+
+class TestChainingLegalization:
+    def test_chained_design_schedules(self):
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        b.out("o", a, partition=1)
+        g = b.build()
+        s = ForceDirectedScheduler(g, ar_filter_timing(), 2, 4).run()
+        assert s.verify() == []
+
+    def test_multicycle_design(self):
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1, bit_width=16)
+        m = b.op("m", "mul", 1, inputs=[i], bit_width=16)
+        a = b.op("a", "add", 1, inputs=[m], bit_width=16)
+        b.out("o", a, partition=1, bit_width=16)
+        g = b.build()
+        s = ForceDirectedScheduler(g, elliptic_filter_timing(), 3, 6).run()
+        assert s.verify() == []
+        assert s.step("a") >= s.step("m") + 2
+
+
+class TestBenchmarks:
+    def test_elliptic_feasible_at_rate_5(self):
+        # The boundary case: list scheduling fails at rate 5, FDS
+        # succeeds (Section 4.4.2 vs Chapter 5).
+        from repro.designs import elliptic_design
+        g = elliptic_design()
+        s = ForceDirectedScheduler(g, elliptic_filter_timing(), 5, 24).run()
+        assert s.verify() == []
+
+    def test_ar_general_at_rate_3(self):
+        from repro.designs import ar_general_design
+        g = ar_general_design()
+        s = ForceDirectedScheduler(g, ar_filter_timing(), 3, 8).run()
+        assert s.verify() == []

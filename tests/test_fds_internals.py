@@ -1,0 +1,84 @@
+"""White-box tests for force-directed scheduling internals."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.analysis import UnitTiming, compute_time_frames
+from repro.scheduling.fds import ForceDirectedScheduler
+
+
+def fan(n=3):
+    b = CdfgBuilder()
+    src = b.op("s", "add", 1)
+    for i in range(n):
+        b.op(f"a{i}", "add", 1, inputs=[src])
+    return b.build()
+
+
+class TestDistributionGraphs:
+    def test_mass_conserved_per_node(self):
+        g = fan(3)
+        fds = ForceDirectedScheduler(g, UnitTiming(), 2, 4)
+        frames = compute_time_frames(g, UnitTiming(), 4,
+                                     initiation_rate=2)
+        dgs = fds._distribution_graphs(frames, {})
+        # Each single-cycle add contributes exactly 1 unit of mass.
+        total = sum(dgs[("fu", 1, "add")])
+        assert total == pytest.approx(4.0)  # s + a0 + a1 + a2
+
+    def test_fixed_node_concentrates_mass(self):
+        g = fan(1)
+        fds = ForceDirectedScheduler(g, UnitTiming(), 2, 4)
+        frames = compute_time_frames(g, UnitTiming(), 4,
+                                     initiation_rate=2)
+        dgs = fds._distribution_graphs(frames, {"a0": 3})
+        probability = fds._probability("a0", frames, {"a0": 3})
+        assert probability == {3 % 2: 1.0}
+
+    def test_io_mass_weighted_by_bits(self):
+        b = CdfgBuilder()
+        src = b.op("s", "add", 1)
+        b.io("w", "v", source=src, dests=[], source_partition=1,
+             dest_partition=2, bit_width=16)
+        g = b.build()
+        fds = ForceDirectedScheduler(g, UnitTiming(), 2, 4)
+        frames = compute_time_frames(g, UnitTiming(), 4,
+                                     initiation_rate=2)
+        dgs = fds._distribution_graphs(frames, {})
+        assert sum(dgs[("out", 1)]) == pytest.approx(16.0)
+        assert sum(dgs[("in", 2)]) == pytest.approx(16.0)
+
+    def test_multicycle_occupies_consecutive_groups(self):
+        b = CdfgBuilder()
+        b.op("m", "mul", 1)
+        g = b.build()
+        timing = UnitTiming(cycles_by_op_type={"mul": 2})
+        fds = ForceDirectedScheduler(g, timing, 4, 6)
+        node = g.node("m")
+        assert fds._occupied_groups(node, 3) == [3, 0]
+
+
+class TestForceSelection:
+    def test_balancing_prefers_empty_group(self):
+        # With a0 fixed in group 0, the next op should feel lower force
+        # in group 1.
+        g = fan(2)
+        fds = ForceDirectedScheduler(g, UnitTiming(), 2, 4)
+        frames = compute_time_frames(g, UnitTiming(), 4,
+                                     initiation_rate=2, fixed={"a0": 1})
+        dgs = fds._distribution_graphs(frames, {"a0": 1})
+        force_same = fds._self_force("a1", 1, frames, dgs, {"a0": 1})
+        force_other = fds._self_force("a1", 2, frames, dgs, {"a0": 1})
+        assert force_other < force_same
+
+    def test_infeasible_neighbor_restriction_is_infinite(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        g = b.build()
+        fds = ForceDirectedScheduler(g, UnitTiming(), 2, 2)
+        frames = compute_time_frames(g, UnitTiming(), 2,
+                                     initiation_rate=2)
+        # Restricting y's frame below x's start would empty it.
+        assert fds._restrict_force("y", None, -1, frames, {},
+                                   {}) == float("inf")

@@ -1,0 +1,152 @@
+"""Tests for the ILP modelling layer (variables, expressions, model)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import IlpError
+from repro.ilp import Constraint, LinExpr, Model, Sense, lsum
+
+
+class TestLinExpr:
+    def test_var_addition_builds_terms(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = x + 2 * y + 3
+        assert expr.terms == {0: Fraction(1), 1: Fraction(2)}
+        assert expr.const == 3
+
+    def test_subtraction_cancels_terms(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = (x + 1) - x
+        assert expr.terms == {}
+        assert expr.const == 1
+
+    def test_scalar_multiplication_distributes(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 3 * (x + y + 1)
+        assert expr.terms == {0: Fraction(3), 1: Fraction(3)}
+        assert expr.const == 3
+
+    def test_negation(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = -(x + 5)
+        assert expr.terms == {0: Fraction(-1)}
+        assert expr.const == -5
+
+    def test_zero_coefficients_dropped(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = x * 0
+        assert expr.terms == {}
+
+    def test_value_evaluates(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + y + 1
+        assert expr.value({0: Fraction(3), 1: Fraction(4)}) == 11
+
+    def test_float_coefficients_become_fractions(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = 0.5 * x
+        assert expr.terms[0] == Fraction(1, 2)
+
+    def test_lsum(self):
+        m = Model()
+        xs = [m.add_var(f"x{i}") for i in range(4)]
+        expr = lsum(xs)
+        assert len(expr.terms) == 4
+
+    def test_rsub(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = 5 - x
+        assert expr.const == 5
+        assert expr.terms[0] == Fraction(-1)
+
+
+class TestConstraints:
+    def test_le_constraint_folds_rhs(self):
+        m = Model()
+        x = m.add_var("x")
+        c = x + 1 <= 4
+        assert isinstance(c, Constraint)
+        assert c.op == "<="
+        assert c.expr.const == -3
+
+    def test_eq_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        c = x == 2
+        assert c.op == "=="
+
+    def test_satisfied(self):
+        m = Model()
+        x = m.add_var("x")
+        assert (x <= 3).satisfied({0: Fraction(3)})
+        assert not (x <= 3).satisfied({0: Fraction(4)})
+        assert (x >= 3).satisfied({0: Fraction(3)})
+        assert (x == 3).satisfied({0: Fraction(3)})
+
+    def test_bad_operator_rejected(self):
+        m = Model()
+        x = m.add_var("x")
+        with pytest.raises(IlpError):
+            Constraint(LinExpr({0: Fraction(1)}), "<")
+
+
+class TestModel:
+    def test_duplicate_variable_name_rejected(self):
+        m = Model()
+        m.add_var("x")
+        with pytest.raises(IlpError):
+            m.add_var("x")
+
+    def test_bad_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(IlpError):
+            m.add_var("x", lb=2, ub=1)
+
+    def test_binary_bounds(self):
+        m = Model()
+        b = m.binary("b")
+        assert b.lb == 0 and b.ub == 1 and b.integer
+
+    def test_var_by_name(self):
+        m = Model()
+        x = m.add_var("x")
+        assert m.var_by_name("x") is x
+        with pytest.raises(IlpError):
+            m.var_by_name("nope")
+
+    def test_stats(self):
+        m = Model()
+        m.add_var("x")
+        m.add_var("y", integer=False)
+        m.add(m.vars[0] + m.vars[1] <= 1)
+        assert m.stats() == (2, 1, 1)
+
+    def test_check_assignment(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y <= 1)
+        assert m.check({0: Fraction(1), 1: Fraction(0)})
+        assert not m.check({0: Fraction(1), 1: Fraction(1)})
+        assert not m.check({0: Fraction(2), 1: Fraction(0)})  # ub
+        assert not m.check({0: Fraction(1, 2), 1: Fraction(0)})  # int
+
+    def test_sense_switches(self):
+        m = Model()
+        x = m.add_var("x")
+        m.maximize(x)
+        assert m.sense is Sense.MAXIMIZE
+        m.minimize(x)
+        assert m.sense is Sense.MINIMIZE

@@ -1,0 +1,94 @@
+"""Edge cases for I/O node insertion: recursion across cuts, reuse."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.validate import validate_cdfg
+from repro.modules.library import DesignTiming, HardwareModule, ModuleSet
+from repro.partition import insert_io_nodes
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+from repro.scheduling import ListScheduler
+
+
+def timing():
+    return DesignTiming(
+        clock_period=100.0,
+        default=ModuleSet.of(
+            HardwareModule("adder", "add", delay_ns=40.0)),
+        io_delay_ns=10.0, chaining=False)
+
+
+class TestRecursiveCutEdges:
+    def test_recursive_cross_edge_spliced_with_degree(self):
+        # producer on chip 1 feeds a consumer on chip 2 one instance
+        # later: the splice keeps the recursion degree on the transfer
+        # -> consumer leg (the transfer then belongs to the producer's
+        # instance timeline).
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 2)
+        b.edge(x, y, degree=1)
+        g = b.build()
+        created = insert_io_nodes(g)
+        assert len(created) == 1
+        io = created[0]
+        (leg,) = [e for e in g.out_edges(io) if e.dst == "y"]
+        assert leg.degree == 1
+        (feed,) = g.in_edges(io)
+        assert feed.degree == 0
+        validate_cdfg(g, require_partitions=False)
+
+    def test_spliced_recursive_design_schedules(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 2)
+        z = b.op("z", "add", 1, inputs=[])
+        b.edge(x, y, degree=0)
+        b.edge(y, z, degree=2)  # feedback two instances later
+        g = b.build()
+        insert_io_nodes(g)
+        validate_cdfg(g, require_partitions=False)
+        schedule = ListScheduler(g, timing(), 3,
+                                 {(1, "add"): 1, (2, "add"): 1}).run()
+        assert schedule.verify() == []
+
+    def test_mixed_degrees_to_one_destination(self):
+        # Same producer feeds chip 2 both directly and recursively:
+        # one transfer per (value, destination), both legs kept.
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y1 = b.op("y1", "add", 2)
+        y2 = b.op("y2", "add", 2)
+        b.edge(x, y1, degree=0)
+        b.edge(x, y2, degree=1)
+        g = b.build()
+        created = insert_io_nodes(g)
+        assert len(created) == 1
+        io = created[0]
+        degrees = sorted(e.degree for e in g.out_edges(io))
+        assert degrees == [0, 1]
+
+
+class TestNamingAndReuse:
+    def test_fresh_names_avoid_collisions(self):
+        b = CdfgBuilder()
+        b.op("X1", "add", 1)  # collides with the default prefix
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 2)
+        b.edge(x, y)
+        g = b.build()
+        created = insert_io_nodes(g)
+        assert created and created[0] != "X1"
+
+    def test_multiple_consumers_one_transfer(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1, bit_width=12)
+        consumers = [b.op(f"c{i}", "add", 2) for i in range(3)]
+        for c in consumers:
+            b.edge(x, c)
+        g = b.build()
+        created = insert_io_nodes(g)
+        assert len(created) == 1
+        io_node = g.node(created[0])
+        assert io_node.bit_width == 12
+        assert len(g.successors(created[0])) == 3

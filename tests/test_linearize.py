@@ -1,0 +1,138 @@
+"""Tests for the Section 6.1.1.4 linearization helpers.
+
+Each helper is validated by brute force: enumerate all binary inputs,
+solve the tiny ILP with the constraint set, and compare against the
+logical definition.
+"""
+
+import itertools
+
+import pytest
+
+from repro.ilp import Model, lsum, solve_ilp
+from repro.ilp.linearize import (
+    linearize_implies_ge,
+    linearize_implies_zero,
+    linearize_max_binary,
+    linearize_min_binary,
+    linearize_positive_iff,
+    linearize_xor,
+)
+
+
+def _force(model, var, value):
+    model.add(var >= value)
+    model.add(var <= value)
+
+
+@pytest.mark.parametrize("bits", list(itertools.product([0, 1], repeat=3)))
+def test_max_binary_exact(bits):
+    m = Model()
+    items = [m.binary(f"b{i}") for i in range(3)]
+    target = m.binary("t")
+    linearize_max_binary(m, target, items, exact=True)
+    for var, value in zip(items, bits):
+        _force(m, var, value)
+    m.minimize(0)
+    s = solve_ilp(m)
+    assert s.feasible
+    assert s.as_int(target) == max(bits)
+
+
+@pytest.mark.parametrize("bits", list(itertools.product([0, 1], repeat=3)))
+def test_min_binary_exact(bits):
+    m = Model()
+    items = [m.binary(f"b{i}") for i in range(3)]
+    target = m.binary("t")
+    linearize_min_binary(m, target, items, exact=True)
+    for var, value in zip(items, bits):
+        _force(m, var, value)
+    m.minimize(0)
+    s = solve_ilp(m)
+    assert s.feasible
+    assert s.as_int(target) == min(bits)
+
+
+@pytest.mark.parametrize("x,y", list(itertools.product([0, 1], repeat=2)))
+def test_xor(x, y):
+    m = Model()
+    bx, by, bz = m.binary("x"), m.binary("y"), m.binary("z")
+    linearize_xor(m, bz, bx, by)
+    _force(m, bx, x)
+    _force(m, by, y)
+    m.minimize(0)
+    s = solve_ilp(m)
+    assert s.feasible
+    assert s.as_int(bz) == (x ^ y)
+
+
+def test_implies_zero_fires_at_threshold():
+    m = Model()
+    counter = m.add_var("c", 0, 2)
+    amount = m.add_var("i", 0, 10)
+    linearize_implies_zero(m, counter, amount, threshold=2, big_m=100)
+    _force(m, counter, 2)
+    m.maximize(amount)
+    s = solve_ilp(m)
+    assert s.as_int(amount) == 0
+
+
+def test_implies_zero_inactive_below_threshold():
+    m = Model()
+    counter = m.add_var("c", 0, 2)
+    amount = m.add_var("i", 0, 10)
+    linearize_implies_zero(m, counter, amount, threshold=2, big_m=100)
+    _force(m, counter, 1)
+    m.maximize(amount)
+    s = solve_ilp(m)
+    assert s.as_int(amount) == 10
+
+
+@pytest.mark.parametrize("value", [0, 1, 7])
+def test_positive_iff(value):
+    m = Model()
+    amount = m.add_var("i", 0, 10)
+    flag = m.binary("b")
+    linearize_positive_iff(m, amount, flag, big_m=100)
+    _force(m, amount, value)
+    m.minimize(0)
+    s = solve_ilp(m)
+    assert s.feasible
+    assert s.as_int(flag) == (1 if value > 0 else 0)
+
+
+def test_positive_iff_flag_forces_positive():
+    m = Model()
+    amount = m.add_var("i", 0, 10)
+    flag = m.binary("b")
+    linearize_positive_iff(m, amount, flag, big_m=100)
+    _force(m, flag, 1)
+    m.minimize(amount)
+    s = solve_ilp(m)
+    assert s.as_int(amount) >= 1
+
+
+def test_implies_ge_active():
+    m = Model()
+    flag = m.binary("b")
+    x = m.add_var("x", 0, 20)
+    y = m.add_var("y", 0, 20)
+    linearize_implies_ge(m, flag, x, y, big_m=100)
+    _force(m, flag, 1)
+    _force(m, y, 7)
+    m.minimize(x)
+    s = solve_ilp(m)
+    assert s.as_int(x) == 7
+
+
+def test_implies_ge_inactive():
+    m = Model()
+    flag = m.binary("b")
+    x = m.add_var("x", 0, 20)
+    y = m.add_var("y", 0, 20)
+    linearize_implies_ge(m, flag, x, y, big_m=100)
+    _force(m, flag, 0)
+    _force(m, y, 7)
+    m.minimize(x)
+    s = solve_ilp(m)
+    assert s.as_int(x) == 0

@@ -1,0 +1,173 @@
+"""Tests for the partitioning model and simple-partitioning checks."""
+
+import pytest
+
+from repro.cdfg import Cdfg, CdfgBuilder
+from repro.cdfg.graph import make_io_node
+from repro.errors import PartitionError
+from repro.partition import (ChipSpec, OUTSIDE_WORLD, Partitioning,
+                             driver_graph, externalize_world_io,
+                             insert_io_nodes, is_simple_partitioning,
+                             simple_partitioning_violations)
+from repro.cdfg.ops import OpKind
+
+
+class TestChipSpec:
+    def test_split_must_sum(self):
+        with pytest.raises(PartitionError):
+            ChipSpec(48, input_pins=30, output_pins=20)
+        spec = ChipSpec(48, input_pins=40, output_pins=8)
+        assert spec.split_fixed
+
+    def test_partial_split_rejected(self):
+        with pytest.raises(PartitionError):
+            ChipSpec(48, input_pins=40)
+
+    def test_bidirectional_excludes_split(self):
+        with pytest.raises(PartitionError):
+            ChipSpec(48, input_pins=40, output_pins=8, bidirectional=True)
+
+    def test_negative_pins_rejected(self):
+        with pytest.raises(PartitionError):
+            ChipSpec(-1)
+
+
+class TestPartitioning:
+    def test_requires_world(self):
+        with pytest.raises(PartitionError):
+            Partitioning({1: ChipSpec(48)})
+
+    def test_queries(self):
+        p = Partitioning({OUTSIDE_WORLD: ChipSpec(100), 1: ChipSpec(48)})
+        assert p.total_pins(1) == 48
+        assert p.real_chips() == [1]
+        assert 1 in p and 7 not in p
+        with pytest.raises(PartitionError):
+            p.chip(7)
+
+    def test_with_pins_copies(self):
+        p = Partitioning({OUTSIDE_WORLD: ChipSpec(100), 1: ChipSpec(48)})
+        q = p.with_pins({1: 64})
+        assert q.total_pins(1) == 64
+        assert p.total_pins(1) == 48
+
+
+def star(edges):
+    """Graph with one IO node per (src, dst) chip pair."""
+    g = Cdfg()
+    for i, (src, dst) in enumerate(edges):
+        g.add_node(make_io_node(f"w{i}", f"v{i}", src, dst))
+    return g
+
+
+class TestSimplePartitioning:
+    def test_chain_is_simple(self):
+        assert is_simple_partitioning(star([(1, 2), (2, 3), (3, 4)]))
+
+    def test_fanout_star_is_simple(self):
+        assert is_simple_partitioning(star([(4, 1), (4, 2)]))
+
+    def test_fanin_star_is_simple(self):
+        assert is_simple_partitioning(star([(1, 3), (2, 3)]))
+
+    def test_three_way_fanout_violates(self):
+        problems = simple_partitioning_violations(
+            star([(1, 2), (1, 3), (1, 4)]))
+        assert any("drives 3" in p for p in problems)
+
+    def test_three_drivers_violate(self):
+        problems = simple_partitioning_violations(
+            star([(1, 4), (2, 4), (3, 4)]))
+        assert any("driven by 3" in p for p in problems)
+
+    def test_condition3_driver_exclusivity(self):
+        # P3 driven by {P1, P2}, but P1 also drives P4.
+        problems = simple_partitioning_violations(
+            star([(1, 3), (2, 3), (1, 4)]))
+        assert problems
+
+    def test_condition4_sole_driver(self):
+        # P1 drives {P2, P3}, but P3 also driven by P4.
+        problems = simple_partitioning_violations(
+            star([(1, 2), (1, 3), (4, 3)]))
+        assert problems
+
+    def test_world_edges_ignored(self):
+        g = star([(OUTSIDE_WORLD, 1), (OUTSIDE_WORLD, 2),
+                  (OUTSIDE_WORLD, 3), (1, 2)])
+        assert is_simple_partitioning(g)
+        drives = driver_graph(g, include_world=True)
+        assert len(drives[OUTSIDE_WORLD]) == 3
+
+    def test_benchmark_classification(self):
+        from repro.designs import ar_general_design, ar_simple_design
+        assert is_simple_partitioning(ar_simple_design())
+        assert not is_simple_partitioning(ar_general_design())
+
+
+class TestIoInsertion:
+    def test_cross_partition_edge_spliced(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1, bit_width=16)
+        y = b.op("y", "add", 2)
+        z = b.op("z", "add", 2)
+        b.edge(x, y)
+        b.edge(x, z)
+        g = b.build()
+        created = insert_io_nodes(g)
+        assert len(created) == 1  # one io per (value, dest chip)
+        io = g.node(created[0])
+        assert io.source_partition == 1 and io.dest_partition == 2
+        assert io.bit_width == 16
+        assert set(g.successors(created[0])) == {"y", "z"}
+
+    def test_two_dest_chips_two_ios(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 2)
+        z = b.op("z", "add", 3)
+        b.edge(x, y)
+        b.edge(x, z)
+        g = b.build()
+        created = insert_io_nodes(g)
+        assert len(created) == 2
+        values = {g.node(c).value for c in created}
+        assert values == {"x"}  # same value, two transfers
+
+    def test_same_partition_edge_untouched(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "add", 1, inputs=[x])
+        g = b.build()
+        assert insert_io_nodes(g) == []
+
+    def test_externalize_world_io(self):
+        b = CdfgBuilder()
+        i = b.inp("i", partition=1, bit_width=16)
+        x = b.op("x", "add", 1, inputs=[i])
+        b.out("o", x, partition=1)
+        g = b.build()
+        converted = externalize_world_io(g)
+        assert sorted(converted) == ["i", "o"]
+        assert g.node("i").kind is OpKind.IO
+        assert g.node("i").source_partition == OUTSIDE_WORLD
+        assert g.node("o").dest_partition == OUTSIDE_WORLD
+        assert g.node("i").bit_width == 16
+
+
+class TestHelpers:
+    def test_fanout_fanin_shape(self):
+        from repro.partition.simple import fanout_fanin_shape
+        g = star([(1, 2), (1, 3), (4, 3)])
+        shape = fanout_fanin_shape(g)
+        assert shape[1] == (2, 0)   # drives two, driven by none
+        assert shape[3] == (0, 2)   # drives none, driven by two
+
+    def test_uniform_partitioning(self):
+        from repro.partition.model import uniform_partitioning
+        p = uniform_partitioning(3, pins=64, world_pins=128)
+        assert p.real_chips() == [1, 2, 3]
+        assert p.total_pins(2) == 64
+        assert p.total_pins(OUTSIDE_WORLD) == 128
+        bi = uniform_partitioning(2, 32, 32, bidirectional=True)
+        assert bi.chip(1).bidirectional

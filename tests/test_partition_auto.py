@@ -1,0 +1,105 @@
+"""Tests for the automatic partitioner and its feedback loop."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.validate import validate_cdfg
+from repro.errors import PartitionError
+from repro.modules.library import DesignTiming, HardwareModule, ModuleSet
+from repro.partition.auto import (PartitionResult, _cut_bits,
+                                  partition_and_synthesize,
+                                  partition_cdfg)
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+
+
+def two_cluster_graph():
+    """Two dense 4-op clusters joined by a single 8-bit value."""
+    b = CdfgBuilder("clusters")
+    a_in = b.inp("a", partition=None) if False else None
+    # cluster A
+    a0 = b.op("a0", "add", 1, bit_width=8)
+    a1 = b.op("a1", "add", 1, inputs=[a0], bit_width=8)
+    a2 = b.op("a2", "add", 1, inputs=[a0, a1], bit_width=8)
+    a3 = b.op("a3", "add", 1, inputs=[a1, a2], bit_width=8)
+    # cluster B
+    b0 = b.op("b0", "add", 1, inputs=[a3], bit_width=8)
+    b1 = b.op("b1", "add", 1, inputs=[b0], bit_width=8)
+    b2 = b.op("b2", "add", 1, inputs=[b0, b1], bit_width=8)
+    b.op("b3", "add", 1, inputs=[b1, b2], bit_width=8)
+    g = b.build()
+    # Strip partitions: the partitioner decides them.
+    from repro.cdfg.graph import Node
+    for node in list(g.nodes()):
+        g.replace_node(Node(name=node.name, kind=node.kind,
+                            op_type=node.op_type, partition=None,
+                            bit_width=node.bit_width))
+    return g
+
+
+class TestPartitioner:
+    def test_finds_the_natural_cut(self):
+        g = two_cluster_graph()
+        plan = partition_cdfg(g, 2, seed=1)
+        # The single a3->b0 arc is the min cut: 16 weighted bits
+        # (8 at the source port + 8 at the destination port).
+        assert plan.cut_bits == 16
+        chips_a = {plan.assignment[f"a{i}"] for i in range(4)}
+        chips_b = {plan.assignment[f"b{i}"] for i in range(4)}
+        assert len(chips_a) == 1 and len(chips_b) == 1
+        assert chips_a != chips_b
+
+    def test_balance_respected(self):
+        g = two_cluster_graph()
+        plan = partition_cdfg(g, 2, balance_slack=0.2)
+        assert set(plan.loads.values()) == {4}
+
+    def test_apply_inserts_io_nodes(self):
+        g = two_cluster_graph()
+        plan = partition_cdfg(g, 2, seed=1)
+        partitioned = plan.apply(g)
+        validate_cdfg(partitioned, require_partitions=False)
+        assert len(partitioned.io_nodes()) == 1
+
+    def test_too_few_chips_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_cdfg(two_cluster_graph(), 1)
+
+    def test_weights_steer_cuts_away(self):
+        g = two_cluster_graph()
+        free = partition_cdfg(g, 2, seed=1)
+        # Heavily penalize chip 1: the weighted objective rises for
+        # cuts touching it, but the min cut stays structurally forced.
+        heavy = partition_cdfg(g, 2, seed=1, weights={1: 10.0})
+        assert heavy.cut_bits >= free.cut_bits
+
+    def test_deterministic_per_seed(self):
+        g = two_cluster_graph()
+        p1 = partition_cdfg(g, 2, seed=3)
+        p2 = partition_cdfg(g, 2, seed=3)
+        assert p1.assignment == p2.assignment
+
+
+class TestFeedbackLoop:
+    def timing(self):
+        return DesignTiming(
+            clock_period=100.0,
+            default=ModuleSet.of(
+                HardwareModule("adder", "add", delay_ns=40.0)),
+            io_delay_ns=10.0)
+
+    def test_end_to_end_from_unpartitioned(self):
+        g = two_cluster_graph()
+        pins = Partitioning({OUTSIDE_WORLD: ChipSpec(32),
+                             1: ChipSpec(32), 2: ChipSpec(32)})
+        result, plan = partition_and_synthesize(g, pins, self.timing(),
+                                                initiation_rate=2)
+        assert result.verify() == []
+        assert plan.cut_bits <= 32
+
+    def test_infeasible_budget_raises_after_rounds(self):
+        g = two_cluster_graph()
+        pins = Partitioning({OUTSIDE_WORLD: ChipSpec(0),
+                             1: ChipSpec(4), 2: ChipSpec(4)})
+        with pytest.raises(Exception):
+            partition_and_synthesize(g, pins, self.timing(), 2,
+                                     max_rounds=2)

@@ -1,0 +1,66 @@
+"""Tests for the table/report renderers."""
+
+from repro import synthesize_connection_first
+from repro.designs import AR_GENERAL_PINS_UNIDIR, ar_general_design
+from repro.modules.library import ar_filter_timing
+from repro.reporting import (TextTable, bus_allocation_table,
+                             bus_assignment_table, interconnect_listing,
+                             pins_summary, schedule_listing)
+
+import pytest
+
+
+class TestTextTable:
+    def test_renders_aligned(self):
+        table = TextTable(["a", "long header"], title="t")
+        table.add(1, "x")
+        table.add("wide cell", 2)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows same width
+
+    def test_wrong_arity_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+
+@pytest.fixture(scope="module")
+def ar_result():
+    return synthesize_connection_first(
+        ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+        ar_filter_timing(), 3)
+
+
+class TestReports:
+    def test_schedule_listing(self, ar_result):
+        text = schedule_listing(ar_result.schedule)
+        assert "step" in text
+        assert "O1" in text or "O2" in text
+
+    def test_bus_allocation_table(self, ar_result):
+        text = bus_allocation_table(
+            ar_result.graph, ar_result.schedule,
+            ar_result.interconnect, ar_result.assignment)
+        assert "C1" in text
+        # L=3: three step-group rows.
+        assert text.count("...") == 3
+
+    def test_bus_assignment_table(self, ar_result):
+        initial = ar_result.stats["initial_assignment"]
+        text = bus_assignment_table(initial, ar_result.assignment)
+        assert "initial assignment" in text
+        assert "final assignment" in text
+
+    def test_interconnect_listing(self, ar_result):
+        text = interconnect_listing(ar_result.interconnect)
+        assert "P0" in text and "->" in text
+
+    def test_pins_summary(self, ar_result):
+        text = pins_summary(ar_result.partitioning,
+                            ar_result.pins_used(),
+                            pipe_length=ar_result.pipe_length)
+        assert "pipe length" in text
+        assert "P1" in text

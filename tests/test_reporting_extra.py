@@ -1,0 +1,90 @@
+"""Reporting edge cases: sub-bus segments, bidirectional listings."""
+
+import pytest
+
+from repro.core.interconnect import Bus, BusAssignment, Interconnect
+from repro.reporting import interconnect_listing, pins_summary
+from repro.reporting.schedule_report import bus_allocation_table
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+
+
+def test_split_bus_segments_rendered():
+    ic = Interconnect([Bus(1, out_widths={1: 16}, in_widths={2: 16},
+                           segments=[8, 8])])
+    text = interconnect_listing(ic)
+    assert "8/8" in text
+
+
+def test_bidirectional_ports_rendered():
+    ic = Interconnect([Bus(1, bi_widths={1: 8, 2: 8})],
+                      bidirectional=True)
+    text = interconnect_listing(ic)
+    assert "P1<->8" in text
+
+
+def test_pins_summary_without_pipe():
+    p = Partitioning({OUTSIDE_WORLD: ChipSpec(10), 1: ChipSpec(20)})
+    text = pins_summary(p, {0: 5, 1: 10})
+    assert "pipe length" not in text
+    assert "| P1" in text
+
+
+def test_bus_allocation_empty_groups():
+    from repro.cdfg import Cdfg
+    from repro.cdfg.graph import make_io_node
+    from repro.cdfg.analysis import UnitTiming
+    from repro.scheduling.base import Schedule
+
+    g = Cdfg()
+    g.add_node(make_io_node("w", "v", 1, 2))
+    s = Schedule(g, UnitTiming(), 3)
+    s.place("w", 0)
+    ic = Interconnect([Bus(1, out_widths={1: 8}, in_widths={2: 8})])
+    assignment = BusAssignment()
+    assignment.assign("w", 1)
+    text = bus_allocation_table(g, s, ic, assignment)
+    # Three group rows even though two are empty.
+    assert text.count("...") == 3
+
+
+class TestGantt:
+    def result(self):
+        from repro import synthesize_connection_first
+        from repro.designs import (AR_GENERAL_PINS_UNIDIR,
+                                   ar_general_design)
+        from repro.modules.library import ar_filter_timing
+        return synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 3)
+
+    def test_gantt_lanes_cover_units_and_buses(self):
+        from repro.reporting import gantt_chart
+        result = self.result()
+        text = gantt_chart(result.schedule, result.interconnect,
+                           result.assignment)
+        assert "P1.add0" in text
+        assert "bus C1" in text
+        assert "initiation rate 3" in text
+
+    def test_multicycle_ops_stretch(self):
+        from repro.cdfg import CdfgBuilder
+        from repro.cdfg.analysis import UnitTiming
+        from repro.reporting import gantt_chart
+        from repro.scheduling.base import Schedule
+        b = CdfgBuilder()
+        b.op("m", "mul", 1)
+        g = b.build()
+        timing = UnitTiming(cycles_by_op_type={"mul": 2})
+        s = Schedule(g, timing, 4)
+        s.place("m", 1)
+        text = gantt_chart(s)
+        assert "~m" in text  # continuation marker in the second cycle
+
+    def test_synthesis_report_bundles_everything(self):
+        from repro.reporting import synthesis_report
+        result = self.result()
+        text = synthesis_report(result)
+        assert "schedule (L=3" in text
+        assert "interchip connection" in text
+        assert "bus allocation" in text
+        assert "pipe length" in text

@@ -1,0 +1,206 @@
+"""Tests for RTL binding, register allocation, netlists, controllers."""
+
+import pytest
+
+from repro import synthesize_connection_first
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.analysis import UnitTiming
+from repro.designs import AR_GENERAL_PINS_UNIDIR, ar_general_design
+from repro.modules.library import ar_filter_timing
+from repro.rtl import (allocate_registers, bind_functional_units,
+                       build_control_tables, build_netlist,
+                       emit_structural)
+from repro.scheduling.base import Schedule
+
+
+def simple_schedule():
+    b = CdfgBuilder("rtl")
+    a1 = b.op("a1", "add", 1, bit_width=8)
+    a2 = b.op("a2", "add", 1, inputs=[a1], bit_width=8)
+    a3 = b.op("a3", "add", 1, inputs=[a1], bit_width=8)
+    a4 = b.op("a4", "add", 1, inputs=[a2, a3], bit_width=8)
+    g = b.build()
+    s = Schedule(g, UnitTiming(), 2)
+    s.place("a1", 0)
+    s.place("a2", 1)
+    s.place("a3", 2)
+    s.place("a4", 3)
+    return g, s
+
+
+class TestFuBinding:
+    def test_group_conflicts_need_distinct_units(self):
+        g, s = simple_schedule()
+        binding = bind_functional_units(s)
+        # a1 (group 0) and a3 (group 0) overlap; a2/a4 (group 1) too.
+        assert binding.unit_of["a1"] != binding.unit_of["a3"]
+        assert binding.unit_of["a2"] != binding.unit_of["a4"]
+        assert binding.unit_counts() == {(1, "add"): 2}
+
+    def test_binding_matches_measured_resources(self):
+        from repro.scheduling.base import measured_resources
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 3)
+        binding = bind_functional_units(result.schedule)
+        assert binding.unit_counts() == measured_resources(
+            result.schedule)
+
+    def test_multicycle_units_respect_wheels(self):
+        b = CdfgBuilder("mc")
+        b.op("m1", "mul", 1)
+        b.op("m2", "mul", 1)
+        g = b.build()
+        timing = UnitTiming(cycles_by_op_type={"mul": 2})
+        s = Schedule(g, timing, 4)
+        s.place("m1", 0)
+        s.place("m2", 1)  # overlaps m1's cells 0-1 -> new unit
+        binding = bind_functional_units(s)
+        assert binding.unit_of["m1"] != binding.unit_of["m2"]
+        s2 = Schedule(g, timing, 4)
+        s2.place("m1", 0)
+        s2.place("m2", 2)  # disjoint cells -> same unit
+        binding2 = bind_functional_units(s2)
+        assert binding2.unit_of["m1"] == binding2.unit_of["m2"]
+
+
+class TestRegisterAllocation:
+    def test_disjoint_lifetimes_share_register(self):
+        g, s = simple_schedule()
+        regs = allocate_registers(g, s)
+        # a2 lives [2,4), a3 lives [3,4): overlapping cells mod 2 ->
+        # cannot share; a1 lives [1,3) span 2 = L -> dedicated.
+        assert regs.count(1) >= 2
+
+    def test_long_lifetime_gets_copies(self):
+        b = CdfgBuilder("long")
+        x = b.op("x", "add", 1, bit_width=8)
+        y = b.op("y", "add", 1, inputs=[x], bit_width=8)
+        g = b.build()
+        s = Schedule(g, UnitTiming(), 2)
+        s.place("x", 0)
+        s.place("y", 5)  # x alive for 5 steps at L=2 -> 3 copies
+        regs = allocate_registers(g, s)
+        assert len(regs.regs_of["x"]) == 3
+
+    def test_chained_value_needs_no_register(self):
+        b = CdfgBuilder("chain")
+        i = b.inp("i", partition=1)
+        m = b.op("m", "mul", 1, inputs=[i])
+        a = b.op("a", "add", 1, inputs=[m])
+        g = b.build()
+        from repro.scheduling import ListScheduler
+        s = ListScheduler(g, ar_filter_timing(), 2,
+                          {(1, "mul"): 1, (1, "add"): 1}).run()
+        regs = allocate_registers(g, s)
+        # m chains into a within the same step: no storage for m.
+        assert "m" not in regs.regs_of
+
+    def test_incoming_transfer_latched(self):
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 3)
+        regs = allocate_registers(result.graph, result.schedule)
+        schedule = result.schedule
+        # Every transfer consumed in a *later* step than it arrives
+        # must be latched on the destination chip (chained same-step
+        # consumption legitimately needs no register).
+        for node in result.graph.io_nodes():
+            if node.dest_partition == 0:
+                continue
+            later_use = any(
+                schedule.step(e.dst) > schedule.step(node.name)
+                for e in result.graph.out_edges(node.name)
+                if not e.is_recursive()
+                and schedule.is_scheduled(e.dst))
+            if later_use:
+                assert node.name in regs.regs_of, node.name
+                assert regs.regs_of[node.name][0][0] \
+                    == node.dest_partition
+
+    def test_register_widths_cover_values(self):
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 4)
+        regs = allocate_registers(result.graph, result.schedule)
+        for producer, reg_list in regs.regs_of.items():
+            width = result.graph.node(producer).bit_width
+            for reg in reg_list:
+                assert regs.widths[reg] >= width
+
+
+class TestNetlist:
+    def test_mux_inserted_for_multi_source_port(self):
+        g, s = simple_schedule()
+        netlist = build_netlist(g, s)
+        chip = netlist.chip(1)
+        assert any(m.ways >= 2 for m in chip.muxes)
+
+    def test_ports_match_interconnect(self):
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 3)
+        netlist = build_netlist(result.graph, result.schedule,
+                                result.interconnect, result.assignment)
+        for bus in result.interconnect.buses:
+            for partition, width in bus.out_widths.items():
+                assert netlist.chip(partition).out_ports[bus.index] \
+                    == width
+
+    def test_area_estimate_positive(self):
+        g, s = simple_schedule()
+        netlist = build_netlist(g, s)
+        assert netlist.chip(1).area_estimate() > 0
+
+
+class TestController:
+    def test_control_words_cover_all_ops(self):
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 3)
+        netlist = build_netlist(result.graph, result.schedule,
+                                result.interconnect, result.assignment)
+        tables = build_control_tables(result.graph, result.schedule,
+                                      netlist.binding,
+                                      netlist.registers,
+                                      result.interconnect,
+                                      result.assignment)
+        fired = {op for table in tables.values()
+                 for word in table.words for _u, op in word.fire}
+        functional = {n.name for n in result.graph.functional_nodes()}
+        assert fired == functional
+
+    def test_bus_drive_and_sample_paired(self):
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 4)
+        netlist = build_netlist(result.graph, result.schedule,
+                                result.interconnect, result.assignment)
+        tables = build_control_tables(result.graph, result.schedule,
+                                      netlist.binding,
+                                      netlist.registers,
+                                      result.interconnect,
+                                      result.assignment)
+        drives = {op for t in tables.values() for w in t.words
+                  for _b, op in w.bus_drive}
+        samples = {op for t in tables.values() for w in t.words
+                   for _b, op in w.bus_sample}
+        cross = {n.name for n in result.graph.io_nodes()
+                 if n.source_partition != 0 and n.dest_partition != 0}
+        assert cross <= drives
+        assert cross <= samples
+
+
+class TestEmit:
+    def test_emission_contains_modules(self):
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+            ar_filter_timing(), 3)
+        text = emit_structural(result.graph, result.schedule,
+                               result.interconnect, result.assignment,
+                               "ar")
+        assert "module chip_p1" in text
+        assert "module ar_top" in text
+        assert "controller ROM" in text
+        assert text.count("endmodule") == len(
+            set(result.graph.partitions())) + 1

@@ -1,0 +1,85 @@
+"""Property-based tests for RTL binding and register allocation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.designs import random_partitioned_design
+from repro.errors import SchedulingError
+from repro.modules.allocation import min_module_counts
+from repro.modules.library import (DesignTiming, HardwareModule,
+                                   ModuleSet)
+from repro.rtl import allocate_registers, bind_functional_units
+from repro.scheduling.base import measured_resources
+from repro.scheduling.list_scheduler import ListScheduler
+
+settings.register_profile(
+    "repro-rtl", deadline=None, max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile("repro-rtl")
+
+
+def timing():
+    return DesignTiming(
+        clock_period=250.0,
+        default=ModuleSet.of(
+            HardwareModule("adder", "add", 30.0),
+            HardwareModule("multiplier", "mul", 210.0)),
+        io_delay_ns=10.0)
+
+
+def scheduled_random_design(seed, rate):
+    graph, _p = random_partitioned_design(seed, n_chips=3, n_ops=10)
+    resources = min_module_counts(graph, timing(), rate)
+    schedule = ListScheduler(graph, timing(), rate, resources).run()
+    return graph, schedule, resources
+
+
+@given(st.integers(0, 40), st.integers(2, 4))
+def test_binding_matches_schedule_resources(seed, rate):
+    try:
+        graph, schedule, resources = scheduled_random_design(seed, rate)
+    except SchedulingError:
+        return
+    binding = bind_functional_units(schedule)
+    # Every scheduled functional op is bound...
+    scheduled = {n.name for n in graph.functional_nodes()}
+    assert set(binding.unit_of) == scheduled
+    # ...unit counts equal the measured concurrency...
+    assert binding.unit_counts() == measured_resources(schedule)
+    # ...and no unit hosts two ops in one control-step group.
+    seen = {}
+    for op, unit in binding.unit_of.items():
+        key = (unit, schedule.group(op))
+        assert key not in seen, f"{op} and {seen[key]} share {unit}"
+        seen[key] = op
+
+
+@given(st.integers(0, 40), st.integers(2, 4))
+def test_register_occupancy_is_exclusive(seed, rate):
+    try:
+        graph, schedule, _resources = scheduled_random_design(seed, rate)
+    except SchedulingError:
+        return
+    registers = allocate_registers(graph, schedule)
+    L = schedule.initiation_rate
+    # Rebuild per-register modular occupancy from the lifetimes and
+    # confirm no two co-resident values overlap in any cell.
+    cells = {}
+    for producer, regs in registers.regs_of.items():
+        lifetime = registers.lifetimes[producer]
+        if lifetime.span >= L:
+            continue  # dedicated copies; exclusivity is structural
+        occupied = {t % L for t in range(lifetime.birth,
+                                         lifetime.death)}
+        for reg in regs:
+            for cell in occupied:
+                key = (reg, cell)
+                assert key not in cells, \
+                    f"{producer} and {cells[key]} clash in {key}"
+                cells[key] = producer
+    # Register widths always cover their tenants.
+    for producer, regs in registers.regs_of.items():
+        width = graph.node(producer).bit_width
+        for reg in regs:
+            assert registers.widths[reg] >= width

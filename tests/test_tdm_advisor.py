@@ -1,0 +1,83 @@
+"""Tests for the automatic TDM advisor (Section 7.3 future work)."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.core.tdm_advisor import advise_tdm, apply_advice
+from repro.modules.library import DesignTiming, HardwareModule, ModuleSet
+from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
+
+
+def wide_design(width=32):
+    b = CdfgBuilder("tdm")
+    a = b.io("a", "v.a", source=b.const("s", partition=OUTSIDE_WORLD,
+                                        bit_width=8),
+             dests=[], source_partition=OUTSIDE_WORLD,
+             dest_partition=1, bit_width=8)
+    acc = b.op("acc", "add", 1, inputs=[a], bit_width=width)
+    b.io("wide", "v.w", source=acc, dests=[], source_partition=1,
+         dest_partition=2, bit_width=width)
+    b.op("sink", "add", 2, inputs=["wide"], bit_width=width)
+    return b.build()
+
+
+def budgets(chip1, chip2, world=32):
+    return Partitioning({OUTSIDE_WORLD: ChipSpec(world),
+                         1: ChipSpec(chip1), 2: ChipSpec(chip2)})
+
+
+class TestAdvisor:
+    def test_no_advice_when_roomy(self):
+        plan = advise_tdm(wide_design(), budgets(64, 48), 2)
+        assert not plan
+        assert plan.demand_before == plan.demand_after
+
+    def test_splits_widest_transfer_under_pressure(self):
+        # Chip 2 has 24 pins but must receive a 32-bit value.
+        plan = advise_tdm(wide_design(), budgets(40, 24), 2)
+        assert "wide" in plan.splits
+        assert sum(plan.splits["wide"]) == 32
+        assert plan.demand_after[2] <= 24
+
+    def test_respects_min_component_width(self):
+        plan = advise_tdm(wide_design(width=16), budgets(24, 4), 4,
+                          min_component=8)
+        # 16 -> 2x8 allowed; 8 -> 2x4 would violate min_component.
+        parts = plan.splits.get("wide", [16])
+        assert min(parts) >= 8
+
+    def test_pieces_bounded_by_rate(self):
+        # At L=2 a transfer splits at most into 2 components (each
+        # component needs its own cycle within the initiation window).
+        plan = advise_tdm(wide_design(), budgets(40, 8), 2)
+        for parts in plan.splits.values():
+            assert len(parts) <= 2
+
+    def test_apply_advice_rewrites_graph(self):
+        g = wide_design()
+        plan = advise_tdm(g, budgets(40, 24), 2)
+        created = apply_advice(g, plan)
+        assert created["wide"] == ["wide.0", "wide.1"]
+        assert "wide" not in g
+        from repro.cdfg.validate import validate_cdfg
+        validate_cdfg(g, require_partitions=False)
+
+
+class TestEndToEnd:
+    def test_advised_design_fits_tight_budget(self):
+        from repro import synthesize_connection_first
+        from repro.errors import ReproError
+        timing = DesignTiming(
+            clock_period=100.0,
+            default=ModuleSet.of(
+                HardwareModule("adder", "add", delay_ns=40.0)),
+            io_delay_ns=10.0, chaining=False)
+        tight = budgets(40, 24)
+        g_plain = wide_design()
+        with pytest.raises(ReproError):
+            synthesize_connection_first(g_plain, tight, timing, 2)
+        g_advised = wide_design()
+        plan = advise_tdm(g_advised, tight, 2)
+        apply_advice(g_advised, plan)
+        result = synthesize_connection_first(g_advised, tight, timing, 2)
+        assert result.verify() == []

@@ -1,0 +1,90 @@
+"""Tests for CDFG transforms: TDM split/merge and loop unrolling."""
+
+import pytest
+
+from repro.cdfg import CdfgBuilder
+from repro.cdfg.ops import OpKind
+from repro.cdfg.transform import (insert_time_division_multiplexing,
+                                  unroll_fixed_loop)
+from repro.cdfg.validate import validate_cdfg
+from repro.errors import CdfgError
+
+
+def wide_transfer_graph():
+    b = CdfgBuilder()
+    x = b.op("x", "add", 1, bit_width=32)
+    y = b.op("y", "add", 2, bit_width=32)
+    b.io("w", "v", source=x, dests=[y], source_partition=1,
+         dest_partition=2, bit_width=32)
+    return b.build()
+
+
+class TestTdm:
+    def test_split_produces_sub_transfers(self):
+        g = wide_transfer_graph()
+        subs = insert_time_division_multiplexing(g, "w", [16, 16])
+        assert subs == ["w.0", "w.1"]
+        assert "w" not in g
+        assert g.node("w.0").bit_width == 16
+        assert g.node("w.split").kind is OpKind.SPLIT
+        assert g.node("w.merge").kind is OpKind.MERGE
+        validate_cdfg(g, require_partitions=False)
+
+    def test_dataflow_rewired_through_split_merge(self):
+        g = wide_transfer_graph()
+        insert_time_division_multiplexing(g, "w", [24, 8])
+        assert g.successors("x") == ["w.split"]
+        assert g.predecessors("y") == ["w.merge"]
+        assert sorted(g.successors("w.split")) == ["w.0", "w.1"]
+
+    def test_widths_must_sum(self):
+        g = wide_transfer_graph()
+        with pytest.raises(CdfgError, match="sum"):
+            insert_time_division_multiplexing(g, "w", [16, 8])
+
+    def test_needs_two_components(self):
+        g = wide_transfer_graph()
+        with pytest.raises(CdfgError, match=">= 2"):
+            insert_time_division_multiplexing(g, "w", [32])
+
+    def test_only_io_nodes_splittable(self):
+        g = wide_transfer_graph()
+        with pytest.raises(CdfgError, match="not an I/O operation"):
+            insert_time_division_multiplexing(g, "x", [16, 16])
+
+    def test_uneven_widths(self):
+        g = wide_transfer_graph()
+        subs = insert_time_division_multiplexing(g, "w", [20, 8, 4])
+        assert [g.node(s).bit_width for s in subs] == [20, 8, 4]
+
+
+class TestUnroll:
+    def body(self):
+        b = CdfgBuilder()
+        x = b.op("x", "add", 1)
+        y = b.op("y", "mul", 1, inputs=[x])
+        return b.build()
+
+    def test_unroll_replicates_nodes(self):
+        flat = unroll_fixed_loop(self.body(), 3)
+        assert len(flat) == 6
+        assert "x@0" in flat and "y@2" in flat
+
+    def test_carried_dependence_links_iterations(self):
+        flat = unroll_fixed_loop(self.body(), 3, carried={"y": "x"})
+        assert "x@1" in flat.successors("y@0")
+        assert "x@2" in flat.successors("y@1")
+
+    def test_single_iteration(self):
+        flat = unroll_fixed_loop(self.body(), 1, carried={"y": "x"})
+        assert len(flat) == 2
+        # No carried edges with a single iteration.
+        assert flat.successors("y@0") == []
+
+    def test_bad_carried_names_rejected(self):
+        with pytest.raises(CdfgError):
+            unroll_fixed_loop(self.body(), 2, carried={"nope": "x"})
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(CdfgError):
+            unroll_fixed_loop(self.body(), 0)

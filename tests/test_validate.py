@@ -1,0 +1,123 @@
+"""Tests for CDFG validation against the model assumptions."""
+
+import pytest
+
+from repro.cdfg import Cdfg, CdfgBuilder
+from repro.cdfg.graph import make_functional_node, make_io_node, Node
+from repro.cdfg.ops import OpKind
+from repro.cdfg.validate import validate_cdfg
+from repro.errors import ValidationError
+
+
+def valid_two_chip():
+    b = CdfgBuilder()
+    x = b.op("x", "add", 1)
+    y = b.op("y", "add", 2)
+    b.io("w", "v", source=x, dests=[y], source_partition=1,
+         dest_partition=2)
+    return b.build()
+
+
+def test_valid_graph_passes():
+    validate_cdfg(valid_two_chip())
+
+
+def test_io_to_same_partition_rejected():
+    g = Cdfg()
+    g.add_node(make_functional_node("x", "add", 1))
+    g.add_node(Node(name="w", kind=OpKind.IO, op_type="io", value="v",
+                    source_partition=1, dest_partition=1))
+    with pytest.raises(ValidationError, match="to itself"):
+        validate_cdfg(g)
+
+
+def test_io_without_value_name_rejected():
+    g = Cdfg()
+    g.add_node(Node(name="w", kind=OpKind.IO, op_type="io", value="",
+                    source_partition=1, dest_partition=2))
+    with pytest.raises(ValidationError, match="no value name"):
+        validate_cdfg(g)
+
+
+def test_zero_width_io_rejected():
+    g = Cdfg()
+    g.add_node(Node(name="w", kind=OpKind.IO, op_type="io", value="v",
+                    bit_width=0, source_partition=1, dest_partition=2))
+    with pytest.raises(ValidationError, match="bit width"):
+        validate_cdfg(g)
+
+
+def test_value_from_two_partitions_rejected():
+    g = Cdfg()
+    g.add_node(make_io_node("w1", "v", 1, 3))
+    g.add_node(make_io_node("w2", "v", 2, 4))
+    with pytest.raises(ValidationError, match="several partitions"):
+        validate_cdfg(g)
+
+
+def test_value_inconsistent_widths_rejected():
+    g = Cdfg()
+    g.add_node(make_io_node("w1", "v", 1, 2, bit_width=8))
+    g.add_node(make_io_node("w2", "v", 1, 3, bit_width=16))
+    with pytest.raises(ValidationError, match="inconsistent widths"):
+        validate_cdfg(g)
+
+
+def test_duplicate_dest_for_value_rejected():
+    g = Cdfg()
+    g.add_node(make_io_node("w1", "v", 1, 2))
+    g.add_node(make_io_node("w2", "v", 1, 2))
+    with pytest.raises(ValidationError, match="duplicate I/O nodes"):
+        validate_cdfg(g)
+
+
+def test_io_chained_to_io_rejected():
+    # Values transfer directly, never through another partition.
+    g = Cdfg()
+    g.add_node(make_io_node("w1", "v", 1, 2))
+    g.add_node(make_io_node("w2", "u", 2, 3))
+    g.add_edge("w1", "w2")
+    with pytest.raises(ValidationError, match="directly"):
+        validate_cdfg(g)
+
+
+def test_producer_in_wrong_partition_rejected():
+    g = Cdfg()
+    g.add_node(make_functional_node("x", "add", 9))
+    g.add_node(make_io_node("w", "v", 1, 2))
+    g.add_edge("x", "w")
+    with pytest.raises(ValidationError, match="claims source partition"):
+        validate_cdfg(g)
+
+
+def test_consumer_in_wrong_partition_rejected():
+    g = Cdfg()
+    g.add_node(make_functional_node("y", "add", 9))
+    g.add_node(make_io_node("w", "v", 1, 2))
+    g.add_edge("w", "y")
+    with pytest.raises(ValidationError, match="claims dest partition"):
+        validate_cdfg(g)
+
+
+def test_cross_partition_edge_without_io_rejected():
+    g = Cdfg()
+    g.add_node(make_functional_node("x", "add", 1))
+    g.add_node(make_functional_node("y", "add", 2))
+    g.add_edge("x", "y")
+    with pytest.raises(ValidationError, match="without an I/O node"):
+        validate_cdfg(g)
+
+
+def test_functional_without_partition_flagged_when_required():
+    g = Cdfg()
+    g.add_node(Node(name="x", kind=OpKind.FUNCTIONAL, op_type="add"))
+    with pytest.raises(ValidationError, match="no partition"):
+        validate_cdfg(g, require_partitions=True)
+    validate_cdfg(g, require_partitions=False)  # tolerated
+
+
+def test_all_benchmark_designs_validate():
+    from repro.designs import (ar_general_design, ar_simple_design,
+                               elliptic_design)
+    for factory in (ar_simple_design, ar_general_design, elliptic_design):
+        validate_cdfg(factory(), require_partitions=False)

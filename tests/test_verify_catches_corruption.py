@@ -1,0 +1,90 @@
+"""Meta-tests: the static verifier must catch random corruptions.
+
+A verifier that always returns [] would pass every flow test; these
+tests mutate valid results in targeted ways and demand complaints.
+"""
+
+import pytest
+
+from repro import synthesize_connection_first
+from repro.designs import AR_GENERAL_PINS_UNIDIR, ar_general_design
+from repro.modules.library import ar_filter_timing
+
+
+@pytest.fixture()
+def result():
+    return synthesize_connection_first(
+        ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+        ar_filter_timing(), 3)
+
+
+def test_clean_result_verifies(result):
+    assert result.verify() == []
+
+
+def test_precedence_corruption_caught(result):
+    # Pull a consumer before its producer.
+    graph = result.graph
+    schedule = result.schedule
+    for edge in graph.edges():
+        if edge.is_recursive():
+            continue
+        src, dst = edge.src, edge.dst
+        if schedule.is_scheduled(src) and schedule.is_scheduled(dst) \
+                and schedule.step(dst) > schedule.step(src):
+            schedule.start_step[dst] = schedule.step(src) - 1 \
+                if schedule.step(src) > 0 else 0
+            schedule.start_ns[dst] = schedule.start_step[dst] \
+                * schedule.timing.clock_period
+            break
+    problems = result.verify()
+    assert problems, "verifier missed a precedence violation"
+
+
+def test_resource_overload_caught(result):
+    # Cram two same-type ops of one chip into one group beyond the
+    # unit count by shrinking the resource vector.
+    key = next(iter(result.resources))
+    result.resources[key] = 0
+    assert any("functional units" in p for p in result.verify())
+
+
+def test_pin_budget_overrun_caught(result):
+    tight = result.partitioning.with_pins({1: 8})
+    result.partitioning = tight
+    assert any("budget" in p for p in result.verify())
+
+
+def test_bus_conflict_caught(result):
+    # Move every transfer onto bus 1 (widening it so capability holds):
+    # group collisions are inevitable.
+    bus1 = result.interconnect.bus(1)
+    for node in result.graph.io_nodes():
+        bus1.out_widths[node.source_partition] = max(
+            bus1.out_widths.get(node.source_partition, 0),
+            node.bit_width)
+        bus1.in_widths[node.dest_partition] = max(
+            bus1.in_widths.get(node.dest_partition, 0), node.bit_width)
+        result.assignment.assign(node.name, 1)
+    problems = [p for p in result.verify() if "conflicts" in p]
+    assert problems
+
+
+def test_missing_transfer_caught(result):
+    victim = next(iter(result.assignment.bus_of))
+    del result.assignment.bus_of[victim]
+    assert any("no bus" in p for p in result.verify())
+
+
+def test_recursive_violation_caught():
+    from repro.designs import (ELLIPTIC_PINS_UNIDIR, elliptic_design,
+                               elliptic_resources)
+    from repro.modules.library import elliptic_filter_timing
+    res = synthesize_connection_first(
+        elliptic_design(), ELLIPTIC_PINS_UNIDIR,
+        elliptic_filter_timing(), 6, resources=elliptic_resources(6))
+    # Push the loop producer past its deadline.
+    schedule = res.schedule
+    schedule.start_step["add26"] = schedule.step("X33") + 4 * 6 + 1
+    schedule.start_ns["add26"] = schedule.start_step["add26"] * 1.0
+    assert any("max-time" in p for p in res.verify())
