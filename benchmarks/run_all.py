@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Solver benchmark runner — emits machine-readable ``BENCH_ilp.json``.
+
+Runs the ILP-heavy synthesis flows plus a pin-allocation checker
+microbenchmark, recording wall time and the :mod:`repro.perf` counter
+deltas (pivots, cuts, rollbacks, cache hits) for each.  The JSON lands
+at the repo root by default so successive PRs accumulate a perf
+trajectory that CI can archive.
+
+Usage::
+
+    python benchmarks/run_all.py              # full set
+    python benchmarks/run_all.py --smoke      # quick subset (CI)
+    python benchmarks/run_all.py --cross-check  # shadow-verified (slow)
+
+``--cross-check`` runs every benchmark with the dense-Fraction shadow
+tableau enabled (``repro.ilp.set_cross_check``): each sparse tableau
+mutation is mirrored and compared cell-for-cell, so a passing run is a
+machine-checked proof that the fast path computes the same tableaus as
+the reference implementation.  Wall times are meaningless in that mode;
+the JSON marks them as such.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.flow import (synthesize_connection_first,  # noqa: E402
+                             synthesize_simple)
+from repro.core.pin_allocation import PinAllocationChecker  # noqa: E402
+from repro.designs import (AR_GENERAL_PINS_UNIDIR,  # noqa: E402
+                           AR_SIMPLE_PINS, ar_general_design,
+                           ar_simple_design)
+from repro.ilp import set_cross_check  # noqa: E402
+from repro.modules.library import ar_filter_timing  # noqa: E402
+from repro.perf import PERF  # noqa: E402
+from repro.scheduling.base import Schedule  # noqa: E402
+
+
+# ---------------------------------------------------------------------
+def bench_ch3_ar_simple_L2():
+    result = synthesize_simple(ar_simple_design(), AR_SIMPLE_PINS,
+                               ar_filter_timing(), 2)
+    return {"pipe_length": result.pipe_length,
+            "pin_checks": result.stats["pin_checks"],
+            "pin_cache_hits": result.stats["pin_cache_hits"]}
+
+
+def _bench_ch4_unidir(rate):
+    result = synthesize_connection_first(
+        ar_general_design(), AR_GENERAL_PINS_UNIDIR, ar_filter_timing(),
+        rate)
+    return {"pipe_length": result.pipe_length,
+            "total_pins": sum(result.pins_used().values()),
+            "search_steps": result.stats["search_steps"]}
+
+
+def bench_ch4_ar_unidir_L3():
+    return _bench_ch4_unidir(3)
+
+
+def bench_ch4_ar_unidir_L4():
+    return _bench_ch4_unidir(4)
+
+
+def bench_ch4_ar_unidir_L5():
+    return _bench_ch4_unidir(5)
+
+
+def bench_micro_pin_checker():
+    """Pin-allocation checker microbench: repeated probe passes.
+
+    Probes every (io node, step) pair against an empty schedule for
+    several passes.  Pass 1 is all cache misses (cold cutting-plane
+    probes); later passes replay the identical committed-bound state and
+    should be near-total cache hits — the list scheduler's actual access
+    pattern in miniature.
+    """
+    graph = ar_simple_design()
+    timing = ar_filter_timing()
+    L = 2
+    checker = PinAllocationChecker(graph, AR_SIMPLE_PINS, L)
+    schedule = Schedule(graph, timing, L)
+    ios = list(graph.io_nodes())
+    verdicts = 0
+    for _ in range(5):
+        for node in ios:
+            for step in range(2 * L):
+                if checker.can_schedule(node, step, schedule):
+                    verdicts += 1
+    return {"probes": checker.checks,
+            "cache_hits": checker.cache_hits,
+            "feasible_verdicts": verdicts}
+
+
+FULL = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
+        bench_ch4_ar_unidir_L3, bench_ch4_ar_unidir_L4,
+        bench_ch4_ar_unidir_L5]
+SMOKE = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
+         bench_ch4_ar_unidir_L3]
+
+
+# ---------------------------------------------------------------------
+def run(benches, cross_check: bool):
+    results = {}
+    for fn in benches:
+        name = fn.__name__.removeprefix("bench_")
+        before = PERF.snapshot()
+        start = time.perf_counter()
+        payload = fn()
+        elapsed = time.perf_counter() - start
+        delta = PERF.delta_since(before)
+        results[name] = {
+            "seconds": round(elapsed, 4),
+            "result": payload,
+            "counters": delta["counters"],
+            "timings": {k: round(v, 4)
+                        for k, v in delta["timings"].items()},
+        }
+        print(f"  {name:28s} {elapsed:8.3f}s  "
+              f"pivots={delta['counters'].get('tableau.pivots', 0)}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="quick CI subset")
+    parser.add_argument("--cross-check", action="store_true",
+                        help="mirror every tableau op onto the dense "
+                             "Fraction reference and compare (slow)")
+    parser.add_argument("--out", default=os.path.join(REPO_ROOT,
+                                                      "BENCH_ilp.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    benches = SMOKE if args.smoke else FULL
+    mode = "smoke" if args.smoke else "full"
+    if args.cross_check:
+        set_cross_check(True)
+        print("cross-check mode: shadow tableau enabled "
+              "(timings not representative)")
+    try:
+        print(f"running {len(benches)} benchmarks ({mode}) ...")
+        results = run(benches, args.cross_check)
+    finally:
+        if args.cross_check:
+            set_cross_check(False)
+
+    doc = {
+        "schema": "repro-bench-ilp/1",
+        "mode": mode,
+        "cross_check": args.cross_check,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

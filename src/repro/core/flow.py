@@ -36,6 +36,7 @@ from repro.modules.allocation import ResourceVector, min_module_counts
 from repro.modules.library import DesignTiming
 from repro.partition.model import Partitioning
 from repro.partition.simple import is_simple_partitioning
+from repro.perf import PERF
 from repro.scheduling.base import Schedule, measured_resources
 from repro.scheduling.fds import ForceDirectedScheduler
 from repro.scheduling.list_scheduler import ListScheduler
@@ -109,12 +110,15 @@ def synthesize_simple(graph: Cdfg,
             "(Definition 3.2); use synthesize_connection_first instead")
     if resources is None:
         resources = min_module_counts(graph, timing, initiation_rate)
-    checker = PinAllocationChecker(graph, partitioning, initiation_rate,
-                                   method=pin_method)
-    scheduler = ListScheduler(graph, timing, initiation_rate, resources,
-                              io_hooks=checker)
-    schedule = scheduler.run()
-    allocation = build_simple_connection(graph, schedule)
+    before = PERF.snapshot()
+    with PERF.phase("flow.simple"):
+        checker = PinAllocationChecker(graph, partitioning,
+                                       initiation_rate, method=pin_method)
+        scheduler = ListScheduler(graph, timing, initiation_rate,
+                                  resources, io_hooks=checker)
+        schedule = scheduler.run()
+        allocation = build_simple_connection(graph, schedule)
+    counters = PERF.delta_since(before)["counters"]
     result = SynthesisResult(
         graph=graph,
         partitioning=partitioning,
@@ -122,7 +126,12 @@ def synthesize_simple(graph: Cdfg,
         schedule=schedule,
         resources=resources,
         simple_allocation=allocation,
-        stats={"pin_checks": checker.checks},
+        stats={
+            "pin_checks": checker.checks,
+            "pin_cache_hits": checker.cache_hits,
+            "tableau_pivots": counters.get("tableau.pivots", 0),
+            "gomory_cuts": counters.get("gomory.cuts", 0),
+        },
     )
     return result.require_valid()
 
@@ -167,35 +176,37 @@ def synthesize_connection_first(graph: Cdfg,
         share_groups = sharing.share_groups()
     if scheduler not in ("list", "postpone"):
         raise SchedulingError(f"unknown scheduler {scheduler!r}")
-    search_cls = SubBusConnectionSearch if subbus_sharing \
-        else ConnectionSearch
-    search = search_cls(graph, partitioning, initiation_rate,
-                        branching_factor=branching_factor,
-                        share_groups=share_groups,
-                        slot_reserve=slot_reserve)
-    interconnect, initial = search.run()
-    if scheduler == "postpone":
-        from repro.scheduling.postpone import schedule_with_postponement
+    with PERF.phase("flow.connection_first"):
+        search_cls = SubBusConnectionSearch if subbus_sharing \
+            else ConnectionSearch
+        search = search_cls(graph, partitioning, initiation_rate,
+                            branching_factor=branching_factor,
+                            share_groups=share_groups,
+                            slot_reserve=slot_reserve)
+        interconnect, initial = search.run()
+        if scheduler == "postpone":
+            from repro.scheduling.postpone import \
+                schedule_with_postponement
 
-        last_allocator = []
+            last_allocator = []
 
-        def hooks_factory():
-            allocator = BusAllocator(graph, interconnect,
-                                     initial.copy(), initiation_rate,
+            def hooks_factory():
+                allocator = BusAllocator(graph, interconnect,
+                                         initial.copy(), initiation_rate,
+                                         reassignment=reassignment)
+                last_allocator.append(allocator)
+                return allocator
+
+            schedule = schedule_with_postponement(
+                graph, timing, initiation_rate, resources,
+                hooks_factory=hooks_factory)
+            allocator = last_allocator[-1]
+        else:
+            allocator = BusAllocator(graph, interconnect, initial,
+                                     initiation_rate,
                                      reassignment=reassignment)
-            last_allocator.append(allocator)
-            return allocator
-
-        schedule = schedule_with_postponement(
-            graph, timing, initiation_rate, resources,
-            hooks_factory=hooks_factory)
-        allocator = last_allocator[-1]
-    else:
-        allocator = BusAllocator(graph, interconnect, initial,
-                                 initiation_rate,
-                                 reassignment=reassignment)
-        schedule = ListScheduler(graph, timing, initiation_rate,
-                                 resources, io_hooks=allocator).run()
+            schedule = ListScheduler(graph, timing, initiation_rate,
+                                     resources, io_hooks=allocator).run()
     result = SynthesisResult(
         graph=graph,
         partitioning=partitioning,
@@ -224,13 +235,14 @@ def synthesize_schedule_first(graph: Cdfg,
     validate_cdfg(graph, require_partitions=False)
     if bidirectional is None:
         bidirectional = partitioning.any_bidirectional()
-    scheduler = ForceDirectedScheduler(graph, timing, initiation_rate,
-                                       pipe_length)
-    schedule = scheduler.run()
-    connector = PostScheduleConnector(graph, schedule,
-                                      partitioning=None,
-                                      bidirectional=bidirectional)
-    interconnect, assignment = connector.run()
+    with PERF.phase("flow.schedule_first"):
+        scheduler = ForceDirectedScheduler(graph, timing,
+                                           initiation_rate, pipe_length)
+        schedule = scheduler.run()
+        connector = PostScheduleConnector(graph, schedule,
+                                          partitioning=None,
+                                          bidirectional=bidirectional)
+        interconnect, assignment = connector.run()
     resources = measured_resources(schedule)
     result = SynthesisResult(
         graph=graph,

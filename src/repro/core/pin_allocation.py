@@ -41,6 +41,7 @@ from repro.errors import IlpError, InfeasibleError
 from repro.ilp import (DualAllIntegerSolver, Model, Var, lsum, solve_ilp)
 from repro.ilp.model import LinExpr
 from repro.partition.model import OUTSIDE_WORLD, Partitioning
+from repro.perf import PERF
 from repro.scheduling.base import Schedule
 
 
@@ -360,6 +361,19 @@ class PinAllocationChecker:
     re-solves from scratch with branch & bound (used for cross-checking
     and as an automatic fallback if the cutting planes hit their
     iteration cap).
+
+    Feasibility oracle cache
+    ------------------------
+    The probe verdict ("would pinning op ``w`` to group ``k`` keep the
+    ILP feasible?") is a pure function of the *set* of committed
+    ``x_{w,k} >= 1`` bounds plus the probed bound — it does not depend
+    on the order bounds were committed or on the cuts accumulated along
+    the way (cuts never remove integer points).  The checker therefore
+    memoizes verdicts under a canonical fingerprint of the committed
+    set; the list scheduler re-probes equivalent states constantly
+    (priority ties within a step, the same group recurring every L
+    steps, postpone/retry passes), and each hit skips a full
+    cutting-plane probe.
     """
 
     def __init__(self, graph: Cdfg, partitioning: Partitioning,
@@ -373,6 +387,10 @@ class PinAllocationChecker:
         self.method = method
         self.fixed: Dict[str, int] = {}
         self.checks = 0
+        self.cache_hits = 0
+        self._oracle: Dict[Tuple[Tuple[Tuple[str, int], ...], str, int],
+                           bool] = {}
+        self._fingerprint: Tuple[Tuple[str, int], ...] = ()
         self._solver: Optional[DualAllIntegerSolver] = None
         if method == "gomory":
             self._solver = DualAllIntegerSolver(self.problem.model)
@@ -392,6 +410,20 @@ class PinAllocationChecker:
         if not self._sharing_consistent(node, step, schedule):
             return False
         self.checks += 1
+        PERF.inc("pin.checks")
+        key = (self._fingerprint, node.name, group)
+        cached = self._oracle.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            PERF.inc("pin.cache_hits")
+            return cached
+        PERF.inc("pin.cache_misses")
+        verdict = self._probe(node, group)
+        self._oracle[key] = verdict
+        return verdict
+
+    def _probe(self, node: Node, group: int) -> bool:
+        """Uncached feasibility probe (solver or branch & bound)."""
         if self.method == "gomory":
             assert self._solver is not None
             var = self.problem.var(node.name, group)
@@ -399,6 +431,7 @@ class PinAllocationChecker:
                 return self._solver.try_lower_bound(var)
             except IlpError:
                 # Cutting-plane cap: fall back to exact branch & bound.
+                PERF.inc("pin.bnb_fallbacks")
                 tentative = dict(self.fixed)
                 tentative[node.name] = group
                 return self.problem.solve_with_fixed(tentative)
@@ -409,6 +442,7 @@ class PinAllocationChecker:
     def commit(self, node: Node, step: int, schedule: Schedule) -> None:
         group = step % self.L
         self.fixed[node.name] = group
+        self._fingerprint = tuple(sorted(self.fixed.items()))
         if self.method == "gomory":
             assert self._solver is not None
             var = self.problem.var(node.name, group)

@@ -8,8 +8,14 @@ incrementally as scheduling pins I/O operations to control-step groups
 and 6 were fed to external packages (Bozo, Lindo); here a two-phase
 exact-rational primal simplex plus branch & bound stands in.
 
-Everything computes over :class:`fractions.Fraction`, so results are
-exact — no tolerance tuning, no cycling from round-off.
+All arithmetic is exact rational — sparse integer-scaled rows (integer
+numerators over one per-row denominator) on the hot paths, with the
+original dense :class:`fractions.Fraction` tableau retained as a
+cross-checkable reference (:func:`set_cross_check`) — so results carry
+no tolerance tuning and no cycling from round-off.  Feasibility probes
+backtrack through an undo journal instead of copying tableaus, and
+:mod:`repro.perf` counts pivots/cuts/rollbacks for the benchmark
+harness.
 """
 
 from repro.ilp.model import (
@@ -25,6 +31,8 @@ from repro.ilp.model import (
 from repro.ilp.simplex import solve_lp
 from repro.ilp.branch_bound import solve_ilp
 from repro.ilp.gomory import DualAllIntegerSolver
+from repro.ilp.tableau import Tableau, cross_check_enabled, set_cross_check
+from repro.ilp.dense_tableau import DenseTableau
 from repro.ilp.linearize import (
     linearize_max_binary,
     linearize_min_binary,
@@ -46,6 +54,10 @@ __all__ = [
     "solve_lp",
     "solve_ilp",
     "DualAllIntegerSolver",
+    "Tableau",
+    "DenseTableau",
+    "set_cross_check",
+    "cross_check_enabled",
     "linearize_max_binary",
     "linearize_min_binary",
     "linearize_xor",

@@ -4,30 +4,24 @@ Depth-first with best-incumbent pruning, branching on the most
 fractional integer variable.  Intended for the small-to-medium
 verification ILPs of Chapters 4 and 6 (the production path uses the
 heuristics, exactly as the dissertation does for practical sizes).
+
+The search keeps ONE mutable bounds overlay and walks the tree with an
+explicit undo log: entering a node applies its bound change, exhausting
+its subtree pops the matching ``restore`` record.  No model clones, no
+per-node bounds-dict copies — the LP engine reads the overlay directly
+through :func:`solve_lp`'s ``bounds`` parameter.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.errors import IlpError
 from repro.ilp.model import Model, Sense, Solution, SolveStatus, Var
 from repro.ilp.simplex import solve_lp
+from repro.perf import PERF
 
 Bounds = Dict[int, Tuple[Fraction, Optional[Fraction]]]
-
-
-def _with_bounds(model: Model, bounds: Bounds) -> Model:
-    """Clone the model with tightened variable bounds."""
-    clone = Model(model.name)
-    for var in model.vars:
-        lb, ub = bounds.get(var.index, (var.lb, var.ub))
-        clone.add_var(var.name, lb, ub, var.integer)
-    clone.constraints = list(model.constraints)
-    clone.objective = model.objective
-    clone.sense = model.sense
-    return clone
 
 
 def _most_fractional(model: Model,
@@ -58,18 +52,30 @@ def solve_ilp(model: Model,
     def better(a: Fraction, b: Fraction) -> bool:
         return a < b if sense is Sense.MINIMIZE else a > b
 
-    stack: List[Bounds] = [{}]
+    bounds: Bounds = {}
+    # Stack entries: ("enter", idx, (lb, ub)) applies a bound and solves
+    # the node; ("restore", idx, prev) reverts it once the subtree is
+    # exhausted (prev None means the index had no override before).
+    stack = [("enter", None, None)]
     nodes = 0
     while stack:
+        kind, idx, payload = stack.pop()
+        if kind == "restore":
+            if payload is None:
+                bounds.pop(idx, None)
+            else:
+                bounds[idx] = payload
+            continue
+        if idx is not None:
+            bounds[idx] = payload
         nodes += 1
+        PERF.inc("bnb.nodes")
         if nodes > node_limit:
             if incumbent is not None:
                 return Solution(SolveStatus.ITERATION_LIMIT,
                                 incumbent.objective, incumbent.values)
             return Solution(SolveStatus.ITERATION_LIMIT)
-        bounds = stack.pop()
-        relaxed = _with_bounds(model, bounds)
-        lp = solve_lp(relaxed, max_iter=max_iter)
+        lp = solve_lp(model, max_iter=max_iter, bounds=bounds)
         if lp.status is SolveStatus.INFEASIBLE:
             continue
         if lp.status is SolveStatus.UNBOUNDED:
@@ -90,20 +96,19 @@ def solve_ilp(model: Model,
             continue
         value = lp.values[branch_var.index]
         floor_v = Fraction(value.numerator // value.denominator)
-        lb, ub = bounds.get(branch_var.index,
-                            (branch_var.lb, branch_var.ub))
-        down: Bounds = dict(bounds)
-        down[branch_var.index] = (lb, floor_v)
-        up: Bounds = dict(bounds)
-        up[branch_var.index] = (floor_v + 1, ub)
+        prev = bounds.get(branch_var.index)
+        lb, ub = prev if prev is not None \
+            else (branch_var.lb, branch_var.ub)
+        down = (lb, floor_v)
+        up = (floor_v + 1, ub)
         # DFS order: explore "round up" first for maximization-style
         # packing models, "round down" first otherwise.
-        if sense is Sense.MAXIMIZE:
-            stack.append(down)
-            stack.append(up)
-        else:
-            stack.append(up)
-            stack.append(down)
+        first, second = (up, down) if sense is Sense.MAXIMIZE \
+            else (down, up)
+        stack.append(("restore", branch_var.index, prev))
+        stack.append(("enter", branch_var.index, second))
+        stack.append(("restore", branch_var.index, prev))
+        stack.append(("enter", branch_var.index, first))
 
     if incumbent is None:
         return Solution(SolveStatus.INFEASIBLE)

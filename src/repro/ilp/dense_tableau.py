@@ -1,0 +1,134 @@
+"""Dense exact-rational reference tableau (the original Fraction path).
+
+This is the pre-optimization implementation of the simplex tableau,
+kept verbatim as the *reference arithmetic* for the sparse
+integer-scaled :class:`repro.ilp.tableau.Tableau`.  When cross-check
+mode is enabled (``repro.ilp.tableau.set_cross_check(True)`` or the
+``REPRO_ILP_CROSSCHECK=1`` environment variable), every mutating
+tableau operation is mirrored onto one of these shadows and the two
+representations are compared entry by entry — any divergence raises
+immediately, so the fast path is continuously validated against the
+slow-but-obviously-correct one on small models.
+
+Do not use this class on hot paths; it exists to be trusted, not fast.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.errors import IlpError
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+class DenseTableau:
+    """Simplex tableau: ``rows[i][j]`` coefficients, ``rows[i][-1]`` rhs.
+
+    ``cost[j]`` are reduced costs of a *minimization* objective;
+    ``cost[-1]`` holds ``-z`` (so the objective value is ``-cost[-1]``).
+    ``basis[i]`` is the column basic in row ``i``.
+    """
+
+    def __init__(self, rows: List[List[Fraction]], cost: List[Fraction],
+                 basis: List[int]) -> None:
+        if len(basis) != len(rows):
+            raise IlpError("basis size must match row count")
+        width = len(cost)
+        for row in rows:
+            if len(row) != width:
+                raise IlpError("ragged tableau")
+        self.rows = rows
+        self.cost = cost
+        self.basis = basis
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        """Number of variable columns (excluding the rhs)."""
+        return len(self.cost) - 1
+
+    def rhs(self, i: int) -> Fraction:
+        return self.rows[i][-1]
+
+    def objective_value(self) -> Fraction:
+        return -self.cost[-1]
+
+    def copy(self) -> "DenseTableau":
+        return DenseTableau([row[:] for row in self.rows], self.cost[:],
+                            self.basis[:])
+
+    def add_column(self, value: Fraction = ZERO) -> int:
+        """Append a fresh column (zero everywhere); returns its index."""
+        for row in self.rows:
+            row.insert(-1, ZERO)
+        self.cost.insert(-1, value)
+        return self.n_cols - 1
+
+    def add_row(self, coeffs: List[Fraction], rhs: Fraction,
+                basic_col: int) -> int:
+        """Append a row whose basic column is ``basic_col``."""
+        if len(coeffs) != self.n_cols:
+            raise IlpError("row width mismatch")
+        self.rows.append(coeffs + [rhs])
+        self.basis.append(basic_col)
+        return self.n_rows - 1
+
+    # ------------------------------------------------------------------
+    def pivot(self, row: int, col: int) -> None:
+        """Pivot so column ``col`` becomes basic in ``row``."""
+        pivot_value = self.rows[row][col]
+        if pivot_value == 0:
+            raise IlpError("pivot on zero element")
+        prow = self.rows[row]
+        if pivot_value != ONE:
+            inv = ONE / pivot_value
+            self.rows[row] = prow = [x * inv for x in prow]
+        for i, other in enumerate(self.rows):
+            if i == row:
+                continue
+            factor = other[col]
+            if factor:
+                self.rows[i] = [a - factor * b for a, b in zip(other, prow)]
+        factor = self.cost[col]
+        if factor:
+            self.cost = [a - factor * b for a, b in zip(self.cost, prow)]
+        self.basis[row] = col
+
+    # ------------------------------------------------------------------
+    def apply_column_shift(self, col: int, amount: int) -> None:
+        """Subtract ``amount`` times column ``col`` from the rhs column
+        (the Equations 3.12 -> 3.13 lower-bound substitution)."""
+        for row in self.rows:
+            coef = row[col]
+            if coef:
+                row[-1] -= coef * amount
+        if self.cost[col]:
+            self.cost[-1] -= self.cost[col] * amount
+
+    def price_out_basis(self) -> None:
+        """Make every basic column's reduced cost zero."""
+        for i in range(self.n_rows):
+            coef = self.cost[self.basis[i]]
+            if coef:
+                self.cost = [a - coef * r
+                             for a, r in zip(self.cost, self.rows[i])]
+
+    # ------------------------------------------------------------------
+    def basic_values(self) -> List[Tuple[int, Fraction]]:
+        """(column, value) for every basic variable."""
+        return [(self.basis[i], self.rows[i][-1])
+                for i in range(self.n_rows)]
+
+    def is_integral(self) -> bool:
+        return all(self.rows[i][-1].denominator == 1
+                   for i in range(self.n_rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DenseTableau(rows={self.n_rows}, cols={self.n_cols})"

@@ -10,6 +10,18 @@ tableau via the substitution update of Equations 3.12 -> 3.13 (the rhs
 column decreases by the variable's current column), then resuming the
 cutting-plane loop — usually a handful of iterations, since the feasible
 region changed only slightly.
+
+Performance architecture
+------------------------
+Because every entry stays integral, the whole solver runs on the sparse
+integer fast path of :class:`repro.ilp.tableau.Tableau` (per-row
+denominators are provably 1 throughout, asserted cheaply).  Feasibility
+probes (``try_lower_bound`` / ``check_feasible``) no longer copy the
+tableau: they drop a :meth:`Tableau.mark`, run the cutting-plane loop,
+and roll back through the undo journal in O(touched) — the old
+``snapshot()/restore()`` protocol cost O(rows x cols) Fraction copies
+per probe and dominated every scheduling run.  ``snapshot``/``restore``
+remain available for callers that need a detached deep copy.
 """
 
 from __future__ import annotations
@@ -21,12 +33,15 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import IlpError, InfeasibleError
 from repro.ilp.model import Model, Sense, Solution, SolveStatus, Var
 from repro.ilp.tableau import Tableau, ZERO, ONE
+from repro.perf import PERF
 
 
-def _require_integer(value: Fraction, what: str) -> Fraction:
+def _require_integer(value: Fraction, what: str) -> int:
+    if isinstance(value, int):
+        return value
     if value.denominator != 1:
         raise IlpError(f"{what} must be integral, got {value}")
-    return value
+    return int(value)
 
 
 class DualAllIntegerSolver:
@@ -44,8 +59,9 @@ class DualAllIntegerSolver:
     def __init__(self, model: Model, max_iter: int = 50_000) -> None:
         self.model = model
         self.max_iter = max_iter
-        self._shifts: Dict[int, Fraction] = {}
+        self._shifts: Dict[int, int] = {}
         self._col_of: Dict[int, int] = {}
+        self._shift_log: List[Tuple[int, int]] = []
         self.cuts_generated = 0
         self.pivots = 0
         self._build()
@@ -54,21 +70,22 @@ class DualAllIntegerSolver:
     def _build(self) -> None:
         model = self.model
         n = len(model.vars)
-        direction = ONE if model.sense is Sense.MINIMIZE else -ONE
+        direction = 1 if model.sense is Sense.MINIMIZE else -1
 
-        cost = [ZERO] * (n)  # structural columns; slacks appended later
+        cost: Dict[int, int] = {}  # structural columns; slacks stay 0
         for idx, coef in model.objective.terms.items():
-            value = _require_integer(coef * direction, "objective coeff")
+            value = _require_integer(coef, "objective coeff") * direction
             if value < 0:
                 raise IlpError(
                     "initial tableau is not dual feasible: objective "
                     f"coefficient of {model.vars[idx].name} is negative "
                     "in minimization form")
-            cost[idx] = value
+            if value:
+                cost[idx] = value
 
-        rows: List[Tuple[Dict[int, Fraction], Fraction]] = []
+        rows: List[Tuple[Dict[int, int], int]] = []
 
-        def push_le(coeffs: Dict[int, Fraction], b: Fraction) -> None:
+        def push_le(coeffs: Dict[int, int], b: int) -> None:
             # Euclidean row reduction: dividing an all-integer row by the
             # gcd of its coefficients (flooring the rhs) preserves the
             # integer feasible set and makes +-1 pivots far more common,
@@ -76,10 +93,10 @@ class DualAllIntegerSolver:
             # algorithm needs.
             g = 0
             for c in coeffs.values():
-                g = math.gcd(g, abs(int(c)))
+                g = math.gcd(g, c)
             if g > 1:
-                coeffs = {i: c / g for i, c in coeffs.items()}
-                b = Fraction(math.floor(b / g))
+                coeffs = {i: c // g for i, c in coeffs.items()}
+                b = b // g  # floor division: b may be negative
             rows.append((coeffs, b))
 
         for var in model.vars:
@@ -87,18 +104,19 @@ class DualAllIntegerSolver:
                 raise IlpError(
                     f"dual all-integer solver needs integer variables; "
                     f"{var.name} is continuous")
-            _require_integer(var.lb, f"lower bound of {var.name}")
-            self._shifts[var.index] = var.lb
+            lb = _require_integer(var.lb, f"lower bound of {var.name}")
+            self._shifts[var.index] = lb
             if var.ub is not None:
                 ub = _require_integer(var.ub, f"upper bound of {var.name}")
-                push_le({var.index: ONE}, ub - var.lb)
+                push_le({var.index: 1}, ub - lb)
 
         for constraint in model.constraints:
             shift = constraint.expr.const
-            coeffs = dict(constraint.expr.terms)
-            for i, c in coeffs.items():
-                _require_integer(c, "constraint coefficient")
-                shift += c * model.vars[i].lb
+            coeffs: Dict[int, int] = {}
+            for i, c in constraint.expr.terms.items():
+                ci = _require_integer(c, "constraint coefficient")
+                coeffs[i] = ci
+                shift += ci * model.vars[i].lb
             b = _require_integer(-shift, "constraint constant")
             if constraint.op == "<=":
                 push_le(coeffs, b)
@@ -109,31 +127,49 @@ class DualAllIntegerSolver:
                 push_le({i: -c for i, c in coeffs.items()}, -b)
 
         m = len(rows)
-        total = n + m
-        tab_rows: List[List[Fraction]] = []
+        tab_rows: List[Tuple[Dict[int, int], int]] = []
         basis: List[int] = []
         for i, (coeffs, b) in enumerate(rows):
-            row = [ZERO] * (total + 1)
-            for idx, c in coeffs.items():
-                row[idx] = c
-            row[n + i] = ONE
-            row[-1] = b
-            tab_rows.append(row)
+            row = dict(coeffs)
+            row[n + i] = 1  # slack
+            tab_rows.append((row, b))
             basis.append(n + i)
-        full_cost = cost + [ZERO] * m + [ZERO]
-        self.tableau = Tableau(tab_rows, full_cost, basis)
+        self.tableau = Tableau.from_sparse(n + m, tab_rows, cost, basis)
+        self.tableau.enable_undo()
         for var in model.vars:
             self._col_of[var.index] = var.index
 
-    # ------------------------------------------------------------------
-    def snapshot(self) -> Tuple[Tableau, Dict[int, Fraction], int, int]:
+    # -- undo-log backtracking -----------------------------------------
+    def _mark(self):
+        """Checkpoint of tableau + shifts + counters for :meth:`_undo`."""
+        return (self.tableau.mark(), len(self._shift_log),
+                self.cuts_generated, self.pivots)
+
+    def _undo(self, token) -> None:
+        tab_mark, shift_mark, cuts, pivots = token
+        self.tableau.undo_to(tab_mark)
+        while len(self._shift_log) > shift_mark:
+            idx, amount = self._shift_log.pop()
+            self._shifts[idx] -= amount
+        self.cuts_generated = cuts
+        self.pivots = pivots
+
+    def _commit_journal(self) -> None:
+        """Forget undo state: committed changes are never rolled back."""
+        self.tableau.journal_clear()
+        self._shift_log.clear()
+
+    # -- detached deep-copy snapshots (debugging / external callers) ---
+    def snapshot(self) -> Tuple[Tableau, Dict[int, int], int, int]:
         return (self.tableau.copy(), dict(self._shifts),
                 self.cuts_generated, self.pivots)
 
     def restore(self, state) -> None:
         tableau, shifts, cuts, pivots = state
         self.tableau = tableau
+        self.tableau.enable_undo()
         self._shifts = shifts
+        self._shift_log = []
         self.cuts_generated = cuts
         self.pivots = pivots
 
@@ -148,36 +184,37 @@ class DualAllIntegerSolver:
         if amount <= 0:
             raise IlpError("amount must be positive")
         col = self._col_of[var.index]
-        tab = self.tableau
-        for i in range(tab.n_rows):
-            coef = tab.rows[i][col]
-            if coef:
-                tab.rows[i][-1] -= coef * amount
-        # Objective shifts too (cost[-1] holds -z).
-        if tab.cost[col]:
-            tab.cost[-1] -= tab.cost[col] * amount
+        self.tableau.apply_column_shift(col, amount)
         self._shifts[var.index] += amount
+        self._shift_log.append((var.index, amount))
 
     # ------------------------------------------------------------------
     def reoptimize(self) -> bool:
         """Run the dual all-integer loop; True iff (still) feasible."""
+        PERF.inc("gomory.reoptimize_calls")
         tab = self.tableau
+        nums = tab._nums
+        rhs = tab._rhs_num
         for _ in range(self.max_iter):
-            # Most-negative-rhs row selection.
-            row = None
-            most_negative: Optional[Fraction] = None
-            for i in range(tab.n_rows):
-                value = tab.rhs(i)
-                if value < 0 and (most_negative is None
-                                  or value < most_negative):
+            # Re-fetch each round: pivots replace the cost dict
+            # copy-on-write, so a loop-wide alias would go stale.
+            cost = tab._cost_nums
+            # Most-negative-rhs row selection (all dens are 1 here: the
+            # initial data is integral and every pivot element is -1).
+            row = -1
+            most_negative = 0
+            for i in range(len(rhs)):
+                value = rhs[i]
+                if value < most_negative:
                     most_negative = value
                     row = i
-            if row is None:
+            if row < 0:
                 return True
 
-            # Eligible columns: negative entries in the pivot row.
-            eligible = [j for j in range(tab.n_cols)
-                        if tab.rows[row][j] < 0]
+            # Eligible columns: negative entries in the pivot row.  The
+            # sparse row yields only its nonzeros, so this is O(nnz).
+            prow = nums[row]
+            eligible = [j for j, v in prow.items() if v < 0]
             if not eligible:
                 return False
 
@@ -185,76 +222,90 @@ class DualAllIntegerSolver:
             # below); among cost ties prefer entries of -1 — they pivot
             # directly without generating a cut — then small magnitudes.
             k = min(eligible,
-                    key=lambda j: (tab.cost[j], -tab.rows[row][j] != 1,
-                                   -tab.rows[row][j], j))
-            cost_k = tab.cost[k]
-            if cost_k == 0:
-                lam = -tab.rows[row][k]
-            else:
-                lam = -tab.rows[row][k]
+                    key=lambda j: (cost.get(j, 0), -prow[j] != 1,
+                                   -prow[j], j))
+            cost_k = cost.get(k, 0)
+            # lam as an exact ratio lam_num/lam_den (both positive).
+            lam_num = -prow[k]
+            lam_den = 1
+            if cost_k != 0:
                 for j in eligible:
                     if j == k:
                         continue
-                    m_j = tab.cost[j] // cost_k  # floor; >= 1 by choice of k
-                    candidate = Fraction(-tab.rows[row][j], 1) / m_j
-                    if candidate > lam:
-                        lam = candidate
+                    m_j = cost.get(j, 0) // cost_k  # floor; >= 1 by k
+                    cand = -prow[j]
+                    if cand * lam_den > lam_num * m_j:
+                        lam_num = cand
+                        lam_den = m_j
 
-            if lam == 1:
+            if lam_num == lam_den:
                 # Pivot element is already -1: plain dual-simplex pivot.
                 tab.pivot(row, k)
                 self.pivots += 1
                 continue
 
             # Generate the all-integer cut floor(row / lam) and pivot on
-            # its k entry, which equals -1 by construction.
-            cut = [Fraction(_floor_div(tab.rows[row][j], lam))
-                   for j in range(tab.n_cols)]
-            cut_rhs = Fraction(_floor_div(tab.rows[row][-1], lam))
-            slack_col = tab.add_column(ZERO)
-            cut.append(ONE)  # the new slack column
+            # its k entry, which equals -1 by construction.  lam > 0, so
+            # zero entries floor to zero and stay out of the sparse row.
+            cut: Dict[int, int] = {}
+            for j, v in prow.items():
+                c = (v * lam_den) // lam_num
+                if c:
+                    cut[j] = c
+            cut_rhs = (rhs[row] * lam_den) // lam_num
+            slack_col = tab.add_column(0)
+            cut[slack_col] = 1
             cut_row = tab.add_row(cut, cut_rhs, slack_col)
-            if tab.rows[cut_row][k] != -1:  # pragma: no cover - invariant
+            if nums[cut_row].get(k, 0) != -1:  # pragma: no cover
                 raise IlpError("all-integer cut pivot is not -1")
             tab.pivot(cut_row, k)
             self.cuts_generated += 1
             self.pivots += 1
+            PERF.inc("gomory.cuts")
         raise IlpError("dual all-integer iteration limit exceeded")
 
     # ------------------------------------------------------------------
     def check_feasible(self) -> bool:
         """Non-destructively check feasibility of the current state."""
-        state = self.snapshot()
+        PERF.inc("gomory.checks")
+        token = self._mark()
         try:
             return self.reoptimize()
         finally:
-            self.restore(state)
+            self._undo(token)
 
     def try_lower_bound(self, var: Var, amount: int = 1) -> bool:
-        """Would raising the bound keep the ILP feasible?  (Restores.)"""
-        state = self.snapshot()
+        """Would raising the bound keep the ILP feasible?  (Rolls back.)"""
+        PERF.inc("gomory.probes")
+        token = self._mark()
         self.add_lower_bound(var, amount)
         try:
             feasible = self.reoptimize()
         except IlpError:
-            self.restore(state)
+            self._undo(token)
             raise
-        if not feasible:
-            self.restore(state)
-            return False
         # Keep the re-optimized tableau only if the caller commits.
-        self.restore(state)
-        return True
+        self._undo(token)
+        return feasible
 
     def commit_lower_bound(self, var: Var, amount: int = 1) -> None:
         """Raise the bound for real; raises if it makes the ILP infeasible."""
-        state = self.snapshot()
+        PERF.inc("gomory.commits")
+        token = self._mark()
         self.add_lower_bound(var, amount)
-        if not self.reoptimize():
-            self.restore(state)
+        feasible = False
+        try:
+            feasible = self.reoptimize()
+        finally:
+            if not feasible:
+                self._undo(token)
+        if not feasible:
             raise InfeasibleError(
                 f"raising {var.name} by {amount} makes the pin allocation "
                 f"infeasible")
+        # The bound is permanent: truncate the undo log so memory stays
+        # bounded by the work since the last commit.
+        self._commit_journal()
 
     # ------------------------------------------------------------------
     def solve(self) -> Solution:
@@ -262,16 +313,12 @@ class DualAllIntegerSolver:
         if not self.reoptimize():
             return Solution(SolveStatus.INFEASIBLE)
         values: Dict[int, Fraction] = {}
-        basic = dict(self.tableau.basic_values())
+        basic = self.tableau.integral_basic_values()
+        if basic is None:  # pragma: no cover - all-integer invariant
+            raise IlpError("dual all-integer tableau left a fractional rhs")
         for var in self.model.vars:
             col = self._col_of[var.index]
-            value = basic.get(col, ZERO) + self._shifts[var.index]
+            value = Fraction(basic.get(col, 0) + self._shifts[var.index])
             values[var.index] = value
         objective = self.model.objective.value(values)
         return Solution(SolveStatus.OPTIMAL, objective, values)
-
-
-def _floor_div(a: Fraction, lam: Fraction) -> int:
-    """floor(a / lam) for exact rationals."""
-    q = a / lam
-    return q.numerator // q.denominator

@@ -1,62 +1,101 @@
 """Two-phase exact-rational primal simplex over :class:`Model`.
 
-Bland's rule guarantees termination; Fractions guarantee exactness.
+Bland's rule guarantees termination; exact rational arithmetic (sparse
+integer-scaled rows, see :mod:`repro.ilp.tableau`) guarantees exactness.
 This is the LP relaxation engine under the branch & bound solver and a
 general-purpose checker for the connection ILPs.
+
+Rows are built sparsely from the constraints' nonzero coefficient dicts
+— no dense ``[0] * n`` scaffolding per upper-bound variable — and the
+branch & bound solver passes its tightened variable bounds through the
+``bounds`` overlay instead of cloning the model per node.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from math import gcd
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import IlpError
 from repro.ilp.model import Model, Sense, Solution, SolveStatus
 from repro.ilp.tableau import Tableau, ZERO, ONE
+from repro.perf import PERF
+
+Bounds = Mapping[int, Tuple[Fraction, Optional[Fraction]]]
 
 
-def _standard_rows(model: Model) -> Tuple[List[List[Fraction]],
-                                          List[Fraction], List[str]]:
-    """Rows over *shifted* variables (x' = x - lb >= 0): (A, b, ops).
+def _standard_rows(model: Model, bounds: Optional[Bounds] = None
+                   ) -> Tuple[List[Dict[int, Fraction]],
+                              List[Fraction], List[str]]:
+    """Sparse rows over *shifted* variables (x' = x - lb >= 0).
 
-    Upper bounds become explicit ``<=`` rows.  Every returned op is
-    ``"<="`` or ``"=="`` (``>=`` rows are negated).
+    Upper bounds become explicit ``<=`` rows built directly from
+    one-entry coefficient dicts.  Every returned op is ``"<="`` or
+    ``"=="`` (``>=`` rows are negated).  ``bounds`` overlays tightened
+    (lb, ub) pairs per variable index (branch & bound nodes).
     """
-    n = len(model.vars)
-    rows: List[List[Fraction]] = []
+    rows: List[Dict[int, Fraction]] = []
     rhs: List[Fraction] = []
     ops: List[str] = []
+
+    def effective(var) -> Tuple[Fraction, Optional[Fraction]]:
+        if bounds is not None and var.index in bounds:
+            return bounds[var.index]
+        return var.lb, var.ub
 
     def push(coeffs: Dict[int, Fraction], b: Fraction, op: str) -> None:
         if op == ">=":
             coeffs = {i: -c for i, c in coeffs.items()}
             b = -b
             op = "<="
-        row = [ZERO] * n
-        for i, c in coeffs.items():
-            row[i] = c
-        rows.append(row)
+        rows.append({i: c for i, c in coeffs.items() if c})
         rhs.append(b)
         ops.append(op)
 
     for var in model.vars:
-        if var.ub is not None:
-            push({var.index: ONE}, var.ub - var.lb, "<=")
+        lb, ub = effective(var)
+        if ub is not None:
+            push({var.index: ONE}, ub - lb, "<=")
 
     for constraint in model.constraints:
         shift = constraint.expr.const
         coeffs = dict(constraint.expr.terms)
         for i, c in coeffs.items():
-            shift += c * model.vars[i].lb
+            shift += c * effective(model.vars[i])[0]
         # expr op 0  ->  sum c_i x'_i  op  -shift
         push(coeffs, -shift, constraint.op)
     return rows, rhs, ops
 
 
-def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
-    """Solve the LP relaxation of ``model`` exactly."""
+def _scaled(coeffs: Dict[int, Fraction],
+            b: Fraction) -> Tuple[Dict[int, int], int, int]:
+    """Clear denominators: (integer numerators, rhs numerator, den)."""
+    den = b.denominator
+    for c in coeffs.values():
+        cd = c.denominator
+        if cd != 1:
+            den = den * cd // gcd(den, cd)
+    nums = {j: int(c * den) for j, c in coeffs.items()}
+    return nums, int(b * den), den
+
+
+def solve_lp(model: Model, max_iter: int = 200_000,
+             bounds: Optional[Bounds] = None) -> Solution:
+    """Solve the LP relaxation of ``model`` exactly.
+
+    ``bounds`` optionally overlays tightened (lb, ub) simple bounds per
+    variable index without mutating or cloning the model.
+    """
+    with PERF.phase("simplex.solve_lp"):
+        PERF.inc("simplex.solves")
+        return _solve_lp(model, max_iter, bounds)
+
+
+def _solve_lp(model: Model, max_iter: int,
+              bounds: Optional[Bounds]) -> Solution:
     n = len(model.vars)
-    rows, rhs, ops = _standard_rows(model)
+    rows, rhs, ops = _standard_rows(model, bounds)
     m = len(rows)
 
     # Normalize to b >= 0 (flips <= rows to >= which then need surplus +
@@ -66,7 +105,7 @@ def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
     need_artificial: List[Optional[int]] = [None] * m
     for i in range(m):
         if rhs[i] < 0:
-            rows[i] = [-c for c in rows[i]]
+            rows[i] = {j: -c for j, c in rows[i].items()}
             rhs[i] = -rhs[i]
             if ops[i] == "<=":
                 ops[i] = ">="
@@ -85,29 +124,27 @@ def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
             need_artificial[i] = total_cols
             total_cols += 1
 
-    tab_rows: List[List[Fraction]] = []
+    tab_rows: List[Tuple[Dict[int, int], int]] = []
+    row_dens: List[int] = []
     basis: List[int] = []
     for i in range(m):
-        row = rows[i] + [ZERO] * (total_cols - n) + [rhs[i]]
+        nums, rhs_num, den = _scaled(rows[i], rhs[i])
         if need_slack[i] is not None:
-            row[need_slack[i]] = ONE
+            nums[need_slack[i]] = den
             basis.append(need_slack[i])
         if need_surplus[i] is not None:
-            row[need_surplus[i]] = -ONE
+            nums[need_surplus[i]] = -den
         if need_artificial[i] is not None:
-            row[need_artificial[i]] = ONE
+            nums[need_artificial[i]] = den
             basis.append(need_artificial[i])
-        tab_rows.append(row)
+        tab_rows.append((nums, rhs_num))
+        row_dens.append(den)
 
     # Phase 1: minimize sum of artificials; price out basic artificials.
-    cost = [ZERO] * (total_cols + 1)
-    for j in range(artificial_start, total_cols):
-        cost[j] = ONE
-    tableau = Tableau(tab_rows, cost, basis)
-    for i in range(m):
-        if tableau.basis[i] >= artificial_start:
-            tableau.cost = [a - b for a, b in
-                            zip(tableau.cost, tableau.rows[i])]
+    phase1_cost = {j: 1 for j in range(artificial_start, total_cols)}
+    tableau = Tableau.from_sparse(total_cols, tab_rows, phase1_cost, basis,
+                                  dens=row_dens)
+    tableau.price_out_basis()
     status = tableau.primal_simplex(max_iter)
     if status == "unbounded":  # pragma: no cover - cannot happen in phase 1
         raise IlpError("phase-1 LP unbounded")
@@ -118,8 +155,8 @@ def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
     for i in range(m):
         if tableau.basis[i] >= artificial_start:
             pivot_col = None
-            for j in range(artificial_start):
-                if tableau.rows[i][j] != 0:
+            for j in sorted(tableau._nums[i]):
+                if j < artificial_start:
                     pivot_col = j
                     break
             if pivot_col is not None:
@@ -130,17 +167,12 @@ def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
 
     # Phase 2: install the real objective and price out the basis.
     direction = ONE if model.sense is Sense.MINIMIZE else -ONE
-    cost2 = [ZERO] * (total_cols + 1)
-    for idx, coef in model.objective.terms.items():
-        cost2[idx] = coef * direction
+    obj = {idx: coef * direction
+           for idx, coef in model.objective.terms.items() if coef}
+    obj_nums, _obj_rhs, obj_den = _scaled(obj, ZERO)
     # objective constant (incl. lb shifts) folded in at extraction time.
-    tableau.cost = cost2
-    for i in range(m):
-        b = tableau.basis[i]
-        coef = tableau.cost[b]
-        if coef:
-            tableau.cost = [a - coef * r for a, r in
-                            zip(tableau.cost, tableau.rows[i])]
+    tableau.set_cost_sparse(obj_nums, 0, obj_den)
+    tableau.price_out_basis()
     status = tableau.primal_simplex(max_iter, banned=blocked)
     if status == "unbounded":
         return Solution(SolveStatus.UNBOUNDED)
@@ -149,7 +181,13 @@ def solve_lp(model: Model, max_iter: int = 200_000) -> Solution:
     for col, value in tableau.basic_values():
         if col < n:
             shifted[col] = value
-    values = {var.index: shifted.get(var.index, ZERO) + var.lb
+
+    def lower(var) -> Fraction:
+        if bounds is not None and var.index in bounds:
+            return bounds[var.index][0]
+        return var.lb
+
+    values = {var.index: shifted.get(var.index, ZERO) + lower(var)
               for var in model.vars}
     objective = model.objective.value(values)
     return Solution(SolveStatus.OPTIMAL, objective, values)

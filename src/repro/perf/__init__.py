@@ -1,0 +1,79 @@
+"""Lightweight performance instrumentation for the solver stack.
+
+A process-global :class:`PerfRegistry` (``PERF``) accumulates integer
+counters (pivots, cuts, cache hits, ...) and phase wall times.  The hot
+paths pay one dict increment per event, so the counters stay on even in
+production runs; flows snapshot/delta the registry to attribute costs to
+a single synthesis call, and ``benchmarks/run_all.py`` serializes the
+deltas into ``BENCH_ilp.json`` so successive PRs have a perf trajectory.
+
+Counter namespaces used across the repo:
+
+* ``tableau.*``  — pivot counts and undo-log rollbacks
+  (:mod:`repro.ilp.tableau`);
+* ``gomory.*``   — cuts, pivots, probe/commit counts
+  (:mod:`repro.ilp.gomory`);
+* ``simplex.*``  — LP solves (:mod:`repro.ilp.simplex`);
+* ``bnb.*``      — branch & bound nodes (:mod:`repro.ilp.branch_bound`);
+* ``pin.*``      — feasibility-oracle checks and cache hits
+  (:mod:`repro.core.pin_allocation`).
+
+Phase timers (``PERF.phase``) follow the same naming; flows record
+``flow.simple`` / ``flow.connection_first`` / ``flow.schedule_first``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping
+
+
+class PerfRegistry:
+    """Counters plus phase wall-clock accumulators."""
+
+    __slots__ = ("counters", "timings")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.timings: Dict[str, float] = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    def inc(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    @contextmanager
+    def phase(self, key: str) -> Iterator[None]:
+        """Accumulate wall time under ``timings[key]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[key] += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {"counters": dict(self.counters),
+                "timings": dict(self.timings)}
+
+    def delta_since(self, before: Mapping[str, Mapping[str, float]]
+                    ) -> Dict[str, Dict[str, float]]:
+        """Counters/timings accumulated since ``before = snapshot()``."""
+        prev_c = before.get("counters", {})
+        prev_t = before.get("timings", {})
+        counters = {k: v - prev_c.get(k, 0)
+                    for k, v in self.counters.items()
+                    if v - prev_c.get(k, 0)}
+        timings = {k: v - prev_t.get(k, 0.0)
+                   for k, v in self.timings.items()
+                   if v - prev_t.get(k, 0.0) > 0.0}
+        return {"counters": counters, "timings": timings}
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timings.clear()
+
+
+#: Process-global registry; cheap enough to leave always on.
+PERF = PerfRegistry()
