@@ -8,14 +8,21 @@ partitioned CDFGs, under per-chip I/O pin budgets and with passive
 
 Quickstart::
 
-    from repro import (CdfgBuilder, Partitioning, ChipSpec,
-                       synthesize_connection_first)
+    from repro import CdfgBuilder, Partitioning, ChipSpec, synthesize
     from repro.modules.library import ar_filter_timing
+    from repro.robustness import SolveBudget
 
     # build a partitioned CDFG with I/O nodes, pick pin budgets...
-    result = synthesize_connection_first(graph, partitioning,
-                                         ar_filter_timing(), 3)
-    print(result.pipe_length, result.pins_used())
+    result = synthesize(graph, partitioning, ar_filter_timing(), 3,
+                        budget=SolveBudget(deadline_ms=2000))
+    print(result.pipe_length, result.pins_used(), result.degraded)
+
+:func:`synthesize` dispatches to the right chapter flow, threads the
+budget through every solver, and degrades gracefully when time runs
+out — ``result.diagnostics`` records the fallback trail.  The three
+per-chapter functions (:func:`synthesize_simple`,
+:func:`synthesize_connection_first`, :func:`synthesize_schedule_first`)
+remain available for direct control.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
@@ -29,11 +36,14 @@ from repro.core import (
     Bus,
     Interconnect,
     BusAssignment,
+    SynthesisOptions,
     SynthesisResult,
+    synthesize,
     synthesize_simple,
     synthesize_connection_first,
     synthesize_schedule_first,
 )
+from repro.robustness import (BudgetExhausted, Diagnostics, SolveBudget)
 from repro.scheduling import Schedule, ListScheduler, ForceDirectedScheduler
 
 __version__ = "1.0.0"
@@ -55,7 +65,12 @@ __all__ = [
     "Bus",
     "Interconnect",
     "BusAssignment",
+    "SynthesisOptions",
     "SynthesisResult",
+    "SolveBudget",
+    "BudgetExhausted",
+    "Diagnostics",
+    "synthesize",
     "synthesize_simple",
     "synthesize_connection_first",
     "synthesize_schedule_first",

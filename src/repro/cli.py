@@ -7,16 +7,22 @@ Commands
 ``simulate``    synthesize and then cycle-accurately simulate;
 ``designs``     list the built-in benchmark designs;
 ``emit-rtl``    synthesize and dump the structural RTL.
+
+All flow commands accept ``--flow auto`` (the default: dispatch per
+partitioning shape) and ``--timeout-ms`` (a wall-clock budget threaded
+through every solver).  ``synthesize --json`` emits one machine-readable
+result object; exit code 2 means the answer is valid but degraded (a
+budget fallback fired — see the ``diagnostics`` trail).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Tuple
 
-from repro import (synthesize_connection_first, synthesize_schedule_first,
-                   synthesize_simple)
+from repro import synthesize
 from repro.cdfg.graph import Cdfg
 from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
                            AR_SIMPLE_PINS, ELLIPTIC_PINS_BIDIR,
@@ -24,11 +30,15 @@ from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
                            ar_simple_design, elliptic_design,
                            elliptic_resources)
 from repro.errors import ReproError
-from repro.io_json import dump_result, load_design
+from repro.io_json import _stats_to_dict, dump_result, load_design
 from repro.modules.library import ar_filter_timing, elliptic_filter_timing
 from repro.partition.model import Partitioning
 from repro.reporting import (interconnect_listing, pins_summary,
                              schedule_listing)
+from repro.robustness import BudgetExhausted, SolveBudget
+
+#: Exit code for a valid answer produced through a budget fallback.
+EXIT_DEGRADED = 2
 
 BUILTINS = {
     "ar-simple": "AR lattice filter, simple 4-chip partitioning (Ch 3)",
@@ -63,19 +73,24 @@ def _load(name_or_path: str, rate: int
     return graph, partitioning, ar_filter_timing(), None
 
 
+def _budget(args) -> Optional[SolveBudget]:
+    timeout = getattr(args, "timeout_ms", None)
+    if timeout is None:
+        return None
+    return SolveBudget(deadline_ms=timeout)
+
+
 def _synthesize(args) -> object:
     graph, pins, timing, resources = _load(args.design, args.rate)
-    if args.flow == "simple":
-        return synthesize_simple(graph, pins, timing, args.rate,
-                                 resources=resources)
-    if args.flow == "schedule-first":
-        pipe = args.pipe_length or 24
-        return synthesize_schedule_first(graph, pins, timing, args.rate,
-                                         pipe_length=pipe)
-    return synthesize_connection_first(
-        graph, pins, timing, args.rate, resources=resources,
-        subbus_sharing=args.subbus, slot_reserve=args.slot_reserve,
-        branching_factor=args.branching)
+    return synthesize(
+        graph, pins, timing, args.rate,
+        flow=args.flow,
+        budget=_budget(args),
+        resources=resources,
+        subbus_sharing=args.subbus,
+        slot_reserve=args.slot_reserve,
+        branching_factor=args.branching,
+        pipe_length=args.pipe_length)
 
 
 def cmd_designs(_args) -> int:
@@ -85,9 +100,32 @@ def cmd_designs(_args) -> int:
     return 0
 
 
+def _result_json(args, result) -> dict:
+    """The machine-readable ``synthesize --json`` payload."""
+    problems = result.verify()
+    return {
+        "design": args.design,
+        "flow": args.flow,
+        "rate": args.rate,
+        "pipe_length": result.pipe_length,
+        "pins_used": {str(p): n for p, n in result.pins_used().items()},
+        "degraded": result.degraded,
+        "valid": not problems,
+        "problems": problems,
+        "diagnostics": result.diagnostics.to_dict(),
+        "stats": _stats_to_dict(result.stats),
+    }
+
+
 def cmd_synthesize(args) -> int:
     """Run a flow and print the schedule/connection/pin reports."""
     result = _synthesize(args)
+    if args.json:
+        print(json.dumps(_result_json(args, result), indent=1,
+                         sort_keys=True))
+        if args.output:
+            dump_result(result, args.output)
+        return EXIT_DEGRADED if result.degraded else 0
     if args.gantt:
         from repro.reporting import gantt_chart
         print(gantt_chart(result.schedule, result.interconnect,
@@ -103,6 +141,11 @@ def cmd_synthesize(args) -> int:
     if args.output:
         dump_result(result, args.output)
         print(f"\nresult archived to {args.output}")
+    if result.degraded:
+        print("\nDEGRADED result (budget fallbacks fired):")
+        for line in result.diagnostics.trail:
+            print(f"  {line}")
+        return EXIT_DEGRADED
     return 0
 
 
@@ -139,11 +182,18 @@ def _add_flow_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rate", "-L", type=int, default=3,
                         help="initiation rate (default 3)")
     parser.add_argument("--flow",
-                        choices=["simple", "connection-first",
+                        choices=["auto", "simple", "connection-first",
                                  "schedule-first"],
-                        default="connection-first")
+                        default="auto",
+                        help="synthesis flow (default: auto-dispatch "
+                             "on the partitioning shape)")
+    parser.add_argument("--timeout-ms", type=int, default=None,
+                        help="wall-clock budget threaded through every "
+                             "solver; budget-starved flows degrade "
+                             "gracefully (exit code 2)")
     parser.add_argument("--pipe-length", type=int, default=None,
-                        help="pipe budget for the schedule-first flow")
+                        help="pipe budget for the schedule-first flow "
+                             "(default: critical path + 2L)")
     parser.add_argument("--subbus", action="store_true",
                         help="enable Chapter 6 sub-bus sharing")
     parser.add_argument("--slot-reserve", type=int, default=0,
@@ -168,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_syn = sub.add_parser("synthesize", help="run a synthesis flow")
     _add_flow_options(p_syn)
     p_syn.add_argument("--output", "-o", help="archive result as JSON")
+    p_syn.add_argument("--json", action="store_true",
+                       help="print one machine-readable result object "
+                            "instead of the text reports")
     p_syn.add_argument("--gantt", action="store_true",
                        help="render unit/bus lanes over control steps")
     p_syn.set_defaults(func=cmd_synthesize)
@@ -194,6 +247,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BudgetExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.diagnostics is not None:
+            for line in exc.diagnostics.trail:
+                print(f"  {line}", file=sys.stderr)
+        return 1
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

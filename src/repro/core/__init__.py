@@ -23,7 +23,9 @@
 
 from repro.core.interconnect import Bus, Interconnect, BusAssignment
 from repro.core.flow import (
+    SynthesisOptions,
     SynthesisResult,
+    synthesize,
     synthesize_simple,
     synthesize_connection_first,
     synthesize_schedule_first,
@@ -33,7 +35,9 @@ __all__ = [
     "Bus",
     "Interconnect",
     "BusAssignment",
+    "SynthesisOptions",
     "SynthesisResult",
+    "synthesize",
     "synthesize_simple",
     "synthesize_connection_first",
     "synthesize_schedule_first",

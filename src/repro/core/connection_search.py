@@ -29,6 +29,7 @@ from repro.core.bus_bounds import max_buses_pipelined
 from repro.core.interconnect import Bus, BusAssignment, Interconnect
 from repro.errors import ConnectionError_
 from repro.partition.model import Partitioning
+from repro.robustness.budget import as_token
 
 #: Priority weights of the gain factors (values from Section 4.1.2,
 #: "chosen arbitrarily" to order g1 > g2 > g3).
@@ -68,7 +69,8 @@ class ConnectionSearch:
                  share_groups: Optional[Mapping[str, str]] = None,
                  weighting: Optional[Mapping[int, float]] = None,
                  slot_reserve: int = 0,
-                 step_limit: int = 300_000) -> None:
+                 step_limit: int = 300_000,
+                 budget=None) -> None:
         self.graph = graph
         self.partitioning = partitioning
         self.L = initiation_rate
@@ -85,6 +87,8 @@ class ConnectionSearch:
         self.weighting = dict(weighting or {})
         self.steps = 0
         self.step_limit = step_limit
+        #: Cooperative cancellation token, ticked once per DFS step.
+        self.budget = as_token(budget)
 
         self._ops = sorted(graph.io_nodes(),
                            key=lambda n: (-n.bit_width, n.name))
@@ -144,6 +148,12 @@ class ConnectionSearch:
         node = self._ops[position]
         for candidate in self._candidates(node):
             self.steps += 1
+            if self.budget is not None:
+                self.budget.note_incumbent(
+                    solver="connection_search",
+                    ops_assigned=position, ops_total=len(self._ops),
+                    buses_open=len(self._buses))
+                self.budget.tick("connection_search")
             if self.steps > self.step_limit:
                 raise ConnectionError_(
                     f"connection search exceeded {self.step_limit} "

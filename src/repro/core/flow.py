@@ -1,5 +1,9 @@
-"""End-to-end synthesis flows.
+"""End-to-end synthesis flows and the :func:`synthesize` front door.
 
+* :func:`synthesize` — the single entry point: dispatches on the
+  partitioning (``flow="auto"``) to the right chapter flow, threads an
+  optional :class:`repro.robustness.budget.SolveBudget` through every
+  solver, and degrades gracefully when the budget runs out.
 * :func:`synthesize_simple` — Chapter 3: list scheduling with the ILP
   pin-allocation feasibility checker, then the constructive Theorem 3.1
   interchip connection.
@@ -11,12 +15,24 @@
 
 Every flow returns a :class:`SynthesisResult` whose :meth:`verify`
 re-checks all invariants end to end — precedence, chaining, recursion,
-functional units, pin budgets, and bus conflict freedom.
+functional units, pin budgets, and bus conflict freedom.  Budgeted runs
+additionally carry a :class:`repro.robustness.diagnostics.Diagnostics`
+trail recording dispatch decisions, budget exhaustions, and fallbacks,
+so a degraded answer is auditable.
+
+The graceful-degradation lattice (see DESIGN.md §8):
+
+* connection-first search exhausts its budget → retry with a greedy
+  ``branching_factor=1`` pass (fresh iteration counters, same wall
+  clock) → fall back to the schedule-first flow;
+* the Gomory cutting planes stall → the pin checker latches onto exact
+  branch & bound → onto the conservative LP-relaxation bound (inside
+  :class:`repro.core.pin_allocation.PinAllocationChecker`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional
 
 from repro.cdfg.graph import Cdfg
@@ -31,15 +47,50 @@ from repro.core.simple_connection import (SimpleConnectionResult,
                                           build_simple_connection,
                                           verify_simple_allocation)
 from repro.core.subbus import SubBusConnectionSearch
-from repro.errors import ConnectionError_, SchedulingError
+from repro.errors import ConnectionError_, ReproError, SchedulingError
 from repro.modules.allocation import ResourceVector, min_module_counts
 from repro.modules.library import DesignTiming
 from repro.partition.model import Partitioning
 from repro.partition.simple import is_simple_partitioning
 from repro.perf import PERF
+from repro.robustness.budget import (BudgetExhausted, BudgetToken,
+                                     as_token)
+from repro.robustness.diagnostics import Diagnostics
 from repro.scheduling.base import Schedule, measured_resources
 from repro.scheduling.fds import ForceDirectedScheduler
 from repro.scheduling.list_scheduler import ListScheduler
+
+#: Flow names accepted by :func:`synthesize`.
+FLOWS = ("auto", "simple", "connection-first", "schedule-first")
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Frozen bag of every per-flow tuning knob.
+
+    One options type replaces the per-flow kwargs that had drifted
+    apart; each flow reads the fields it understands and ignores the
+    rest (the CLI sets them all uniformly).  Defaults match the
+    historical per-flow defaults exactly.
+    """
+
+    flow: str = "auto"
+    resources: Optional[ResourceVector] = None
+    pin_method: str = "gomory"              # simple flow
+    branching_factor: int = 2               # connection-first
+    reassignment: bool = True               # connection-first
+    subbus_sharing: bool = False            # connection-first (Ch 6)
+    share_groups: Optional[Mapping[str, str]] = None
+    slot_reserve: int = 0                   # connection-first
+    conditional_sharing: bool = False       # connection-first (Sec 7.2)
+    scheduler: str = "list"                 # connection-first
+    pipe_length: Optional[int] = None       # schedule-first
+    bidirectional: Optional[bool] = None    # schedule-first
+
+    def __post_init__(self) -> None:
+        if self.flow not in FLOWS:
+            raise ReproError(
+                f"unknown flow {self.flow!r}; expected one of {FLOWS}")
 
 
 @dataclass
@@ -55,11 +106,17 @@ class SynthesisResult:
     assignment: Optional[BusAssignment] = None
     simple_allocation: Optional[SimpleConnectionResult] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    diagnostics: Diagnostics = field(default_factory=Diagnostics)
 
     # ------------------------------------------------------------------
     @property
     def pipe_length(self) -> int:
         return self.schedule.pipe_length
+
+    @property
+    def degraded(self) -> bool:
+        """True when any phase fell back to a cheaper strategy."""
+        return self.diagnostics.degraded
 
     def pins_used(self) -> Dict[int, int]:
         if self.interconnect is not None:
@@ -96,29 +153,74 @@ class SynthesisResult:
 
 
 # ---------------------------------------------------------------------
-def synthesize_simple(graph: Cdfg,
-                      partitioning: Partitioning,
-                      timing: DesignTiming,
-                      initiation_rate: int,
-                      resources: Optional[ResourceVector] = None,
-                      pin_method: str = "gomory") -> SynthesisResult:
-    """Chapter 3 flow for designs with a simple partitioning."""
+#: PERF counter deltas reported under the same stats key by ALL flows,
+#: so callers can diff effort across flows without key juggling.
+_STAT_COUNTERS = {
+    "pin_checks": "pin.checks",
+    "pin_cache_hits": "pin.cache_hits",
+    "tableau_pivots": "tableau.pivots",
+    "gomory_cuts": "gomory.cuts",
+    "simplex_solves": "simplex.solves",
+    "bnb_nodes": "bnb.nodes",
+}
+
+
+def _normalized_stats(before, **extra) -> Dict[str, float]:
+    """The cross-flow stats contract: counter deltas + flow extras.
+
+    Every flow reports the solver-effort counters (zero when a solver
+    was not exercised) plus ``search_steps``/``reassignments`` so the
+    key set is identical across flows; flow-specific extras ride along.
+    """
+    counters = PERF.delta_since(before)["counters"]
+    stats: Dict[str, float] = {
+        key: counters.get(counter, 0)
+        for key, counter in _STAT_COUNTERS.items()
+    }
+    stats["search_steps"] = 0
+    stats["reassignments"] = 0
+    stats.update(extra)
+    return stats
+
+
+def _default_pipe_length(graph: Cdfg, timing: DesignTiming,
+                         initiation_rate: int) -> int:
+    """Pipe budget for schedule-first runs that did not specify one.
+
+    The critical path is the floor; the ``2 L`` margin gives FDS slack
+    to balance concurrency (the same headroom the Section 7.2 heuristic
+    grants itself).
+    """
+    from repro.cdfg.analysis import critical_path_length
+    return critical_path_length(graph, timing) + 2 * initiation_rate
+
+
+# ---------------------------------------------------------------------
+def _run_simple(graph: Cdfg, partitioning: Partitioning,
+                timing: DesignTiming, initiation_rate: int,
+                opts: SynthesisOptions,
+                token: Optional[BudgetToken],
+                diag: Diagnostics) -> SynthesisResult:
+    """Chapter 3 flow body (budget- and diagnostics-aware)."""
     validate_cdfg(graph, require_partitions=False)
     if not is_simple_partitioning(graph):
         raise ConnectionError_(
             "synthesize_simple requires a simple partitioning "
             "(Definition 3.2); use synthesize_connection_first instead")
+    resources = opts.resources
     if resources is None:
         resources = min_module_counts(graph, timing, initiation_rate)
     before = PERF.snapshot()
     with PERF.phase("flow.simple"):
         checker = PinAllocationChecker(graph, partitioning,
-                                       initiation_rate, method=pin_method)
+                                       initiation_rate,
+                                       method=opts.pin_method,
+                                       budget=token, diagnostics=diag)
         scheduler = ListScheduler(graph, timing, initiation_rate,
-                                  resources, io_hooks=checker)
+                                  resources, io_hooks=checker,
+                                  budget=token)
         schedule = scheduler.run()
         allocation = build_simple_connection(graph, schedule)
-    counters = PERF.delta_since(before)["counters"]
     result = SynthesisResult(
         graph=graph,
         partitioning=partitioning,
@@ -126,14 +228,154 @@ def synthesize_simple(graph: Cdfg,
         schedule=schedule,
         resources=resources,
         simple_allocation=allocation,
-        stats={
-            "pin_checks": checker.checks,
-            "pin_cache_hits": checker.cache_hits,
-            "tableau_pivots": counters.get("tableau.pivots", 0),
-            "gomory_cuts": counters.get("gomory.cuts", 0),
-        },
+        stats=_normalized_stats(before,
+                                pin_checks=checker.checks,
+                                pin_cache_hits=checker.cache_hits),
+        diagnostics=diag,
     )
     return result.require_valid()
+
+
+def _run_connection_first(graph: Cdfg, partitioning: Partitioning,
+                          timing: DesignTiming, initiation_rate: int,
+                          opts: SynthesisOptions,
+                          token: Optional[BudgetToken],
+                          diag: Diagnostics) -> SynthesisResult:
+    """Chapter 4/6 flow body (budget- and diagnostics-aware)."""
+    validate_cdfg(graph, require_partitions=False)
+    resources = opts.resources
+    if resources is None:
+        resources = min_module_counts(graph, timing, initiation_rate)
+    share_groups = opts.share_groups
+    if opts.conditional_sharing:
+        if share_groups is not None:
+            raise ConnectionError_(
+                "give either explicit share_groups or "
+                "conditional_sharing=True, not both")
+        from repro.cdfg.analysis import critical_path_length
+        from repro.core.conditional import share_conditionally
+        pipe_budget = critical_path_length(graph, timing) \
+            + 2 * initiation_rate
+        sharing = share_conditionally(graph, timing, pipe_budget,
+                                      initiation_rate=initiation_rate)
+        share_groups = sharing.share_groups()
+    if opts.scheduler not in ("list", "postpone"):
+        raise SchedulingError(f"unknown scheduler {opts.scheduler!r}")
+    before = PERF.snapshot()
+    with PERF.phase("flow.connection_first"):
+        search_cls = SubBusConnectionSearch if opts.subbus_sharing \
+            else ConnectionSearch
+        search = search_cls(graph, partitioning, initiation_rate,
+                            branching_factor=opts.branching_factor,
+                            share_groups=share_groups,
+                            slot_reserve=opts.slot_reserve,
+                            budget=token)
+        interconnect, initial = search.run()
+        if opts.scheduler == "postpone":
+            from repro.scheduling.postpone import \
+                schedule_with_postponement
+
+            last_allocator = []
+
+            def hooks_factory():
+                allocator = BusAllocator(graph, interconnect,
+                                         initial.copy(), initiation_rate,
+                                         reassignment=opts.reassignment)
+                last_allocator.append(allocator)
+                return allocator
+
+            schedule = schedule_with_postponement(
+                graph, timing, initiation_rate, resources,
+                hooks_factory=hooks_factory, budget=token)
+            allocator = last_allocator[-1]
+        else:
+            allocator = BusAllocator(graph, interconnect, initial,
+                                     initiation_rate,
+                                     reassignment=opts.reassignment)
+            schedule = ListScheduler(graph, timing, initiation_rate,
+                                     resources, io_hooks=allocator,
+                                     budget=token).run()
+    result = SynthesisResult(
+        graph=graph,
+        partitioning=partitioning,
+        initiation_rate=initiation_rate,
+        schedule=schedule,
+        resources=resources,
+        interconnect=interconnect,
+        assignment=allocator.final_assignment(),
+        stats=_normalized_stats(before,
+                                search_steps=search.steps,
+                                reassignments=allocator.reassignments,
+                                initial_assignment=initial),
+        diagnostics=diag,
+    )
+    return result.require_valid()
+
+
+def _run_schedule_first(graph: Cdfg, partitioning: Partitioning,
+                        timing: DesignTiming, initiation_rate: int,
+                        pipe_length: int,
+                        opts: SynthesisOptions,
+                        token: Optional[BudgetToken],
+                        diag: Diagnostics) -> SynthesisResult:
+    """Chapter 5 flow body (budget- and diagnostics-aware)."""
+    validate_cdfg(graph, require_partitions=False)
+    bidirectional = opts.bidirectional
+    if bidirectional is None:
+        bidirectional = partitioning.any_bidirectional()
+    before = PERF.snapshot()
+    with PERF.phase("flow.schedule_first"):
+        scheduler = ForceDirectedScheduler(graph, timing,
+                                           initiation_rate, pipe_length,
+                                           budget=token)
+        schedule = scheduler.run()
+        connector = PostScheduleConnector(graph, schedule,
+                                          partitioning=None,
+                                          bidirectional=bidirectional)
+        interconnect, assignment = connector.run()
+    resources = measured_resources(schedule)
+    result = SynthesisResult(
+        graph=graph,
+        partitioning=partitioning,
+        initiation_rate=initiation_rate,
+        schedule=schedule,
+        resources=resources,
+        interconnect=interconnect,
+        assignment=assignment,
+        stats=_normalized_stats(before),
+        diagnostics=diag,
+    )
+    problems = result.verify()
+    # The Chapter 5 flow minimizes pins rather than respecting a fixed
+    # budget; report overruns through stats instead of failing.
+    hard = [p for p in problems if "budget" not in p]
+    if hard:
+        raise SchedulingError(
+            "schedule-first synthesis failed verification:\n  "
+            + "\n  ".join(hard))
+    overruns = [p for p in problems if "budget" in p]
+    result.stats["budget_overruns"] = overruns
+    if overruns:
+        diag.record("schedule_first", "pin_budget_overruns",
+                    count=len(overruns))
+    return result
+
+
+# ---------------------------------------------------------------------
+# Public per-chapter entry points: thin wrappers over the flow bodies,
+# signature- and default-compatible with the historical functions.
+def synthesize_simple(graph: Cdfg,
+                      partitioning: Partitioning,
+                      timing: DesignTiming,
+                      initiation_rate: int,
+                      resources: Optional[ResourceVector] = None,
+                      pin_method: str = "gomory",
+                      budget=None) -> SynthesisResult:
+    """Chapter 3 flow for designs with a simple partitioning."""
+    opts = SynthesisOptions(flow="simple", resources=resources,
+                            pin_method=pin_method)
+    return _run_simple(graph, partitioning, timing, initiation_rate,
+                       opts, as_token(budget), Diagnostics())
 
 
 def synthesize_connection_first(graph: Cdfg,
@@ -149,6 +391,7 @@ def synthesize_connection_first(graph: Cdfg,
                                 slot_reserve: int = 0,
                                 conditional_sharing: bool = False,
                                 scheduler: str = "list",
+                                budget=None,
                                 ) -> SynthesisResult:
     """Chapter 4 flow (Chapter 6 with ``subbus_sharing=True``).
 
@@ -159,69 +402,18 @@ def synthesize_connection_first(graph: Cdfg,
     mutually exclusive guarded transfers are grouped and enter the
     connection search as shared values.
     """
-    validate_cdfg(graph, require_partitions=False)
-    if resources is None:
-        resources = min_module_counts(graph, timing, initiation_rate)
-    if conditional_sharing:
-        if share_groups is not None:
-            raise ConnectionError_(
-                "give either explicit share_groups or "
-                "conditional_sharing=True, not both")
-        from repro.cdfg.analysis import critical_path_length
-        from repro.core.conditional import share_conditionally
-        pipe_budget = critical_path_length(graph, timing) \
-            + 2 * initiation_rate
-        sharing = share_conditionally(graph, timing, pipe_budget,
-                                      initiation_rate=initiation_rate)
-        share_groups = sharing.share_groups()
-    if scheduler not in ("list", "postpone"):
-        raise SchedulingError(f"unknown scheduler {scheduler!r}")
-    with PERF.phase("flow.connection_first"):
-        search_cls = SubBusConnectionSearch if subbus_sharing \
-            else ConnectionSearch
-        search = search_cls(graph, partitioning, initiation_rate,
+    opts = SynthesisOptions(flow="connection-first",
+                            resources=resources,
                             branching_factor=branching_factor,
+                            reassignment=reassignment,
+                            subbus_sharing=subbus_sharing,
                             share_groups=share_groups,
-                            slot_reserve=slot_reserve)
-        interconnect, initial = search.run()
-        if scheduler == "postpone":
-            from repro.scheduling.postpone import \
-                schedule_with_postponement
-
-            last_allocator = []
-
-            def hooks_factory():
-                allocator = BusAllocator(graph, interconnect,
-                                         initial.copy(), initiation_rate,
-                                         reassignment=reassignment)
-                last_allocator.append(allocator)
-                return allocator
-
-            schedule = schedule_with_postponement(
-                graph, timing, initiation_rate, resources,
-                hooks_factory=hooks_factory)
-            allocator = last_allocator[-1]
-        else:
-            allocator = BusAllocator(graph, interconnect, initial,
-                                     initiation_rate,
-                                     reassignment=reassignment)
-            schedule = ListScheduler(graph, timing, initiation_rate,
-                                     resources, io_hooks=allocator).run()
-    result = SynthesisResult(
-        graph=graph,
-        partitioning=partitioning,
-        initiation_rate=initiation_rate,
-        schedule=schedule,
-        resources=resources,
-        interconnect=interconnect,
-        assignment=allocator.final_assignment(),
-        stats={
-            "search_steps": search.steps,
-            "reassignments": allocator.reassignments,
-            "initial_assignment": initial,
-        },
-    )
-    return result.require_valid()
+                            slot_reserve=slot_reserve,
+                            conditional_sharing=conditional_sharing,
+                            scheduler=scheduler)
+    return _run_connection_first(graph, partitioning, timing,
+                                 initiation_rate, opts,
+                                 as_token(budget), Diagnostics())
 
 
 def synthesize_schedule_first(graph: Cdfg,
@@ -230,37 +422,123 @@ def synthesize_schedule_first(graph: Cdfg,
                               initiation_rate: int,
                               pipe_length: int,
                               bidirectional: Optional[bool] = None,
+                              budget=None,
                               ) -> SynthesisResult:
     """Chapter 5 flow: FDS then clique-partitioning connection."""
-    validate_cdfg(graph, require_partitions=False)
-    if bidirectional is None:
-        bidirectional = partitioning.any_bidirectional()
-    with PERF.phase("flow.schedule_first"):
-        scheduler = ForceDirectedScheduler(graph, timing,
-                                           initiation_rate, pipe_length)
-        schedule = scheduler.run()
-        connector = PostScheduleConnector(graph, schedule,
-                                          partitioning=None,
-                                          bidirectional=bidirectional)
-        interconnect, assignment = connector.run()
-    resources = measured_resources(schedule)
-    result = SynthesisResult(
-        graph=graph,
-        partitioning=partitioning,
-        initiation_rate=initiation_rate,
-        schedule=schedule,
-        resources=resources,
-        interconnect=interconnect,
-        assignment=assignment,
-    )
-    problems = result.verify()
-    # The Chapter 5 flow minimizes pins rather than respecting a fixed
-    # budget; report overruns through stats instead of failing.
-    hard = [p for p in problems if "budget" not in p]
-    if hard:
-        raise SchedulingError(
-            "schedule-first synthesis failed verification:\n  "
-            + "\n  ".join(hard))
-    result.stats["budget_overruns"] = [
-        p for p in problems if "budget" in p]
-    return result
+    opts = SynthesisOptions(flow="schedule-first",
+                            pipe_length=pipe_length,
+                            bidirectional=bidirectional)
+    return _run_schedule_first(graph, partitioning, timing,
+                               initiation_rate, pipe_length, opts,
+                               as_token(budget), Diagnostics())
+
+
+# ---------------------------------------------------------------------
+def synthesize(graph: Cdfg,
+               partitioning: Partitioning,
+               timing: DesignTiming,
+               initiation_rate: int,
+               *,
+               flow: str = "auto",
+               budget=None,
+               **opts) -> SynthesisResult:
+    """The front door: dispatch, budget, and graceful degradation.
+
+    ``flow="auto"`` picks the Chapter 3 flow for simple partitionings
+    with unidirectional pins and the Chapter 4 flow otherwise; the
+    remaining keyword arguments are :class:`SynthesisOptions` fields.
+
+    With a :class:`repro.robustness.budget.SolveBudget`, every solver
+    in the chosen flow cooperates with the deadline/caps, and the
+    connection-first flow degrades gracefully instead of failing:
+    budget-starved search retries greedily (``branching_factor=1``),
+    then falls back to the schedule-first flow.  Each fallback rung
+    restarts the iteration counters but shares the original wall clock,
+    and every transition is recorded on ``result.diagnostics``.
+    Degraded results are verified by ``require_valid()`` exactly like
+    full-effort ones; when no rung fits the budget, the final
+    :class:`BudgetExhausted` carries the diagnostics trail.
+    """
+    options = SynthesisOptions(flow=flow, **opts)
+    token = as_token(budget)
+    diag = Diagnostics()
+    try:
+        return _dispatch(graph, partitioning, timing, initiation_rate,
+                         options, token, diag)
+    except BudgetExhausted as exc:
+        if exc.diagnostics is None:
+            exc.diagnostics = diag
+        raise
+
+
+def _dispatch(graph: Cdfg, partitioning: Partitioning,
+              timing: DesignTiming, initiation_rate: int,
+              options: SynthesisOptions,
+              token: Optional[BudgetToken],
+              diag: Diagnostics) -> SynthesisResult:
+    chosen = options.flow
+    auto = chosen == "auto"
+    if auto:
+        if is_simple_partitioning(graph) \
+                and not partitioning.any_bidirectional():
+            chosen = "simple"
+        else:
+            chosen = "connection-first"
+        diag.record("dispatch", "selected", flow=chosen,
+                    simple_partitioning=is_simple_partitioning(graph),
+                    bidirectional=partitioning.any_bidirectional())
+
+    if chosen == "simple":
+        try:
+            return _run_simple(graph, partitioning, timing,
+                               initiation_rate, options,
+                               token.child() if token else None, diag)
+        except BudgetExhausted as exc:
+            # Auto-dispatch may retreat to the general flow (and its
+            # own fallback chain); an explicit flow="simple" must not.
+            if not auto:
+                raise
+            diag.record_exhaustion(exc)
+            diag.record_fallback("flow", frm="simple",
+                                 to="connection-first")
+    if chosen == "schedule-first":
+        pipe = options.pipe_length or _default_pipe_length(
+            graph, timing, initiation_rate)
+        return _run_schedule_first(graph, partitioning, timing,
+                                   initiation_rate, pipe, options,
+                                   token, diag)
+
+    # connection-first, with the graceful-degradation chain when a
+    # budget is in force (without one, BudgetExhausted cannot occur).
+    def child() -> Optional[BudgetToken]:
+        return token.child() if token is not None else None
+
+    try:
+        return _run_connection_first(graph, partitioning, timing,
+                                     initiation_rate, options, child(),
+                                     diag)
+    except BudgetExhausted as exc:
+        diag.record_exhaustion(exc)
+        if options.branching_factor > 1:
+            diag.record_fallback(
+                "flow",
+                frm=f"connection-first(b={options.branching_factor})",
+                to="connection-first(greedy)")
+            greedy = replace(options, branching_factor=1)
+            try:
+                return _run_connection_first(graph, partitioning, timing,
+                                             initiation_rate, greedy,
+                                             child(), diag)
+            except BudgetExhausted as exc2:
+                diag.record_exhaustion(exc2)
+    diag.record_fallback("flow", frm="connection-first",
+                         to="schedule-first")
+    pipe = options.pipe_length or _default_pipe_length(
+        graph, timing, initiation_rate)
+    result = _run_schedule_first(graph, partitioning, timing,
+                                 initiation_rate, pipe, options,
+                                 child(), diag)
+    # A degraded answer must verify exactly like a full-effort one —
+    # including pin budgets, which the standalone schedule-first flow
+    # merely reports on.
+    return result.require_valid()

@@ -39,9 +39,11 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.cdfg.graph import Cdfg, Node
 from repro.errors import IlpError, InfeasibleError
 from repro.ilp import (DualAllIntegerSolver, Model, Var, lsum, solve_ilp)
-from repro.ilp.model import LinExpr
+from repro.ilp.model import LinExpr, SolveStatus
+from repro.ilp.simplex import solve_lp
 from repro.partition.model import OUTSIDE_WORLD, Partitioning
 from repro.perf import PERF
+from repro.robustness.budget import BudgetExhausted, as_token
 from repro.scheduling.base import Schedule
 
 
@@ -334,10 +336,23 @@ class PinAllocationProblem:
         model.minimize(0)
         return model
 
-    def solve_with_fixed(self, fixed: Mapping[str, int]) -> bool:
+    def solve_with_fixed(self, fixed: Mapping[str, int],
+                         budget=None) -> bool:
         """One-shot feasibility with some ops pinned to groups (B&B)."""
         model = _clone_with_fixed(self.model, self.x, fixed)
-        return solve_ilp(model).feasible
+        return solve_ilp(model, budget=budget).feasible
+
+    def lp_relaxation_feasible(self, fixed: Mapping[str, int]) -> bool:
+        """Feasibility of the LP *relaxation* with ops pinned to groups.
+
+        The weakest rung of the degradation chain: relaxation
+        feasibility is a necessary condition for ILP feasibility, so a
+        "no" here is sound while a "yes" is optimistic — the end-to-end
+        :meth:`repro.core.flow.SynthesisResult.require_valid` check
+        still guards every answer built on top of it.
+        """
+        model = _clone_with_fixed(self.model, self.x, fixed)
+        return solve_lp(model).status is SolveStatus.OPTIMAL
 
 
 def _clone_with_fixed(model: Model, x: Mapping[Tuple[str, int], Var],
@@ -374,10 +389,21 @@ class PinAllocationChecker:
     (priority ties within a step, the same group recurring every L
     steps, postpone/retry passes), and each hit skips a full
     cutting-plane probe.
+
+    Graceful degradation
+    --------------------
+    Under a :class:`repro.robustness.budget.SolveBudget` the probe
+    strategy forms a fallback chain: when the cutting planes exhaust
+    their budget share the checker latches onto exact branch & bound;
+    when that exhausts too it latches onto the conservative
+    LP-relaxation bound (sound "no", optimistic "yes" — the flow-level
+    ``require_valid()`` still verifies the final answer).  Every latch
+    is recorded on the ``diagnostics`` trail.
     """
 
     def __init__(self, graph: Cdfg, partitioning: Partitioning,
-                 initiation_rate: int, method: str = "gomory") -> None:
+                 initiation_rate: int, method: str = "gomory",
+                 budget=None, diagnostics=None) -> None:
         if method not in ("gomory", "bnb"):
             raise IlpError(f"unknown method {method!r}")
         self.problem = PinAllocationProblem(graph, partitioning,
@@ -385,6 +411,11 @@ class PinAllocationChecker:
         self.graph = graph
         self.L = initiation_rate
         self.method = method
+        self.budget = as_token(budget)
+        self.diagnostics = diagnostics
+        #: Latched budget fallback: None (configured method) -> "bnb"
+        #: -> "lp".  Never un-latches within one synthesis run.
+        self._degraded_method: Optional[str] = None
         self.fixed: Dict[str, int] = {}
         self.checks = 0
         self.cache_hits = 0
@@ -393,13 +424,14 @@ class PinAllocationChecker:
         self._fingerprint: Tuple[Tuple[str, int], ...] = ()
         self._solver: Optional[DualAllIntegerSolver] = None
         if method == "gomory":
-            self._solver = DualAllIntegerSolver(self.problem.model)
+            self._solver = DualAllIntegerSolver(self.problem.model,
+                                                budget=self.budget)
             if not self._solver.reoptimize():
                 raise InfeasibleError(
                     "no feasible pin allocation exists for this design "
                     "(infeasible initial ILP, Section 3.3)")
         else:
-            if not self.problem.solve_with_fixed({}):
+            if not self.problem.solve_with_fixed({}, budget=self.budget):
                 raise InfeasibleError(
                     "no feasible pin allocation exists for this design")
 
@@ -422,31 +454,68 @@ class PinAllocationChecker:
         self._oracle[key] = verdict
         return verdict
 
+    @property
+    def active_method(self) -> str:
+        """The probe strategy currently in force (after any latches)."""
+        return self._degraded_method or self.method
+
     def _probe(self, node: Node, group: int) -> bool:
-        """Uncached feasibility probe (solver or branch & bound)."""
-        if self.method == "gomory":
+        """Uncached feasibility probe (solver, branch & bound, or LP)."""
+        method = self.active_method
+        tentative = dict(self.fixed)
+        tentative[node.name] = group
+        if method == "gomory":
             assert self._solver is not None
             var = self.problem.var(node.name, group)
             try:
                 return self._solver.try_lower_bound(var)
+            except BudgetExhausted as exc:
+                self._degrade("bnb", exc)
+                method = "bnb"
             except IlpError:
-                # Cutting-plane cap: fall back to exact branch & bound.
+                # Cutting-plane cap: fall back to exact branch & bound
+                # for this probe only (no budget involved, no latch).
                 PERF.inc("pin.bnb_fallbacks")
-                tentative = dict(self.fixed)
-                tentative[node.name] = group
-                return self.problem.solve_with_fixed(tentative)
-        tentative = dict(self.fixed)
-        tentative[node.name] = group
-        return self.problem.solve_with_fixed(tentative)
+                return self.problem.solve_with_fixed(tentative,
+                                                     budget=self.budget)
+        if method == "bnb":
+            try:
+                return self.problem.solve_with_fixed(tentative,
+                                                     budget=self.budget)
+            except BudgetExhausted as exc:
+                self._degrade("lp", exc)
+        # Weakest rung: one bounded LP-relaxation solve, not ticked
+        # against the budget (it IS the last-resort answer).
+        return self.problem.lp_relaxation_feasible(tentative)
+
+    def _degrade(self, to: str, exc: BudgetExhausted) -> None:
+        """Latch onto a cheaper probe strategy for the rest of the run."""
+        frm = self.active_method
+        self._degraded_method = to
+        PERF.inc(f"pin.budget_fallback_{to}")
+        # Verdicts cached under the stronger method stay valid for
+        # "no" but may be sharper than the weaker oracle; keep them —
+        # they are sound answers to the same question.
+        if self.diagnostics is not None:
+            detail = exc.progress()
+            detail.pop("phase", None)
+            self.diagnostics.record_fallback(
+                "pin_allocation", frm=frm, to=to, **detail)
 
     def commit(self, node: Node, step: int, schedule: Schedule) -> None:
         group = step % self.L
         self.fixed[node.name] = group
         self._fingerprint = tuple(sorted(self.fixed.items()))
-        if self.method == "gomory":
+        if self.method == "gomory" and self._degraded_method is None:
             assert self._solver is not None
             var = self.problem.var(node.name, group)
-            self._solver.commit_lower_bound(var)
+            try:
+                self._solver.commit_lower_bound(var)
+            except BudgetExhausted as exc:
+                # The commit's re-optimization ran out of budget; the
+                # tableau was rolled back, so abandon it and latch onto
+                # branch & bound (``self.fixed`` carries the state).
+                self._degrade("bnb", exc)
 
     # ---------------------------------------------------------------
     def _sharing_consistent(self, node: Node, step: int,

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 from repro.ilp.model import Model, Sense, Solution, SolveStatus, Var
 from repro.ilp.simplex import solve_lp
 from repro.perf import PERF
+from repro.robustness.budget import as_token
 
 Bounds = Dict[int, Tuple[Fraction, Optional[Fraction]]]
 
@@ -44,8 +45,16 @@ def _most_fractional(model: Model,
 
 def solve_ilp(model: Model,
               node_limit: int = 100_000,
-              max_iter: int = 200_000) -> Solution:
-    """Solve the integer program exactly (within ``node_limit`` nodes)."""
+              max_iter: int = 200_000,
+              budget=None) -> Solution:
+    """Solve the integer program exactly (within ``node_limit`` nodes).
+
+    ``budget`` (SolveBudget/BudgetToken) is ticked once per search node
+    and raises :class:`repro.robustness.budget.BudgetExhausted` when the
+    cap or deadline is hit; the best incumbent found so far is noted on
+    the token so the exception carries it.
+    """
+    token = as_token(budget)
     sense = model.sense
     incumbent: Optional[Solution] = None
 
@@ -70,12 +79,15 @@ def solve_ilp(model: Model,
             bounds[idx] = payload
         nodes += 1
         PERF.inc("bnb.nodes")
+        if token is not None:
+            token.tick("bnb")
         if nodes > node_limit:
             if incumbent is not None:
                 return Solution(SolveStatus.ITERATION_LIMIT,
                                 incumbent.objective, incumbent.values)
             return Solution(SolveStatus.ITERATION_LIMIT)
-        lp = solve_lp(model, max_iter=max_iter, bounds=bounds)
+        lp = solve_lp(model, max_iter=max_iter, bounds=bounds,
+                      budget=token)
         if lp.status is SolveStatus.INFEASIBLE:
             continue
         if lp.status is SolveStatus.UNBOUNDED:
@@ -93,6 +105,10 @@ def solve_ilp(model: Model,
                                            incumbent.objective):
                 incumbent = Solution(SolveStatus.OPTIMAL, lp.objective,
                                      dict(lp.values))
+                if token is not None:
+                    token.note_incumbent(
+                        solver="bnb", nodes=nodes,
+                        objective=float(incumbent.objective))
             continue
         value = lp.values[branch_var.index]
         floor_v = Fraction(value.numerator // value.denominator)

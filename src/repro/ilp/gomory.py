@@ -34,6 +34,7 @@ from repro.errors import IlpError, InfeasibleError
 from repro.ilp.model import Model, Sense, Solution, SolveStatus, Var
 from repro.ilp.tableau import Tableau, ZERO, ONE
 from repro.perf import PERF
+from repro.robustness.budget import BudgetExhausted, as_token
 
 
 def _require_integer(value: Fraction, what: str) -> int:
@@ -56,9 +57,13 @@ class DualAllIntegerSolver:
       problem qualifies.
     """
 
-    def __init__(self, model: Model, max_iter: int = 50_000) -> None:
+    def __init__(self, model: Model, max_iter: int = 50_000,
+                 budget=None) -> None:
         self.model = model
         self.max_iter = max_iter
+        #: Cooperative cancellation token (SolveBudget/BudgetToken/None);
+        #: ticked once per cutting-plane iteration in :meth:`reoptimize`.
+        self.budget = as_token(budget)
         self._shifts: Dict[int, int] = {}
         self._col_of: Dict[int, int] = {}
         self._shift_log: List[Tuple[int, int]] = []
@@ -195,7 +200,10 @@ class DualAllIntegerSolver:
         tab = self.tableau
         nums = tab._nums
         rhs = tab._rhs_num
+        budget = self.budget
         for _ in range(self.max_iter):
+            if budget is not None:
+                budget.tick("gomory")
             # Re-fetch each round: pivots replace the cost dict
             # copy-on-write, so a loop-wide alias would go stale.
             cost = tab._cost_nums
@@ -281,7 +289,7 @@ class DualAllIntegerSolver:
         self.add_lower_bound(var, amount)
         try:
             feasible = self.reoptimize()
-        except IlpError:
+        except (IlpError, BudgetExhausted):
             self._undo(token)
             raise
         # Keep the re-optimized tableau only if the caller commits.

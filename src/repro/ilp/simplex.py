@@ -21,6 +21,7 @@ from repro.errors import IlpError
 from repro.ilp.model import Model, Sense, Solution, SolveStatus
 from repro.ilp.tableau import Tableau, ZERO, ONE
 from repro.perf import PERF
+from repro.robustness.budget import as_token
 
 Bounds = Mapping[int, Tuple[Fraction, Optional[Fraction]]]
 
@@ -81,12 +82,19 @@ def _scaled(coeffs: Dict[int, Fraction],
 
 
 def solve_lp(model: Model, max_iter: int = 200_000,
-             bounds: Optional[Bounds] = None) -> Solution:
+             bounds: Optional[Bounds] = None,
+             budget=None) -> Solution:
     """Solve the LP relaxation of ``model`` exactly.
 
     ``bounds`` optionally overlays tightened (lb, ub) simple bounds per
-    variable index without mutating or cloning the model.
+    variable index without mutating or cloning the model.  ``budget``
+    (SolveBudget/BudgetToken) is ticked once per LP solve — the natural
+    iteration boundary of this engine from its callers' point of view
+    (the pivot loop itself is bounded by ``max_iter``).
     """
+    token = as_token(budget)
+    if token is not None:
+        token.tick("simplex")
     with PERF.phase("simplex.solve_lp"):
         PERF.inc("simplex.solves")
         return _solve_lp(model, max_iter, bounds)

@@ -16,6 +16,7 @@ from repro.cdfg.ops import OpKind
 from repro.core.interconnect import Bus, BusAssignment, Interconnect
 from repro.errors import ReproError
 from repro.partition.model import ChipSpec, Partitioning
+from repro.robustness.diagnostics import Diagnostics
 
 FORMAT_VERSION = 1
 
@@ -160,8 +161,33 @@ def interconnect_from_dict(data: Dict[str, Any]) -> Interconnect:
 
 
 # ---------------------------------------------------------------------
+def _stats_to_dict(stats: Dict[str, Any]) -> Dict[str, Any]:
+    """Make a stats dict JSON-clean (BusAssignment values are tagged)."""
+    out: Dict[str, Any] = {}
+    for key, value in stats.items():
+        if isinstance(value, BusAssignment):
+            out[key] = {"__type__": "bus_assignment",
+                        "bus_of": dict(value.bus_of),
+                        "segment_of": dict(value.segment_of)}
+        else:
+            out[key] = value
+    return out
+
+
+def _stats_from_dict(data: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in (data or {}).items():
+        if isinstance(value, dict) \
+                and value.get("__type__") == "bus_assignment":
+            out[key] = BusAssignment(dict(value["bus_of"]),
+                                     dict(value["segment_of"]))
+        else:
+            out[key] = value
+    return out
+
+
 def result_to_dict(result) -> Dict[str, Any]:
-    """Serialize a SynthesisResult (schedule + structure, not stats)."""
+    """Serialize a SynthesisResult (schedule, structure, stats, trail)."""
     out: Dict[str, Any] = {
         "version": FORMAT_VERSION,
         "initiation_rate": result.initiation_rate,
@@ -173,6 +199,8 @@ def result_to_dict(result) -> Dict[str, Any]:
         },
         "resources": {f"{p}:{t}": n
                       for (p, t), n in result.resources.items()},
+        "stats": _stats_to_dict(result.stats),
+        "diagnostics": result.diagnostics.to_dict(),
     }
     if result.interconnect is not None:
         out["interconnect"] = interconnect_to_dict(result.interconnect)
@@ -184,11 +212,73 @@ def result_to_dict(result) -> Dict[str, Any]:
     return out
 
 
+def result_from_dict(data: Dict[str, Any], timing) -> "object":
+    """Rebuild a SynthesisResult from :func:`result_to_dict` data.
+
+    ``timing`` (a :class:`repro.modules.library.DesignTiming`) is needed
+    because schedules validate ns starts against the clock period; it is
+    deliberately not archived (module libraries are code, not data).
+    The Chapter 3 flow's ``simple_allocation`` is reconstructible from
+    the schedule and therefore not archived either.
+    """
+    from repro.core.flow import SynthesisResult
+    from repro.scheduling.base import Schedule
+
+    if data.get("version") != FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported result format version {data.get('version')!r}")
+    for key in ("graph", "partitioning", "schedule", "initiation_rate"):
+        if key not in data:
+            raise FormatError(f"result archive needs {key!r}")
+    graph = graph_from_dict(data["graph"])
+    partitioning = partitioning_from_dict(data["partitioning"])
+    rate = data["initiation_rate"]
+    schedule = Schedule(graph, timing, rate)
+    start_ns = data["schedule"].get("start_ns", {})
+    for name, step in sorted(data["schedule"]["start_step"].items()):
+        schedule.place(name, step, start_ns.get(name))
+    resources: Dict = {}
+    for key, count in data.get("resources", {}).items():
+        part, _, op_type = key.partition(":")
+        resources[(int(part), op_type)] = count
+    interconnect = None
+    if "interconnect" in data:
+        interconnect = interconnect_from_dict(data["interconnect"])
+    assignment = None
+    if "assignment" in data:
+        assignment = BusAssignment(
+            dict(data["assignment"]["bus_of"]),
+            dict(data["assignment"].get("segment_of", {})))
+    return SynthesisResult(
+        graph=graph,
+        partitioning=partitioning,
+        initiation_rate=rate,
+        schedule=schedule,
+        resources=resources,
+        interconnect=interconnect,
+        assignment=assignment,
+        stats=_stats_from_dict(data.get("stats")),
+        diagnostics=Diagnostics.from_dict(data.get("diagnostics")),
+    )
+
+
 def dump_result(result, path: str) -> None:
     """Write a SynthesisResult archive as JSON."""
     with open(path, "w") as handle:
         json.dump(result_to_dict(result), handle, indent=1,
                   sort_keys=True)
+
+
+def load_result(path: str, timing):
+    """Load a SynthesisResult archive written by :func:`dump_result`."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise FormatError(f"cannot read result file {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"result file {path!r} is not JSON: {exc}")
+    return result_from_dict(data, timing)
 
 
 def load_design(path: str):

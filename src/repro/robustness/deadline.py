@@ -1,0 +1,54 @@
+"""Wall-clock deadlines for cooperative solver cancellation.
+
+A :class:`Deadline` is a tiny monotonic-clock wrapper shared by every
+solver participating in one budgeted synthesis call.  Sharing matters:
+when the graceful-degradation chain of :mod:`repro.core.flow` retries a
+phase with a cheaper strategy, the retry gets *fresh iteration counters*
+but the *same* wall clock — fallbacks never extend the caller's time
+budget.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Deadline:
+    """A monotonic wall-clock limit (``None`` = unlimited)."""
+
+    __slots__ = ("_start", "_limit", "_clock")
+
+    def __init__(self, ms: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._start = clock()
+        self._limit = None if ms is None else self._start + ms / 1000.0
+
+    @classmethod
+    def after_ms(cls, ms: Optional[float],
+                 clock: Callable[[], float] = time.monotonic
+                 ) -> "Deadline":
+        return cls(ms, clock)
+
+    # ------------------------------------------------------------------
+    @property
+    def unlimited(self) -> bool:
+        return self._limit is None
+
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._start) * 1000.0
+
+    def remaining_ms(self) -> Optional[float]:
+        """ms left, clamped at 0; ``None`` when unlimited."""
+        if self._limit is None:
+            return None
+        return max(0.0, (self._limit - self._clock()) * 1000.0)
+
+    def expired(self) -> bool:
+        return self._limit is not None and self._clock() >= self._limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._limit is None:
+            return "Deadline(unlimited)"
+        return f"Deadline(remaining={self.remaining_ms():.1f}ms)"

@@ -1,0 +1,99 @@
+"""Structured diagnostics trail for budgeted synthesis runs.
+
+Every budgeted flow carries a :class:`Diagnostics` object through its
+phases.  Phases append :class:`DiagnosticEvent` records — dispatch
+decisions, budget exhaustions, fallback transitions — so a degraded
+answer is auditable: the trail says exactly which solvers gave up, with
+how much progress, and what replaced them.  The whole trail serializes
+to plain JSON data and round-trips through :mod:`repro.io_json`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Event kinds with meaning to the fallback machinery.
+EVENT_FALLBACK = "fallback"
+EVENT_EXHAUSTED = "budget_exhausted"
+
+
+@dataclass
+class DiagnosticEvent:
+    """One entry of the trail: what happened, where, with what detail."""
+
+    phase: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"phase": self.phase, "event": self.event,
+                "detail": dict(self.detail)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DiagnosticEvent":
+        return cls(phase=data["phase"], event=data["event"],
+                   detail=dict(data.get("detail", {})))
+
+    def describe(self) -> str:
+        if self.event == EVENT_FALLBACK:
+            return (f"{self.phase}: fallback "
+                    f"{self.detail.get('frm')} -> {self.detail.get('to')}")
+        return f"{self.phase}: {self.event}"
+
+
+class Diagnostics:
+    """Ordered trail of synthesis events; degraded iff any fallback."""
+
+    def __init__(self,
+                 events: Optional[Iterable[DiagnosticEvent]] = None
+                 ) -> None:
+        self.events: List[DiagnosticEvent] = list(events or [])
+
+    # ------------------------------------------------------------------
+    def record(self, phase: str, event: str,
+               **detail: Any) -> DiagnosticEvent:
+        entry = DiagnosticEvent(phase, event, detail)
+        self.events.append(entry)
+        return entry
+
+    def record_fallback(self, phase: str, frm: str, to: str,
+                        **detail: Any) -> DiagnosticEvent:
+        return self.record(phase, EVENT_FALLBACK, frm=frm, to=to,
+                           **detail)
+
+    def record_exhaustion(self, exc) -> DiagnosticEvent:
+        """Log a :class:`BudgetExhausted` (its progress snapshot)."""
+        detail = exc.progress()
+        phase = detail.pop("phase")
+        return self.record(phase, EVENT_EXHAUSTED, **detail)
+
+    # ------------------------------------------------------------------
+    def fallbacks(self) -> List[DiagnosticEvent]:
+        return [e for e in self.events if e.event == EVENT_FALLBACK]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any phase fell back to a cheaper strategy."""
+        return bool(self.fallbacks())
+
+    @property
+    def trail(self) -> List[str]:
+        """Human-readable one-liners, in order."""
+        return [e.describe() for e in self.events]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"degraded": self.degraded,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "Diagnostics":
+        if not data:
+            return cls()
+        return cls(DiagnosticEvent.from_dict(raw)
+                   for raw in data.get("events", []))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Diagnostics(degraded={self.degraded}, "
+                f"events={len(self.events)})")

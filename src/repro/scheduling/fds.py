@@ -19,6 +19,7 @@ from repro.cdfg.analysis import (TimingSpec, compute_time_frames,
                                  topological_order, _EPS)
 from repro.cdfg.graph import Cdfg, Node
 from repro.errors import SchedulingError
+from repro.robustness.budget import as_token
 from repro.scheduling.base import Schedule
 
 #: Distribution-graph bucket: ("fu", partition, op_type) for functional
@@ -31,12 +32,16 @@ class ForceDirectedScheduler:
 
     def __init__(self, graph: Cdfg, timing: TimingSpec,
                  initiation_rate: int, pipe_length: int,
-                 io_weight_by_bits: bool = True) -> None:
+                 io_weight_by_bits: bool = True,
+                 budget=None) -> None:
         self.graph = graph
         self.timing = timing
         self.L = initiation_rate
         self.pipe_length = pipe_length
         self.io_weight_by_bits = io_weight_by_bits
+        #: Cooperative cancellation token, ticked once per force-directed
+        #: placement (each pass of the main loop fixes one operation).
+        self.budget = as_token(budget)
 
     # ------------------------------------------------------------------
     def run(self) -> Schedule:
@@ -51,6 +56,10 @@ class ForceDirectedScheduler:
                 f"no feasible frames within pipe length {self.pipe_length}")
 
         while len(fixed) < len(movable):
+            if self.budget is not None:
+                self.budget.note_incumbent(
+                    solver="fds", fixed=len(fixed), total=len(movable))
+                self.budget.tick("fds")
             dgs = self._distribution_graphs(frames, fixed)
             best: Optional[Tuple[float, str, int]] = None
             for name in movable:

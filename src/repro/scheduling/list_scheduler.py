@@ -25,6 +25,7 @@ from repro.cdfg.graph import Cdfg, Node
 from repro.cdfg.ops import IO_KINDS
 from repro.errors import SchedulingError
 from repro.modules.allocation import ResourceVector
+from repro.robustness.budget import as_token
 from repro.scheduling.base import ResourcePool, Schedule
 from repro.scheduling.constraints import recursive_deadline
 
@@ -73,7 +74,8 @@ class ListScheduler:
                  resources: ResourceVector,
                  io_hooks: Optional[IoHooks] = None,
                  max_steps: Optional[int] = None,
-                 min_steps: Optional[Dict[str, int]] = None) -> None:
+                 min_steps: Optional[Dict[str, int]] = None,
+                 budget=None) -> None:
         self.graph = graph
         self.timing = timing
         self.L = initiation_rate
@@ -81,6 +83,8 @@ class ListScheduler:
         self.min_steps = dict(min_steps or {})
         self.hooks: IoHooks = io_hooks or NullIoHooks()
         self.max_steps = max_steps or self._default_max_steps()
+        #: Cooperative cancellation token, ticked once per control step.
+        self.budget = as_token(budget)
         self._priority = self._compute_priorities()
         self._deadline = self._compute_deadlines()
 
@@ -165,8 +169,15 @@ class ListScheduler:
         free_nodes: Set[str] = {n.name for n in graph.nodes()
                                 if n.is_free()}
 
+        total_ops = len(pending)
         step = 0
         while pending:
+            if self.budget is not None:
+                self.budget.note_incumbent(
+                    solver="list_scheduler", step=step,
+                    scheduled=total_ops - len(pending),
+                    total=total_ops)
+                self.budget.tick("list_scheduler")
             if step > self.max_steps:
                 raise SchedulingError(
                     f"could not schedule within {self.max_steps} steps; "

@@ -64,12 +64,15 @@ def schedule_with_postponement(
         resources: ResourceVector,
         hooks_factory: Callable[[], Optional[IoHooks]] = lambda: None,
         max_rounds: int = 6,
-        push: int = 1) -> Schedule:
+        push: int = 1,
+        budget=None) -> Schedule:
     """Run list scheduling, postponing greedy ops after each failure.
 
     ``hooks_factory`` must build a *fresh* IoHooks per round (bus
     allocators and pin checkers are stateful).  Raises the final
-    round's :class:`SchedulingError` if no round succeeds.
+    round's :class:`SchedulingError` if no round succeeds.  ``budget``
+    is handed to each round's :class:`ListScheduler`; the control-step
+    counter accumulates across rounds (one shared token).
     """
     min_steps: Dict[str, int] = {}
     last_error: Optional[SchedulingError] = None
@@ -77,7 +80,8 @@ def schedule_with_postponement(
         scheduler = ListScheduler(graph, timing, initiation_rate,
                                   resources,
                                   io_hooks=hooks_factory(),
-                                  min_steps=dict(min_steps))
+                                  min_steps=dict(min_steps),
+                                  budget=budget)
         try:
             return scheduler.run()
         except DeadlineMissed as exc:

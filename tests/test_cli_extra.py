@@ -48,3 +48,45 @@ class TestFlows:
 
     def test_unknown_design_fails(self, capsys):
         assert main(["synthesize", "/nonexistent.json"]) != 0
+
+
+class TestBudgetedCli:
+    def test_json_output_conforms_to_schema(self, capsys):
+        import json
+        from pathlib import Path
+        import sys
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent
+                               / "tools"))
+        try:
+            from validate_synth_json import DEFAULT_SCHEMA, validate
+        finally:
+            sys.path.pop(0)
+        assert main(["synthesize", "ar-general", "--flow", "auto",
+                     "--timeout-ms", "2000", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        schema = json.loads(DEFAULT_SCHEMA.read_text())
+        assert validate(payload, schema) == []
+        assert payload["valid"] and not payload["degraded"]
+        assert payload["flow"] == "auto"
+
+    def test_auto_flow_is_the_default(self, capsys):
+        assert main(["synthesize", "ar-general", "-L", "3"]) == 0
+        assert "pipe length" in capsys.readouterr().out
+
+    def test_budget_exhaustion_exits_nonzero_with_trail(self, capsys):
+        # A 0 ms deadline exhausts every fallback rung immediately.
+        rc = main(["synthesize", "ar-general", "-L", "3",
+                   "--timeout-ms", "0"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "solve budget exhausted" in err
+        assert "fallback" in err
+
+    def test_json_mode_reports_problems_not_tracebacks(self, capsys):
+        import json
+        rc = main(["synthesize", "ar-general", "-L", "3",
+                   "--flow", "schedule-first", "--pipe-length", "8",
+                   "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flow"] == "schedule-first"
+        assert rc in (0, 2)

@@ -9,8 +9,8 @@ from repro.designs import (AR_GENERAL_PINS_UNIDIR, ELLIPTIC_PINS_BIDIR,
 from repro.io_json import (FormatError, dump_design, dump_result,
                            graph_from_dict, graph_to_dict,
                            interconnect_from_dict, interconnect_to_dict,
-                           load_design, partitioning_from_dict,
-                           partitioning_to_dict)
+                           load_design, load_result,
+                           partitioning_from_dict, partitioning_to_dict)
 
 
 class TestGraphRoundTrip:
@@ -102,6 +102,56 @@ class TestFiles:
         path.write_text("{}")
         with pytest.raises(FormatError):
             load_design(str(path))
+
+    def test_result_round_trip_with_stats_and_diagnostics(
+            self, tmp_path):
+        from repro import SolveBudget, synthesize
+        from repro.modules.library import ar_filter_timing
+        timing = ar_filter_timing()
+        result = synthesize(ar_general_design(),
+                            AR_GENERAL_PINS_UNIDIR, timing, 3,
+                            budget=SolveBudget(max_search_steps=3))
+        assert result.degraded
+        path = str(tmp_path / "degraded.json")
+        dump_result(result, path)
+        clone = load_result(path, timing)
+        assert clone.schedule.start_step == result.schedule.start_step
+        assert clone.schedule.start_ns == result.schedule.start_ns
+        assert clone.resources == result.resources
+        assert clone.pins_used() == result.pins_used()
+        assert clone.pipe_length == result.pipe_length
+        assert clone.stats == result.stats
+        assert clone.degraded
+        assert clone.diagnostics.to_dict() == \
+            result.diagnostics.to_dict()
+        assert clone.verify() == []
+
+    def test_bus_assignment_stat_survives_the_archive(self, tmp_path):
+        from repro import synthesize_connection_first
+        from repro.core.interconnect import BusAssignment
+        from repro.modules.library import ar_filter_timing
+        timing = ar_filter_timing()
+        result = synthesize_connection_first(
+            ar_general_design(), AR_GENERAL_PINS_UNIDIR, timing, 3)
+        assert isinstance(result.stats["initial_assignment"],
+                          BusAssignment)
+        path = str(tmp_path / "result.json")
+        dump_result(result, path)
+        clone = load_result(path, timing)
+        initial = clone.stats["initial_assignment"]
+        assert isinstance(initial, BusAssignment)
+        assert initial.bus_of == \
+            result.stats["initial_assignment"].bus_of
+
+    def test_load_result_rejects_bad_input(self, tmp_path):
+        from repro.modules.library import ar_filter_timing
+        path = tmp_path / "bad.json"
+        path.write_text("{\"version\": 1}")
+        with pytest.raises(FormatError):
+            load_result(str(path), ar_filter_timing())
+        path.write_text("not json")
+        with pytest.raises(FormatError):
+            load_result(str(path), ar_filter_timing())
 
 
 class TestCli:

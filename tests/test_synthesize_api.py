@@ -1,0 +1,187 @@
+"""The front-door ``repro.synthesize()``: dispatch equivalence against
+the three direct flows, the deterministic fallback chain, and the
+deadline acceptance bound."""
+
+import time
+
+import pytest
+
+from repro import (BudgetExhausted, SolveBudget, SynthesisOptions,
+                   synthesize, synthesize_connection_first,
+                   synthesize_schedule_first, synthesize_simple)
+from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
+                           AR_SIMPLE_PINS, ELLIPTIC_PINS_UNIDIR,
+                           ar_general_design, ar_simple_design,
+                           elliptic_design, elliptic_resources)
+from repro.errors import ReproError
+from repro.modules.library import ar_filter_timing, elliptic_filter_timing
+
+
+def _same_result(a, b):
+    assert a.schedule.start_step == b.schedule.start_step
+    assert a.schedule.start_ns == b.schedule.start_ns
+    assert a.pipe_length == b.pipe_length
+    assert a.pins_used() == b.pins_used()
+    assert a.resources == b.resources
+
+
+class TestDispatchEquivalence:
+    """synthesize(flow=...) reproduces each direct flow exactly."""
+
+    def test_simple(self):
+        graph, timing = ar_simple_design(), ar_filter_timing()
+        direct = synthesize_simple(graph, AR_SIMPLE_PINS, timing, 2)
+        front = synthesize(graph, AR_SIMPLE_PINS, timing, 2,
+                           flow="simple")
+        _same_result(direct, front)
+
+    @pytest.mark.parametrize("design,pins,timing_fn,rate,needs_res", [
+        ("ar-general", AR_GENERAL_PINS_UNIDIR, ar_filter_timing, 3,
+         False),
+        ("ar-general-bidir", AR_GENERAL_PINS_BIDIR, ar_filter_timing, 3,
+         False),
+        ("elliptic", ELLIPTIC_PINS_UNIDIR, elliptic_filter_timing, 6,
+         True),
+    ])
+    def test_connection_first(self, design, pins, timing_fn, rate,
+                              needs_res):
+        graph = elliptic_design() if needs_res else ar_general_design()
+        timing = timing_fn()
+        resources = elliptic_resources(rate) if needs_res else None
+        direct = synthesize_connection_first(graph, pins, timing, rate,
+                                             resources=resources)
+        front = synthesize(graph, pins, timing, rate,
+                           flow="connection-first", resources=resources)
+        _same_result(direct, front)
+
+    def test_schedule_first(self):
+        graph, timing = ar_general_design(), ar_filter_timing()
+        direct = synthesize_schedule_first(
+            graph, AR_GENERAL_PINS_UNIDIR, timing, 3, pipe_length=8)
+        front = synthesize(graph, AR_GENERAL_PINS_UNIDIR, timing, 3,
+                           flow="schedule-first", pipe_length=8)
+        _same_result(direct, front)
+
+    def test_auto_picks_simple_for_simple_partitioning(self):
+        graph, timing = ar_simple_design(), ar_filter_timing()
+        auto = synthesize(graph, AR_SIMPLE_PINS, timing, 2)
+        direct = synthesize_simple(graph, AR_SIMPLE_PINS, timing, 2)
+        _same_result(auto, direct)
+        selected = [e for e in auto.diagnostics.events
+                    if e.phase == "dispatch"]
+        assert selected and selected[0].detail["flow"] == "simple"
+
+    def test_auto_picks_connection_first_for_general(self):
+        graph, timing = ar_general_design(), ar_filter_timing()
+        auto = synthesize(graph, AR_GENERAL_PINS_UNIDIR, timing, 3)
+        direct = synthesize_connection_first(
+            graph, AR_GENERAL_PINS_UNIDIR, timing, 3)
+        _same_result(auto, direct)
+        assert not auto.degraded
+
+    def test_normalized_stats_keys(self):
+        shared = {"pin_checks", "pin_cache_hits", "tableau_pivots",
+                  "gomory_cuts", "simplex_solves", "bnb_nodes",
+                  "search_steps", "reassignments"}
+        graph, timing = ar_general_design(), ar_filter_timing()
+        for result in [
+                synthesize(ar_simple_design(), AR_SIMPLE_PINS,
+                           ar_filter_timing(), 2, flow="simple"),
+                synthesize(graph, AR_GENERAL_PINS_UNIDIR, timing, 3,
+                           flow="connection-first"),
+                synthesize(graph, AR_GENERAL_PINS_UNIDIR, timing, 3,
+                           flow="schedule-first", pipe_length=8)]:
+            assert shared <= set(result.stats)
+
+
+class TestOptions:
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(ReproError):
+            SynthesisOptions(flow="mystery")
+        graph, timing = ar_general_design(), ar_filter_timing()
+        with pytest.raises(ReproError):
+            synthesize(graph, AR_GENERAL_PINS_UNIDIR, timing, 3,
+                       flow="mystery")
+
+    def test_options_frozen(self):
+        options = SynthesisOptions()
+        with pytest.raises(Exception):
+            options.flow = "simple"
+
+    def test_unknown_option_rejected(self):
+        graph, timing = ar_general_design(), ar_filter_timing()
+        with pytest.raises(TypeError):
+            synthesize(graph, AR_GENERAL_PINS_UNIDIR, timing, 3,
+                       banana=True)
+
+
+class TestFallbackChain:
+    #: The documented degradation trail for a search-starved run.
+    EXPECTED_TRAIL = [
+        "dispatch: selected",
+        "connection_search: budget_exhausted",
+        "flow: fallback connection-first(b=2) -> "
+        "connection-first(greedy)",
+        "connection_search: budget_exhausted",
+        "flow: fallback connection-first -> schedule-first",
+    ]
+
+    def _starved(self):
+        return synthesize(ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+                          ar_filter_timing(), 3,
+                          budget=SolveBudget(max_search_steps=3))
+
+    def test_chain_lands_on_valid_schedule_first(self):
+        result = self._starved()
+        assert result.degraded
+        assert result.diagnostics.trail == self.EXPECTED_TRAIL
+        assert result.verify() == []
+        result.require_valid()
+
+    @staticmethod
+    def _stable(diag):
+        """Diagnostics with wall-clock metadata masked off."""
+        data = diag.to_dict()
+        for event in data["events"]:
+            event["detail"].pop("elapsed_ms", None)
+        return data
+
+    def test_chain_is_deterministic(self):
+        first, second = self._starved(), self._starved()
+        _same_result(first, second)
+        assert self._stable(first.diagnostics) == \
+            self._stable(second.diagnostics)
+
+    def test_greedy_rung_skipped_when_already_greedy(self):
+        result = synthesize(ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+                            ar_filter_timing(), 3,
+                            branching_factor=1,
+                            budget=SolveBudget(max_search_steps=3))
+        fallbacks = [e.detail for e in result.diagnostics.fallbacks()]
+        assert fallbacks == [{"frm": "connection-first",
+                              "to": "schedule-first"}]
+        result.require_valid()
+
+    def test_exhaustion_carries_diagnostics(self):
+        with pytest.raises(BudgetExhausted) as info:
+            synthesize(ar_simple_design(), AR_SIMPLE_PINS,
+                       ar_filter_timing(), 2, flow="simple",
+                       budget=SolveBudget(max_sched_steps=0))
+        exc = info.value
+        assert exc.diagnostics is not None
+        assert exc.phase == "list_scheduler"
+
+
+class TestDeadlineAcceptance:
+    def test_elliptic_within_five_times_deadline(self):
+        graph, timing = elliptic_design(), elliptic_filter_timing()
+        started = time.monotonic()
+        try:
+            result = synthesize(graph, ELLIPTIC_PINS_UNIDIR, timing, 6,
+                                resources=elliptic_resources(6),
+                                budget=SolveBudget(deadline_ms=200))
+            result.require_valid()
+        except BudgetExhausted:
+            pass  # also acceptable under the budget contract
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        assert elapsed_ms < 5 * 200

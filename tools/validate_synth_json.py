@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Validate a ``synthesize --json`` payload against the checked-in schema.
+
+Stdlib-only (no ``jsonschema`` dependency): implements the small JSON
+Schema subset the schema file actually uses — ``type``, ``required``,
+``properties``, ``patternProperties``, ``additionalProperties``,
+``items``, ``enum``, ``minimum``.  CI runs this over every built-in
+design's output so the machine-readable contract cannot drift silently.
+
+Usage::
+
+    python -m repro synthesize ar-general --flow auto --json > out.json
+    python tools/validate_synth_json.py out.json
+    ... | python tools/validate_synth_json.py -          # from stdin
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_SCHEMA = (Path(__file__).resolve().parent.parent
+                  / "docs" / "schema" / "synthesize_result.schema.json")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, name: str) -> bool:
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    return isinstance(value, _TYPES[name])
+
+
+def validate(value, schema: dict, path: str = "$") -> list:
+    """Return a list of problem strings (empty = conforming)."""
+    problems = []
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(value, n) for n in names):
+            return [f"{path}: expected {declared}, "
+                    f"got {type(value).__name__}"]
+    if "enum" in schema and value not in schema["enum"]:
+        problems.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        problems.append(
+            f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                problems.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            sub = f"{path}.{key}"
+            matched = False
+            if key in props:
+                matched = True
+                problems.extend(validate(item, props[key], sub))
+            for pattern, pschema in patterns.items():
+                if re.search(pattern, key):
+                    matched = True
+                    problems.extend(validate(item, pschema, sub))
+            if not matched:
+                if extra is False:
+                    problems.append(f"{path}: unexpected key {key!r}")
+                elif isinstance(extra, dict):
+                    problems.extend(validate(item, extra, sub))
+
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for index, item in enumerate(value):
+            problems.extend(
+                validate(item, schema["items"], f"{path}[{index}]"))
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    source = argv[0]
+    schema_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_SCHEMA
+    schema = json.loads(schema_path.read_text())
+    raw = sys.stdin.read() if source == "-" else Path(source).read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"not JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate(payload, schema)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print("schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
