@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Solver benchmark runner — emits machine-readable ``BENCH_ilp.json``.
+"""Solver benchmark runner — emits machine-readable ``BENCH_ilp.json``
+and ``BENCH_explore.json``.
 
 Runs the ILP-heavy synthesis flows plus a pin-allocation checker
 microbenchmark, recording wall time and the :mod:`repro.perf` counter
-deltas (pivots, cuts, rollbacks, cache hits) for each.  The JSON lands
-at the repo root by default so successive PRs accumulate a perf
-trajectory that CI can archive.
+deltas (pivots, cuts, rollbacks, cache hits) for each, then a
+design-space-explorer sweep measured cold (empty result cache) and
+warm (second identical run), recording points/sec and the cache hit
+rate.  The JSON lands at the repo root by default so successive PRs
+accumulate a perf trajectory that CI can archive.
 
 Usage::
 
@@ -109,6 +112,56 @@ SMOKE = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
 
 
 # ---------------------------------------------------------------------
+def bench_explore(smoke: bool, workers: int):
+    """Explorer sweep benchmarked cold (empty cache) then warm.
+
+    The warm run replays the identical sweep against the cache the cold
+    run populated, so its hit rate is the fraction of points whose
+    content hash survived the round trip — 1.0 unless a point failed
+    (failures are deliberately never cached).
+    """
+    import tempfile
+
+    from repro.designs import AR_GENERAL_PINS_UNIDIR, ar_general_design
+    from repro.explore import (DesignSpace, Executor, ResultCache,
+                               SweepSpec)
+
+    design = DesignSpace(name="ar-general", graph=ar_general_design(),
+                         partitioning=AR_GENERAL_PINS_UNIDIR,
+                         timing="ar")
+    axes = {"rate": [3, 4] if smoke else [3, 4, 5],
+            "flow": ["connection-first", "schedule-first"],
+            "pin_scale": [1.0, 0.9]}
+    spec = SweepSpec(axes=axes)
+    jobs = spec.expand(design)
+
+    runs = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "cache.jsonl")
+        for label in ("cold", "warm"):
+            executor = Executor(workers=workers,
+                                cache=ResultCache(path))
+            result = executor.run(jobs)
+            seconds = result.wall_ms / 1000.0
+            stats = result.cache_stats
+            runs[label] = {
+                "seconds": round(seconds, 4),
+                "points": len(result.points),
+                "points_per_sec": round(
+                    len(result.points) / seconds, 2) if seconds else 0.0,
+                "statuses": result.status_counts(),
+                "cache_hit_rate": stats["hit_rate"],
+                "pareto_size": len(result.pareto_indices()),
+            }
+            print(f"  explore[{label}]  {seconds:8.3f}s  "
+                  f"{runs[label]['points_per_sec']:8.1f} points/s  "
+                  f"hit_rate={stats['hit_rate']}")
+    return {"design": "ar-general", "workers": workers,
+            "axes": spec.to_dict()["axes"], "n_points": len(jobs),
+            "runs": runs}
+
+
+# ---------------------------------------------------------------------
 def run(benches, cross_check: bool):
     results = {}
     for fn in benches:
@@ -140,6 +193,13 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=os.path.join(REPO_ROOT,
                                                       "BENCH_ilp.json"),
                         help="output JSON path")
+    parser.add_argument("--explore-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_explore.json"),
+                        help="explorer benchmark output JSON path")
+    parser.add_argument("--explore-workers", type=int,
+                        default=min(2, os.cpu_count() or 1),
+                        help="worker processes for the explorer sweep")
     args = parser.parse_args(argv)
 
     benches = SMOKE if args.smoke else FULL
@@ -167,6 +227,20 @@ def main(argv=None) -> int:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
+
+    if not args.cross_check:  # shadow tableaus make sweeps crawl
+        print("running explorer benchmark (cold + warm cache) ...")
+        explore_doc = {
+            "schema": "repro-bench-explore/1",
+            "mode": mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "explore": bench_explore(args.smoke, args.explore_workers),
+        }
+        with open(args.explore_out, "w", encoding="utf-8") as fh:
+            json.dump(explore_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.explore_out}")
     return 0
 
 

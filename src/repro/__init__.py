@@ -45,6 +45,8 @@ from repro.core import (
 )
 from repro.robustness import (BudgetExhausted, Diagnostics, SolveBudget)
 from repro.scheduling import Schedule, ListScheduler, ForceDirectedScheduler
+from repro.explore import (DesignSpace, Executor, ResultCache,
+                           SweepSpec, pareto_front)
 
 __version__ = "1.0.0"
 
@@ -77,5 +79,10 @@ __all__ = [
     "Schedule",
     "ListScheduler",
     "ForceDirectedScheduler",
+    "DesignSpace",
+    "SweepSpec",
+    "Executor",
+    "ResultCache",
+    "pareto_front",
     "__version__",
 ]

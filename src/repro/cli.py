@@ -6,19 +6,26 @@ Commands
                 reports (optionally archiving the result as JSON);
 ``simulate``    synthesize and then cycle-accurately simulate;
 ``designs``     list the built-in benchmark designs;
-``emit-rtl``    synthesize and dump the structural RTL.
+``emit-rtl``    synthesize and dump the structural RTL;
+``explore``     sweep the design space (rates x flows x pin scales x
+                port models x sub-bus x branching) over a worker pool
+                with a persistent result cache, and emit a
+                Pareto-frontier report.
 
 All flow commands accept ``--flow auto`` (the default: dispatch per
 partitioning shape) and ``--timeout-ms`` (a wall-clock budget threaded
 through every solver).  ``synthesize --json`` emits one machine-readable
 result object; exit code 2 means the answer is valid but degraded (a
-budget fallback fired — see the ``diagnostics`` trail).
+budget fallback fired — see the ``diagnostics`` trail).  ``explore``
+exits 0 when every point completed cleanly and 2 when the sweep
+finished but some points were degraded, pruned, skipped, or failed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Tuple
 
@@ -159,6 +166,96 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _csv(text: str, convert):
+    """Parse a comma-separated CLI axis value list."""
+    return [convert(part.strip()) for part in text.split(",")
+            if part.strip()]
+
+
+def _bool_axis(text: str):
+    mapping = {"on": [True], "off": [False],
+               "both": [False, True]}
+    try:
+        return mapping[text]
+    except KeyError:
+        raise ReproError(
+            f"expected on/off/both, got {text!r}") from None
+
+
+def cmd_explore(args) -> int:
+    """Sweep the design space and emit a Pareto report."""
+    from repro.designs import elliptic_resources
+    from repro.explore import (DesignSpace, Executor, ResultCache,
+                               SweepSpec, build_report, write_report)
+
+    rates = _csv(args.rates, int)
+    if not rates:
+        raise ReproError("--rates needs at least one initiation rate")
+    graph, pins, _timing, _resources = _load(args.design, rates[0])
+    timing_name = ("elliptic" if args.design.startswith("elliptic")
+                   else "ar")
+    resources_for = (elliptic_resources
+                     if args.design.startswith("elliptic") else None)
+    design = DesignSpace(name=args.design, graph=graph,
+                         partitioning=pins, timing=timing_name,
+                         resources_for=resources_for)
+
+    axes = {"rate": rates,
+            "flow": _csv(args.flows, str)}
+    if args.pin_scales != "1.0":
+        axes["pin_scale"] = _csv(args.pin_scales, float)
+    if args.port_models:
+        axes["port_model"] = _csv(args.port_models, str)
+    if args.subbus_axis != "off":
+        axes["subbus_sharing"] = _bool_axis(args.subbus_axis)
+    if args.branchings != "2":
+        axes["branching_factor"] = _csv(args.branchings, int)
+    if args.slot_reserves != "0":
+        axes["slot_reserve"] = _csv(args.slot_reserves, int)
+    spec = SweepSpec(axes=axes)
+
+    executor = Executor(workers=args.workers,
+                        cache=ResultCache(args.cache),
+                        deadline_ms=args.timeout_ms,
+                        prune_dominated=not args.no_prune)
+    jobs = spec.expand(design)
+    result = executor.run(jobs)
+    report = build_report(args.design, spec, result)
+
+    if args.out:
+        write_report(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        counts = report["status_counts"]
+        print(f"explored {len(report['points'])} points "
+              f"({result.workers} workers, "
+              f"{report['wall_ms'] / 1000.0:.2f}s, "
+              f"{report['points_per_sec']:.1f} points/s)")
+        print(f"  statuses: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(counts.items())))
+        cache = report["cache"]
+        print(f"  cache: {cache['hits']} hits / "
+              f"{cache['misses']} misses "
+              f"(hit rate {cache['hit_rate']:.0%})")
+        print(f"  Pareto front ({len(report['pareto'])} points over "
+              + ", ".join(report["objectives"]) + "):")
+        by_index = {p["index"]: p for p in report["points"]}
+        for index in report["pareto"]:
+            point = by_index[index]
+            metrics = point["metrics"]
+            params = " ".join(f"{k}={v}"
+                              for k, v in sorted(point["params"].items()))
+            print(f"    #{index:<3d} {params}")
+            print(f"         buses={metrics['buses']} "
+                  f"pins={metrics['total_pins']} "
+                  f"latency={metrics['latency']} "
+                  f"wall={metrics['wall_ms']:.0f}ms")
+        if args.out:
+            print(f"report written to {args.out}")
+    return 0 if result.all_ok else EXIT_DEGRADED
+
+
 def cmd_emit_rtl(args) -> int:
     """Synthesize then dump the structural RTL."""
     from repro.rtl import emit_structural
@@ -238,6 +335,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_flow_options(p_rtl)
     p_rtl.add_argument("--output", "-o", help="write RTL to a file")
     p_rtl.set_defaults(func=cmd_emit_rtl)
+
+    p_exp = sub.add_parser(
+        "explore",
+        help="sweep the design space over a worker pool and report "
+             "the Pareto frontier")
+    p_exp.add_argument("design",
+                       help="built-in design name (see `designs`) or "
+                            "a design JSON file")
+    p_exp.add_argument("--rates", default="3",
+                       help="comma-separated initiation rates "
+                            "(default: 3)")
+    p_exp.add_argument("--flows", default="auto",
+                       help="comma-separated flows (default: auto)")
+    p_exp.add_argument("--pin-scales", default="1.0",
+                       help="comma-separated pin-budget multipliers "
+                            "(default: 1.0)")
+    p_exp.add_argument("--port-models", default="",
+                       help="comma-separated port models "
+                            "(unidirectional,bidirectional)")
+    p_exp.add_argument("--subbus-axis", default="off",
+                       choices=["off", "on", "both"],
+                       help="Chapter 6 sub-bus sharing axis "
+                            "(default: off)")
+    p_exp.add_argument("--branchings", default="2",
+                       help="comma-separated search branching factors "
+                            "(default: 2)")
+    p_exp.add_argument("--slot-reserves", default="0",
+                       help="comma-separated bus-slot reserves "
+                            "(default: 0)")
+    p_exp.add_argument("--workers", type=int,
+                       default=min(4, os.cpu_count() or 1),
+                       help="worker processes (default: min(4, cores); "
+                            "1 runs inline)")
+    p_exp.add_argument("--timeout-ms", type=float, default=None,
+                       help="global sweep deadline, carved into "
+                            "per-point solve budgets")
+    p_exp.add_argument("--cache", default=None,
+                       help="JSON-lines result cache file; solved "
+                            "points are skipped on re-runs")
+    p_exp.add_argument("--no-prune", action="store_true",
+                       help="disable cancellation of queued points "
+                            "whose optimistic metrics are dominated")
+    p_exp.add_argument("--out", "-o",
+                       help="write the machine-readable report here")
+    p_exp.add_argument("--json", action="store_true",
+                       help="print the full report as JSON instead of "
+                            "the text summary")
+    p_exp.set_defaults(func=cmd_explore)
     return parser
 
 

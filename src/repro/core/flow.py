@@ -92,6 +92,39 @@ class SynthesisOptions:
             raise ReproError(
                 f"unknown flow {self.flow!r}; expected one of {FLOWS}")
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form (resources excluded — they are keyed by
+        tuples and travel separately as ``{"chip:op": n}``).
+
+        Used by the design-space explorer to ship options across
+        process boundaries and to build canonical cache keys.
+        """
+        return {
+            "flow": self.flow,
+            "pin_method": self.pin_method,
+            "branching_factor": self.branching_factor,
+            "reassignment": self.reassignment,
+            "subbus_sharing": self.subbus_sharing,
+            "share_groups": (None if self.share_groups is None
+                             else dict(self.share_groups)),
+            "slot_reserve": self.slot_reserve,
+            "conditional_sharing": self.conditional_sharing,
+            "scheduler": self.scheduler,
+            "pipe_length": self.pipe_length,
+            "bidirectional": self.bidirectional,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object],
+                  resources: Optional[ResourceVector] = None
+                  ) -> "SynthesisOptions":
+        """Rebuild options from :meth:`to_dict` data (tolerant of
+        missing keys, so older archives keep loading)."""
+        known = {f for f in cls.__dataclass_fields__ if f != "resources"}
+        kwargs = {k: v for k, v in dict(data).items() if k in known}
+        return cls(resources=resources, **kwargs)
+
 
 @dataclass
 class SynthesisResult:

@@ -3,7 +3,17 @@
 Generates layered DAGs of adds/muls spread over chips, with I/O nodes
 inserted automatically on the cut arcs — useful for property-based
 tests (scheduling invariants must hold on *any* valid design, not just
-the two reconstructed benchmarks).
+the two reconstructed benchmarks) and as sweep fodder for the design-
+space explorer.
+
+Determinism contract: the generated design is a pure function of the
+explicit arguments.  No module-level RNG state is read or written (the
+``random`` module's global generator is never touched), and every
+random stream is seeded with a *string* derived from the seed —
+CPython seeds ``random.Random`` from strings via SHA-512, so the
+stream is identical across processes, platforms, and
+``PYTHONHASHSEED`` values.  That stability is what makes explorer
+cache keys for random designs valid across worker-pool boundaries.
 """
 
 from __future__ import annotations
@@ -17,6 +27,16 @@ from repro.partition.io_insertion import insert_io_nodes
 from repro.partition.model import ChipSpec, Partitioning, OUTSIDE_WORLD
 
 
+def _stream(seed: int, label: str) -> random.Random:
+    """An independent, process-stable random stream for one section.
+
+    String seeding avoids ``hash()`` (randomized per process for str);
+    per-section streams mean adding a sampling call in one section
+    cannot reshuffle every design generated after it.
+    """
+    return random.Random(f"repro-random-design:{seed}:{label}")
+
+
 def random_partitioned_design(seed: int,
                               n_chips: int = 3,
                               n_ops: int = 12,
@@ -26,18 +46,20 @@ def random_partitioned_design(seed: int,
                               ) -> Tuple[Cdfg, Partitioning]:
     """A random layered design plus a (generous) partitioning.
 
-    Deterministic for a given ``seed``.  Operations land on chips with
-    jitter, so cross-chip arcs are plentiful; :func:`insert_io_nodes`
-    then splices the I/O operations the synthesis flows consume.
-    External inputs feed the first operation of each chip.
+    Deterministic for a given ``seed`` (see the module docstring for
+    the exact contract).  Operations land on chips with jitter, so
+    cross-chip arcs are plentiful; :func:`insert_io_nodes` then splices
+    the I/O operations the synthesis flows consume.  External inputs
+    feed the first operation of each chip.
     """
-    rng = random.Random(seed)
+    rng_inputs = _stream(seed, "inputs")
+    rng_ops = _stream(seed, "ops")
     b = CdfgBuilder(f"random-{seed}")
 
     # One external input per chip, consumed inside that chip.
     ext_inputs: Dict[int, str] = {}
     for chip in range(1, n_chips + 1):
-        width = rng.choice(widths)
+        width = rng_inputs.choice(widths)
         name = b.io(f"in{chip}", f"v.in{chip}",
                     source=b.const(f"src{chip}",
                                    partition=OUTSIDE_WORLD,
@@ -50,13 +72,14 @@ def random_partitioned_design(seed: int,
     #: other chips (the splicer inserts I/O nodes on those arcs).
     functional: List[Tuple[str, int]] = []
     for index in range(n_ops):
-        chip = 1 + ((index + rng.randrange(n_chips)) % n_chips)
-        op_type = rng.choice(["add", "add", "mul"])
-        width = rng.choice(widths)
+        chip = 1 + ((index + rng_ops.randrange(n_chips)) % n_chips)
+        op_type = rng_ops.choice(["add", "add", "mul"])
+        width = rng_ops.choice(widths)
         candidates = [name for name, _c in functional[-8:]]
         same_chip_input = ext_inputs[chip]
         inputs = [same_chip_input] if not candidates else [
-            rng.choice(candidates) for _ in range(rng.randrange(1, 3))]
+            rng_ops.choice(candidates)
+            for _ in range(rng_ops.randrange(1, 3))]
         name = b.op(f"op{index}", op_type, chip, inputs=inputs,
                     bit_width=width)
         functional.append((name, chip))

@@ -1,0 +1,113 @@
+"""Persistent, content-addressed result cache for explorer sweeps.
+
+Stdlib-only JSON-lines store: one line per solved point, keyed by the
+canonical content hash from :mod:`repro.explore.keys`.  Append-only —
+re-runs and overlapping sweeps skip any point whose key is already
+present, which is what makes iterating on a sweep spec cheap (only the
+new corner of the grid is synthesized).
+
+Robustness rules:
+
+* loading tolerates corrupt or truncated lines (a killed run can leave
+  a partial last line) — bad lines are counted, not fatal;
+* only *completed* records (``ok`` / ``degraded``) are persisted:
+  ``error`` and ``budget_exhausted`` outcomes depend on the carved
+  deadline of that particular run and must be retried, not replayed;
+* writes are single ``O_APPEND`` lines in canonical form, so two
+  explorer processes sharing a cache file interleave whole records.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.io_json import canonical_dumps
+
+#: Record line format version.
+CACHE_VERSION = 1
+
+#: Statuses worth persisting (see module docstring).
+CACHEABLE_STATUSES = ("ok", "degraded")
+
+
+class ResultCache:
+    """In-memory index over an (optional) JSON-lines cache file."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._index: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_lines = 0
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    # ------------------------------------------------------------------
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    record = entry["record"]
+                    if entry.get("v") != CACHE_VERSION:
+                        raise ValueError("version mismatch")
+                except (ValueError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                # Last write wins, matching append order.
+                self._index[key] = record
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Deep copy of the cached record, counting hit/miss."""
+        record = self._index.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return copy.deepcopy(record)
+
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        """Persist a completed record; returns True if newly stored."""
+        if record.get("status") not in CACHEABLE_STATUSES:
+            return False
+        if key in self._index:
+            return False
+        stored = copy.deepcopy(record)
+        # Per-run bookkeeping does not belong in the cache.
+        stored.pop("cached", None)
+        self._index[key] = stored
+        if self.path is not None:
+            line = canonical_dumps(
+                {"v": CACHE_VERSION, "key": key, "record": stored})
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        return True
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        return iter(self._index.items())
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._index),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (round(self.hits / lookups, 4)
+                         if lookups else 0.0),
+            "corrupt_lines": self.corrupt_lines,
+        }

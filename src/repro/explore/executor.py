@@ -1,0 +1,232 @@
+"""Fan-out execution of sweep jobs over a process worker pool.
+
+The :class:`Executor` turns a list of :class:`repro.explore.spec.SweepJob`
+into one record per point, using four cooperating mechanisms:
+
+* **result cache** — points whose content hash is already in the
+  :class:`repro.explore.cache.ResultCache` are served without running;
+* **worker pool** — remaining jobs fan out over a
+  ``ProcessPoolExecutor`` (``workers=1`` runs inline, no pool tax);
+* **deadline carving** — a global ``deadline_ms`` is divided into
+  per-job :class:`repro.robustness.budget.SolveBudget` slices via
+  :func:`repro.robustness.budget.carve_deadline_ms`, so the sweep as a
+  whole lands near the deadline while each job degrades gracefully
+  rather than being killed mid-solve;
+* **dominance pruning** — after every completion the running Pareto
+  front is compared against the *optimistic* (lower-bound) metrics of
+  still-queued jobs; a queued job that provably cannot extend the
+  front is cancelled cooperatively (recorded as ``pruned``).
+
+Worker :mod:`repro.perf` counter deltas are merged back into both the
+parent's global ``PERF`` registry and a per-sweep registry, so solver
+effort is attributable exactly as in single-process runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import (CancelledError, ProcessPoolExecutor,
+                                as_completed)
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.explore.cache import ResultCache
+from repro.explore.pareto import (OBJECTIVES, PRUNE_OBJECTIVES,
+                                  dominates, pareto_front)
+from repro.explore.spec import SweepJob
+from repro.explore.worker import run_job
+from repro.perf import PERF, PerfRegistry
+from repro.robustness.budget import carve_deadline_ms
+from repro.robustness.deadline import Deadline
+
+#: Point statuses that carry a full metric vector.
+COMPLETED_STATUSES = ("ok", "degraded")
+
+
+@dataclass
+class ExploreResult:
+    """Everything one sweep run produced, in job-index order."""
+
+    points: List[Dict[str, Any]]
+    workers: int
+    wall_ms: float
+    perf: PerfRegistry
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+    objectives: Sequence[str] = OBJECTIVES
+
+    # ------------------------------------------------------------------
+    def completed(self) -> List[Dict[str, Any]]:
+        return [p for p in self.points
+                if p.get("status") in COMPLETED_STATUSES]
+
+    def pareto_indices(self) -> List[int]:
+        """``index`` values of the non-dominated completed points."""
+        done = self.completed()
+        front = pareto_front([p["metrics"] for p in done],
+                             self.objectives)
+        return [done[i]["index"] for i in front]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for point in self.points:
+            status = point.get("status", "unknown")
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    @property
+    def all_ok(self) -> bool:
+        return all(p.get("status") == "ok" for p in self.points)
+
+
+class Executor:
+    """Runs sweep jobs: cache, fan out, carve deadlines, prune."""
+
+    def __init__(self,
+                 workers: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 deadline_ms: Optional[float] = None,
+                 prune_dominated: bool = True,
+                 min_job_ms: float = 25.0) -> None:
+        self.workers = max(1, int(workers))
+        self.cache = cache if cache is not None else ResultCache(None)
+        self.deadline_ms = deadline_ms
+        self.prune_dominated = prune_dominated
+        self.min_job_ms = min_job_ms
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[SweepJob]) -> ExploreResult:
+        start = time.perf_counter()
+        deadline = Deadline(self.deadline_ms)
+        sweep_perf = PerfRegistry()
+        records: Dict[int, Dict[str, Any]] = {}
+        front: List[Dict[str, float]] = []
+
+        pending: List[SweepJob] = []
+        for job in jobs:
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                cached["index"] = job.index
+                cached["params"] = dict(job.params)
+                cached["cached"] = True
+                records[job.index] = cached
+                if cached.get("status") in COMPLETED_STATUSES:
+                    front.append(cached["metrics"])
+                sweep_perf.merge(cached.get("perf") or {})
+            else:
+                pending.append(job)
+
+        if pending:
+            if self.workers == 1:
+                self._run_inline(pending, deadline, records, front,
+                                 sweep_perf)
+            else:
+                self._run_pool(pending, deadline, records, front,
+                               sweep_perf)
+
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        points = [records[job.index] for job in jobs]
+        return ExploreResult(points=points, workers=self.workers,
+                             wall_ms=wall_ms, perf=sweep_perf,
+                             cache_stats=self.cache.stats())
+
+    # ------------------------------------------------------------------
+    def _prunable(self, job: SweepJob,
+                  front: List[Dict[str, float]]) -> bool:
+        if not self.prune_dominated or not job.optimistic:
+            return False
+        return any(dominates(done, job.optimistic, PRUNE_OBJECTIVES)
+                   for done in front)
+
+    def _absorb(self, record: Dict[str, Any], job: SweepJob,
+                records: Dict[int, Dict[str, Any]],
+                front: List[Dict[str, float]],
+                sweep_perf: PerfRegistry,
+                merge_global: bool) -> None:
+        records[job.index] = record
+        sweep_perf.merge(record.get("perf") or {})
+        if merge_global:
+            # Pool workers incremented *their* PERF; fold the deltas
+            # into the parent so the sweep looks like one process.
+            PERF.merge(record.get("perf") or {})
+        if record.get("status") in COMPLETED_STATUSES:
+            front.append(record["metrics"])
+            self.cache.put(job.key, record)
+
+    @staticmethod
+    def _skipped(job: SweepJob, status: str) -> Dict[str, Any]:
+        return {"index": job.index, "key": job.key,
+                "params": dict(job.params), "status": status,
+                "cached": False, "wall_ms": 0.0}
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending: List[SweepJob], deadline: Deadline,
+                    records: Dict[int, Dict[str, Any]],
+                    front: List[Dict[str, float]],
+                    sweep_perf: PerfRegistry) -> None:
+        for position, job in enumerate(pending):
+            if deadline.expired():
+                records[job.index] = self._skipped(
+                    job, "deadline_skipped")
+                continue
+            if self._prunable(job, front):
+                records[job.index] = self._skipped(job, "pruned")
+                continue
+            slice_ms = carve_deadline_ms(
+                deadline.remaining_ms(), len(pending) - position,
+                workers=1, floor_ms=self.min_job_ms)
+            record = run_job(job.payload(deadline_ms=slice_ms))
+            self._absorb(record, job, records, front, sweep_perf,
+                         merge_global=False)
+
+    def _run_pool(self, pending: List[SweepJob], deadline: Deadline,
+                  records: Dict[int, Dict[str, Any]],
+                  front: List[Dict[str, float]],
+                  sweep_perf: PerfRegistry) -> None:
+        slice_ms = carve_deadline_ms(
+            deadline.remaining_ms(), len(pending),
+            workers=self.workers, floor_ms=self.min_job_ms)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        skip_reason: Dict[int, str] = {}
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context) as pool:
+            futures = {
+                pool.submit(run_job, job.payload(deadline_ms=slice_ms)):
+                job
+                for job in pending
+            }
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    record = future.result()
+                except CancelledError:
+                    records[job.index] = self._skipped(
+                        job, skip_reason.get(job.index, "pruned"))
+                    continue
+                except Exception as exc:  # pool infrastructure failure
+                    records[job.index] = {
+                        "index": job.index, "key": job.key,
+                        "params": dict(job.params), "status": "error",
+                        "cached": False, "wall_ms": 0.0,
+                        "error": f"worker failed: {exc}"}
+                    continue
+                self._absorb(record, job, records, front, sweep_perf,
+                             merge_global=True)
+                # Cooperative cancellation of queued work that can no
+                # longer matter: everything once the global deadline is
+                # gone, dominated points always.
+                expired = deadline.expired()
+                for other, other_job in futures.items():
+                    if other.done() or other_job.index in skip_reason:
+                        continue
+                    if expired:
+                        reason = "deadline_skipped"
+                    elif self._prunable(other_job, front):
+                        reason = "pruned"
+                    else:
+                        continue
+                    if other.cancel():
+                        skip_reason[other_job.index] = reason

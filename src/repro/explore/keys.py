@@ -1,0 +1,81 @@
+"""Canonical content hashing for explorer cache keys.
+
+A sweep point is fully determined by *what is being synthesized*: the
+CDFG, the partitioning (pin budgets, port model), the initiation rate,
+the resolved synthesis options, the timing library, and any explicit
+resource vector.  :func:`job_key` hashes the canonical JSON form of
+exactly that tuple, so:
+
+* the same point re-run in another process (or on another machine)
+  maps to the same cache entry — canonical dumps are insertion-order
+  and ``PYTHONHASHSEED`` independent;
+* two sweeps that overlap share cache entries for the overlap;
+* options a flow never reads are *normalized away* before hashing
+  (:func:`options_fingerprint`), so e.g. a ``schedule-first`` point is
+  cached once no matter which ``branching_factor`` the grid happened to
+  carry alongside it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.flow import SynthesisOptions
+from repro.io_json import (canonical_dumps, graph_to_dict,
+                           partitioning_to_dict)
+
+#: Option fields each concrete flow actually reads; everything else is
+#: dropped from the fingerprint so irrelevant grid axes do not split
+#: cache entries.  ``auto`` keeps every field (its dispatch outcome
+#: depends on the design, so nothing is provably irrelevant).
+_FLOW_FIELDS = {
+    "simple": ("pin_method",),
+    "connection-first": ("branching_factor", "reassignment",
+                         "subbus_sharing", "share_groups",
+                         "slot_reserve", "conditional_sharing",
+                         "scheduler"),
+    "schedule-first": ("pipe_length", "bidirectional"),
+}
+
+
+def options_fingerprint(options: SynthesisOptions) -> Dict[str, Any]:
+    """The flow-relevant subset of the options, as plain data."""
+    data = options.to_dict()
+    fields = _FLOW_FIELDS.get(options.flow)
+    if fields is None:
+        return data
+    out: Dict[str, Any] = {"flow": options.flow}
+    for field in fields:
+        out[field] = data[field]
+    return out
+
+
+def resources_fingerprint(resources: Optional[Mapping]) -> Optional[Dict]:
+    """Resource vectors keyed ``(chip, op)`` -> plain ``"chip:op"``."""
+    if resources is None:
+        return None
+    out: Dict[str, int] = {}
+    for key, count in resources.items():
+        if isinstance(key, tuple):
+            key = f"{key[0]}:{key[1]}"
+        out[str(key)] = int(count)
+    return out
+
+
+def job_key(graph, partitioning, rate: int,
+            options: SynthesisOptions,
+            timing: str = "ar",
+            resources: Optional[Mapping] = None) -> str:
+    """Content hash (sha256 hex) identifying one sweep point."""
+    payload = {
+        "v": 1,
+        "graph": graph_to_dict(graph),
+        "partitioning": partitioning_to_dict(partitioning),
+        "rate": int(rate),
+        "timing": timing,
+        "options": options_fingerprint(options),
+        "resources": resources_fingerprint(resources),
+    }
+    blob = canonical_dumps(payload).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

@@ -1,0 +1,135 @@
+"""The explorer's process-pool worker: one sweep point per call.
+
+:func:`run_job` is the single importable entry point a
+``ProcessPoolExecutor`` dispatches to.  Its contract is deliberately
+plain-data-in, plain-data-out: the payload is a JSON-able dict (graph
+and partitioning in their :mod:`repro.io_json` forms, options as a
+field dict, a carved per-job deadline in ms), and the returned record
+is a JSON-able dict too — status, metrics, stats, diagnostics, and the
+worker's :mod:`repro.perf` counter delta, ready to be merged by the
+parent and appended verbatim to the on-disk result cache.
+
+Workers never raise: every failure mode is folded into the record's
+``status`` (``error`` / ``budget_exhausted``) so one pathological point
+cannot take down the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.core.flow import SynthesisOptions, synthesize
+from repro.errors import ReproError
+from repro.io_json import (_stats_to_dict, graph_from_dict,
+                           partitioning_from_dict)
+from repro.modules.library import (ar_filter_timing,
+                                   elliptic_filter_timing)
+from repro.perf import PERF
+from repro.robustness.budget import BudgetExhausted, SolveBudget
+
+#: Named timing libraries (module libraries are code, not data, so jobs
+#: reference them by name — the same convention as result archives).
+TIMINGS: Dict[str, Callable[[], Any]] = {
+    "ar": ar_filter_timing,
+    "elliptic": elliptic_filter_timing,
+}
+
+
+def resolve_timing(name: str):
+    try:
+        return TIMINGS[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown timing library {name!r}; "
+            f"expected one of {sorted(TIMINGS)}") from None
+
+
+def _resources_from_payload(data: Optional[Mapping[str, int]]):
+    if data is None:
+        return None
+    out: Dict[tuple, int] = {}
+    for key, count in data.items():
+        chip, _, op_type = key.partition(":")
+        out[(int(chip), op_type)] = int(count)
+    return out
+
+
+def result_metrics(result, wall_ms: float) -> Dict[str, float]:
+    """The explorer's five minimization objectives for one result."""
+    interconnect = result.interconnect
+    if interconnect is None and result.simple_allocation is not None:
+        interconnect = result.simple_allocation.interconnect
+    return {
+        "chips": len(result.partitioning.real_chips()),
+        "buses": 0 if interconnect is None else len(interconnect.buses),
+        "total_pins": sum(result.pins_used().values()),
+        "latency": result.pipe_length,
+        "wall_ms": round(wall_ms, 3),
+    }
+
+
+def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Synthesize one sweep point; always returns a record dict."""
+    record: Dict[str, Any] = {
+        "index": payload.get("index", -1),
+        "key": payload.get("key", ""),
+        "params": dict(payload.get("params", {})),
+        "cached": False,
+    }
+    start = time.perf_counter()
+    before = PERF.snapshot()
+    try:
+        graph = graph_from_dict(payload["design"]["graph"])
+        partitioning = partitioning_from_dict(
+            payload["design"]["partitioning"])
+        timing = resolve_timing(payload.get("timing", "ar"))
+        options = SynthesisOptions.from_dict(payload["options"])
+        resources = _resources_from_payload(payload.get("resources"))
+        deadline_ms = payload.get("deadline_ms")
+        budget = (None if deadline_ms is None
+                  else SolveBudget(deadline_ms=deadline_ms))
+        kwargs = options.to_dict()
+        flow = kwargs.pop("flow")
+        result = synthesize(graph, partitioning, timing,
+                            int(payload["rate"]), flow=flow,
+                            budget=budget, resources=resources,
+                            **kwargs)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        record["status"] = "degraded" if result.degraded else "ok"
+        record["metrics"] = result_metrics(result, wall_ms)
+        record["stats"] = _jsonable(_stats_to_dict(result.stats))
+        record["diagnostics"] = result.diagnostics.to_dict()
+    except BudgetExhausted as exc:
+        record["status"] = "budget_exhausted"
+        record["error"] = str(exc)
+        record["progress"] = exc.progress()
+    except ReproError as exc:
+        record["status"] = "error"
+        record["error"] = str(exc)
+    except Exception as exc:  # pragma: no cover - defensive
+        record["status"] = "error"
+        record["error"] = (f"{type(exc).__name__}: {exc}\n"
+                           + traceback.format_exc(limit=5))
+    record.setdefault(
+        "wall_ms", round((time.perf_counter() - start) * 1000.0, 3))
+    record["perf"] = PERF.delta_since(before)
+    return record
+
+
+def _jsonable(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Drop stats values that are not plain JSON data (e.g. verbatim
+    solver objects some flows stash for debugging)."""
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, (str, int, float, bool, type(None))):
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [v for v in value
+                        if isinstance(v, (str, int, float, bool))]
+        elif isinstance(value, dict):
+            out[key] = {str(k): v for k, v in value.items()
+                        if isinstance(v, (str, int, float, bool,
+                                          dict, list))}
+    return out

@@ -25,6 +25,19 @@ class FormatError(ReproError):
     """Malformed or incompatible JSON input."""
 
 
+def canonical_dumps(data: Any) -> str:
+    """Serialize plain data to a canonical JSON string.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    dicts built in different insertion orders (or in different
+    processes, under different ``PYTHONHASHSEED``\\ s) produce the same
+    bytes.  The explorer's content-addressed result cache hashes this
+    form; reports and cache files also write it so diffs are stable.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
 # ---------------------------------------------------------------------
 def graph_to_dict(graph: Cdfg) -> Dict[str, Any]:
     """Serialize a CDFG (nodes, edges, guards) to plain data."""

@@ -15,7 +15,10 @@ partitioner" (Section 8.2).  This module supplies both:
 * :func:`partition_and_synthesize` — the feedback loop: partition,
   insert I/O nodes, synthesize; if a chip busts its pin budget (or the
   connection search fails), raise that chip's cost weight and
-  repartition.
+  repartition;
+* :func:`partition_variants` — distinct plans across seeds (deduped by
+  assignment), feeding the design-space explorer's ``auto_partition``
+  axis without wasting synthesis runs on identical partitionings.
 
 This is a predictor-driven front end, not a reproduction of CHOP
 itself; it exists so the repository is usable end to end from an
@@ -26,7 +29,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Tuple)
 
 from repro.cdfg.graph import Cdfg, Node
 from repro.cdfg.ops import OpKind
@@ -195,6 +199,35 @@ def partition_cdfg(graph: Cdfg,
     return PartitionResult(assignment=assignment,
                            cut_bits=int(current),
                            loads=loads())
+
+
+def partition_variants(graph: Cdfg,
+                       n_chips: int,
+                       seeds: Iterable[int],
+                       balance_slack: float = 0.30,
+                       weights: Optional[Mapping[int, float]] = None,
+                       passes: int = 8) -> Dict[int, PartitionResult]:
+    """Distinct partitionings across seeds, deduplicated by assignment.
+
+    Different seeds often converge on the same local optimum; sweeping
+    them naively wastes synthesis runs on identical inputs.  Returns
+    ``{seed: plan}`` keeping only the first seed that produced each
+    distinct assignment — the explorer's ``auto_partition`` axis can be
+    built from the surviving seeds.
+    """
+    seen = set()
+    variants: Dict[int, PartitionResult] = {}
+    for seed in seeds:
+        plan = partition_cdfg(graph, n_chips,
+                              balance_slack=balance_slack,
+                              weights=weights, seed=seed,
+                              passes=passes)
+        fingerprint = tuple(sorted(plan.assignment.items()))
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        variants[seed] = plan
+    return variants
 
 
 def partition_and_synthesize(graph: Cdfg,

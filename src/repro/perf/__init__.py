@@ -54,21 +54,41 @@ class PerfRegistry:
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        return {"counters": dict(self.counters),
-                "timings": dict(self.timings)}
+        # Counters are integers by contract; coerce on the way out so a
+        # float that slipped in via ``inc(amount=...)`` cannot drift the
+        # serialized snapshots that cross process boundaries.
+        return {"counters": {k: int(v) for k, v in self.counters.items()},
+                "timings": {k: float(v) for k, v in self.timings.items()}}
 
     def delta_since(self, before: Mapping[str, Mapping[str, float]]
                     ) -> Dict[str, Dict[str, float]]:
         """Counters/timings accumulated since ``before = snapshot()``."""
         prev_c = before.get("counters", {})
         prev_t = before.get("timings", {})
-        counters = {k: v - prev_c.get(k, 0)
+        counters = {k: int(v) - int(prev_c.get(k, 0))
                     for k, v in self.counters.items()
-                    if v - prev_c.get(k, 0)}
+                    if int(v) - int(prev_c.get(k, 0))}
         timings = {k: v - prev_t.get(k, 0.0)
                    for k, v in self.timings.items()
                    if v - prev_t.get(k, 0.0) > 0.0}
         return {"counters": counters, "timings": timings}
+
+    def merge(self, other) -> None:
+        """Fold another registry (or a snapshot/delta dict) into this one.
+
+        This is the cross-process aggregation primitive: explorer
+        workers ship ``PERF.delta_since(...)`` dicts back over the
+        process boundary (where JSON may have turned counters into
+        floats), and the parent merges them so a sweep's solver effort
+        is attributable as if it had run in one process.  Counters stay
+        integers; timings stay floats.
+        """
+        if isinstance(other, PerfRegistry):
+            other = other.snapshot()
+        for key, value in (other.get("counters") or {}).items():
+            self.counters[key] += int(round(value))
+        for key, value in (other.get("timings") or {}).items():
+            self.timings[key] += float(value)
 
     def reset(self) -> None:
         self.counters.clear()

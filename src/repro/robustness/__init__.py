@@ -16,7 +16,8 @@ make every flow budget-aware:
 """
 
 from repro.robustness.budget import (BudgetExhausted, BudgetToken,
-                                     PHASE_CAPS, SolveBudget, as_token)
+                                     PHASE_CAPS, SolveBudget, as_token,
+                                     carve_deadline_ms)
 from repro.robustness.deadline import Deadline
 from repro.robustness.diagnostics import (DiagnosticEvent, Diagnostics,
                                           EVENT_EXHAUSTED, EVENT_FALLBACK)
@@ -32,4 +33,5 @@ __all__ = [
     "EVENT_FALLBACK",
     "EVENT_EXHAUSTED",
     "as_token",
+    "carve_deadline_ms",
 ]

@@ -1,0 +1,192 @@
+"""Cache-key stability and the JSON-lines result cache."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.flow import SynthesisOptions
+from repro.designs import (AR_SIMPLE_PINS, ar_simple_design,
+                           random_partitioned_design)
+from repro.explore.cache import ResultCache
+from repro.explore.keys import job_key, options_fingerprint
+from repro.partition.model import ChipSpec, Partitioning
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+_KEY_SCRIPT = """
+import json, sys
+from repro.core.flow import SynthesisOptions
+from repro.designs import ar_simple_design, AR_SIMPLE_PINS, \\
+    random_partitioned_design
+from repro.explore.keys import job_key
+
+keys = [
+    job_key(ar_simple_design(), AR_SIMPLE_PINS, 2,
+            SynthesisOptions(flow="simple")),
+    job_key(*random_partitioned_design(11), rate=3,
+            options=SynthesisOptions(flow="connection-first")),
+]
+print(json.dumps(keys))
+"""
+
+
+def _keys_in_subprocess(hashseed: str):
+    env = dict(os.environ, PYTHONPATH=SRC, PYTHONHASHSEED=hashseed)
+    out = subprocess.run([sys.executable, "-c", _KEY_SCRIPT],
+                         capture_output=True, text=True, env=env,
+                         check=True)
+    return json.loads(out.stdout)
+
+
+class TestKeyStability:
+    def test_same_inputs_same_key(self):
+        k1 = job_key(ar_simple_design(), AR_SIMPLE_PINS, 2,
+                     SynthesisOptions(flow="simple"))
+        k2 = job_key(ar_simple_design(), AR_SIMPLE_PINS, 2,
+                     SynthesisOptions(flow="simple"))
+        assert k1 == k2
+        assert len(k1) == 64
+
+    def test_dict_insertion_order_irrelevant(self):
+        graph = ar_simple_design()
+        forward = Partitioning({i: ChipSpec(32) for i in range(5)})
+        backward = Partitioning(
+            {i: ChipSpec(32) for i in reversed(range(5))})
+        opts = SynthesisOptions(flow="simple")
+        assert job_key(graph, forward, 2, opts) \
+            == job_key(graph, backward, 2, opts)
+
+    def test_key_differs_on_rate_budget_and_options(self):
+        graph = ar_simple_design()
+        opts = SynthesisOptions(flow="simple")
+        base = job_key(graph, AR_SIMPLE_PINS, 2, opts)
+        assert job_key(graph, AR_SIMPLE_PINS, 3, opts) != base
+        assert job_key(graph, AR_SIMPLE_PINS.with_pins({1: 40}), 2,
+                       opts) != base
+        assert job_key(graph, AR_SIMPLE_PINS, 2,
+                       SynthesisOptions(flow="simple",
+                                        pin_method="bnb")) != base
+
+    def test_irrelevant_options_normalized_away(self):
+        # branching_factor is a connection-first knob; schedule-first
+        # points must share one cache entry regardless of its value.
+        graph = ar_simple_design()
+        a = SynthesisOptions(flow="schedule-first", branching_factor=1)
+        b = SynthesisOptions(flow="schedule-first", branching_factor=3)
+        assert job_key(graph, AR_SIMPLE_PINS, 2, a) \
+            == job_key(graph, AR_SIMPLE_PINS, 2, b)
+        # ... but for connection-first it is load-bearing.
+        c = SynthesisOptions(flow="connection-first",
+                             branching_factor=1)
+        d = SynthesisOptions(flow="connection-first",
+                             branching_factor=3)
+        assert job_key(graph, AR_SIMPLE_PINS, 2, c) \
+            != job_key(graph, AR_SIMPLE_PINS, 2, d)
+
+    def test_auto_flow_keeps_every_field(self):
+        fp = options_fingerprint(SynthesisOptions(flow="auto"))
+        assert set(fp) == set(
+            SynthesisOptions(flow="auto").to_dict())
+
+    def test_stable_across_processes_and_hashseeds(self):
+        # The contract that makes the on-disk cache valid across
+        # worker pools: keys do not depend on PYTHONHASHSEED or on
+        # per-process set/dict iteration order.  Covers the random
+        # design generator's determinism as well.
+        keys_a = _keys_in_subprocess("0")
+        keys_b = _keys_in_subprocess("424242")
+        assert keys_a == keys_b
+        in_process = [
+            job_key(ar_simple_design(), AR_SIMPLE_PINS, 2,
+                    SynthesisOptions(flow="simple")),
+            job_key(*random_partitioned_design(11), rate=3,
+                    options=SynthesisOptions(flow="connection-first")),
+        ]
+        assert keys_a == in_process
+
+
+class TestRandomDesignDeterminism:
+    def test_no_module_rng_state_consumed(self):
+        import random
+        random.seed(123)
+        before = random.getstate()
+        random_partitioned_design(5)
+        assert random.getstate() == before
+
+    def test_independent_of_call_interleaving(self):
+        g1, _ = random_partitioned_design(9)
+        random_partitioned_design(1)  # interleaved other-seed call
+        g2, _ = random_partitioned_design(9)
+        assert sorted(g1.node_names()) == sorted(g2.node_names())
+        assert [(e.src, e.dst) for e in g1.edges()] \
+            == [(e.src, e.dst) for e in g2.edges()]
+
+
+# ---------------------------------------------------------------------
+def _record(status="ok", pins=100):
+    return {"status": status, "cached": False, "wall_ms": 5.0,
+            "metrics": {"chips": 2, "buses": 3, "total_pins": pins,
+                        "latency": 6, "wall_ms": 5.0}}
+
+
+class TestResultCache:
+    def test_memory_only_roundtrip(self):
+        cache = ResultCache(None)
+        assert cache.get("k") is None
+        assert cache.put("k", _record())
+        got = cache.get("k")
+        assert got["metrics"]["total_pins"] == 100
+        assert "cached" not in got  # per-run flag is stripped
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        first = ResultCache(path)
+        first.put("a", _record(pins=10))
+        first.put("b", _record(status="degraded", pins=20))
+        second = ResultCache(path)
+        assert len(second) == 2
+        assert second.get("b")["metrics"]["total_pins"] == 20
+
+    def test_failures_never_cached(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        assert not cache.put("e", _record(status="error"))
+        assert not cache.put("x", _record(status="budget_exhausted"))
+        assert not os.path.exists(path) or len(ResultCache(path)) == 0
+
+    def test_duplicate_put_is_noop(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        assert cache.put("k", _record(pins=1))
+        assert not cache.put("k", _record(pins=2))
+        assert cache.get("k")["metrics"]["total_pins"] == 1
+        with open(path) as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_corrupt_lines_tolerated(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        cache.put("good", _record())
+        with open(path, "a") as handle:
+            handle.write("{not json at all\n")
+            handle.write('{"v": 99, "key": "bad-version", '
+                         '"record": {}}\n')
+            handle.write('{"v": 1, "no_key": true}\n')
+            handle.write('{"v": 1, "key": "trunc')  # torn final write
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get("good") is not None
+        assert reloaded.corrupt_lines == 4
+
+    def test_deep_copies_isolate_callers(self):
+        cache = ResultCache(None)
+        cache.put("k", _record())
+        got = cache.get("k")
+        got["metrics"]["total_pins"] = -1
+        assert cache.get("k")["metrics"]["total_pins"] == 100

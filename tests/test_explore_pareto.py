@@ -1,0 +1,92 @@
+"""Pareto dominance and frontier extraction, including degenerate cases."""
+
+from repro.explore.pareto import (OBJECTIVES, PRUNE_OBJECTIVES,
+                                  dominates, front_summary,
+                                  pareto_front)
+
+
+def pt(chips=1, buses=1, pins=10, latency=5, wall=1.0):
+    return {"chips": chips, "buses": buses, "total_pins": pins,
+            "latency": latency, "wall_ms": wall}
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates(pt(pins=8), pt(pins=10))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = pt(), pt()
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_tradeoff_is_incomparable(self):
+        fewer_pins = pt(pins=8, latency=9)
+        faster = pt(pins=12, latency=5)
+        assert not dominates(fewer_pins, faster)
+        assert not dominates(faster, fewer_pins)
+
+    def test_single_strict_improvement_suffices(self):
+        assert dominates(pt(latency=4), pt(latency=5))
+
+    def test_missing_metric_counts_as_infinitely_bad(self):
+        partial = {"chips": 1, "buses": 1, "total_pins": 10,
+                   "latency": 5}  # no wall_ms
+        assert dominates(pt(), partial)
+        assert not dominates(partial, pt())
+
+    def test_restricted_objectives(self):
+        slower_but_cheaper = pt(pins=8, wall=100.0)
+        # Over the pruning objectives, wall time is ignored.
+        assert dominates(slower_but_cheaper, pt(pins=10),
+                         PRUNE_OBJECTIVES)
+        assert not dominates(slower_but_cheaper, pt(pins=10),
+                             OBJECTIVES)
+
+
+class TestParetoFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        assert pareto_front([pt()]) == [0]
+
+    def test_dominated_point_removed(self):
+        points = [pt(pins=10), pt(pins=8), pt(pins=12, latency=4)]
+        assert pareto_front(points) == [1, 2]
+
+    def test_exactly_equal_points_all_kept(self):
+        points = [pt(), pt(), pt()]
+        assert pareto_front(points) == [0, 1, 2]
+
+    def test_ties_on_some_axes(self):
+        # Same pins, different latency: only the faster one survives.
+        points = [pt(pins=10, latency=5), pt(pins=10, latency=7)]
+        assert pareto_front(points) == [0]
+
+    def test_single_axis_degenerate_front(self):
+        points = [{"total_pins": 10}, {"total_pins": 8},
+                  {"total_pins": 8}, {"total_pins": 9}]
+        assert pareto_front(points, ("total_pins",)) == [1, 2]
+
+    def test_chain_totally_ordered(self):
+        points = [pt(pins=8 + i, latency=5 + i, wall=1.0 + i)
+                  for i in range(5)]
+        assert pareto_front(points) == [0]
+
+    def test_everything_incomparable(self):
+        points = [pt(pins=8 + i, latency=10 - i) for i in range(4)]
+        assert pareto_front(points) == [0, 1, 2, 3]
+
+
+class TestFrontSummary:
+    def test_min_max_per_objective(self):
+        summary = front_summary([pt(pins=8), pt(pins=12)])
+        assert summary["total_pins"] == {"min": 8, "max": 12}
+
+    def test_missing_objectives_omitted(self):
+        summary = front_summary([{"total_pins": 8}])
+        assert "latency" not in summary
+        assert summary["total_pins"] == {"min": 8, "max": 8}
+
+    def test_empty(self):
+        assert front_summary([]) == {}

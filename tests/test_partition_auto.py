@@ -8,7 +8,7 @@ from repro.errors import PartitionError
 from repro.modules.library import DesignTiming, HardwareModule, ModuleSet
 from repro.partition.auto import (PartitionResult, _cut_bits,
                                   partition_and_synthesize,
-                                  partition_cdfg)
+                                  partition_cdfg, partition_variants)
 from repro.partition.model import ChipSpec, OUTSIDE_WORLD, Partitioning
 
 
@@ -77,6 +77,20 @@ class TestPartitioner:
         p1 = partition_cdfg(g, 2, seed=3)
         p2 = partition_cdfg(g, 2, seed=3)
         assert p1.assignment == p2.assignment
+
+    def test_variants_deduped_by_assignment(self):
+        g = two_cluster_graph()
+        variants = partition_variants(g, 2, range(10))
+        # The natural cut is strongly forced, so many seeds collapse
+        # onto few distinct assignments — and none may repeat.
+        assert 1 <= len(variants) <= 10
+        assignments = [tuple(sorted(p.assignment.items()))
+                       for p in variants.values()]
+        assert len(set(assignments)) == len(assignments)
+        # Keyed by the *first* seed that found each assignment.
+        first_seed = min(variants)
+        assert variants[first_seed].assignment \
+            == partition_cdfg(g, 2, seed=first_seed).assignment
 
 
 class TestFeedbackLoop:
