@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Solver benchmark runner — emits machine-readable ``BENCH_ilp.json``
-and ``BENCH_explore.json``.
+"""Solver benchmark runner — emits machine-readable ``BENCH_ilp.json``,
+``BENCH_explore.json``, and ``BENCH_service.json``.
 
 Runs the ILP-heavy synthesis flows plus a pin-allocation checker
 microbenchmark, recording wall time and the :mod:`repro.perf` counter
 deltas (pivots, cuts, rollbacks, cache hits) for each, then a
 design-space-explorer sweep measured cold (empty result cache) and
 warm (second identical run), recording points/sec and the cache hit
-rate.  The JSON lands at the repo root by default so successive PRs
+rate, then a synthesis-service storm (concurrent clients, repeated
+design points) against a live ``repro serve`` instance, recording the
+throughput gain coalescing buys over sequential ``synthesize()``
+calls.  The JSON lands at the repo root by default so successive PRs
 accumulate a perf trajectory that CI can archive.
 
 Usage::
@@ -162,6 +165,105 @@ def bench_explore(smoke: bool, workers: int):
 
 
 # ---------------------------------------------------------------------
+def bench_service(smoke: bool, workers: int):
+    """The serving layer vs sequential ``synthesize()`` calls.
+
+    Fires N requests (round-robin over 5 distinct design points, so
+    identical requests arrive interleaved from 16 client threads) at a
+    live ``repro serve`` instance and times the storm end-to-end over
+    HTTP.  Request coalescing collapses the storm to 5 solves shared
+    across the warm worker pool; the baseline is the same N solves run
+    sequentially in-process with no service in the way.  Server startup
+    (pool fork + warmup) happens before the clock starts — the
+    benchmark measures serving, not booting.
+    """
+    import threading
+
+    from repro.core.flow import synthesize
+    from repro.explore.worker import resolve_timing
+    from repro.service import ServiceClient, ServiceConfig, \
+        ThreadedServer
+    from repro.service.catalog import design_space
+
+    combos = [("ar-simple", 2, "simple"),
+              ("ar-general", 3, "connection-first"),
+              ("ar-general", 4, "connection-first"),
+              ("ar-general", 3, "schedule-first"),
+              ("ar-general", 4, "schedule-first")]
+    repeats = 4 if smoke else 10
+    requests = combos * repeats
+    client_threads = 16
+
+    spaces = {name: design_space(name) for name, _, _ in combos}
+    start = time.perf_counter()
+    for name, rate, flow in requests:
+        space = spaces[name]
+        synthesize(space.graph, space.partitioning,
+                   resolve_timing(space.timing), rate, flow=flow)
+    sequential_s = time.perf_counter() - start
+    print(f"  service[sequential]  {sequential_s:8.3f}s  "
+          f"{len(requests) / sequential_s:8.1f} req/s")
+
+    config = ServiceConfig(port=0, workers=workers, max_queue=128,
+                           pool_mode="process", cache_sync=False)
+    statuses = {}
+    lock = threading.Lock()
+    with ThreadedServer(config) as server:
+        client = ServiceClient(port=server.port, timeout_s=300.0)
+        client.wait_until_ready()
+        work = list(requests)
+
+        def pump():
+            while True:
+                with lock:
+                    if not work:
+                        return
+                    name, rate, flow = work.pop()
+                response = client.synthesize(name, rate=rate,
+                                             flow=flow,
+                                             timeout_ms=120000)
+                with lock:
+                    outcome = response["status"]
+                    statuses[outcome] = statuses.get(outcome, 0) + 1
+
+        pumps = [threading.Thread(target=pump)
+                 for _ in range(client_threads)]
+        start = time.perf_counter()
+        for thread in pumps:
+            thread.start()
+        for thread in pumps:
+            thread.join()
+        service_s = time.perf_counter() - start
+        metrics = client.metrics()["service"]
+    print(f"  service[coalesced]   {service_s:8.3f}s  "
+          f"{len(requests) / service_s:8.1f} req/s  "
+          f"speedup={sequential_s / service_s:.1f}x  "
+          f"coalesced={metrics['counters']['coalesced']}  "
+          f"shed={metrics['counters']['shed']}")
+
+    return {
+        "combos": [{"design": name, "rate": rate, "flow": flow}
+                   for name, rate, flow in combos],
+        "requests": len(requests),
+        "distinct_jobs": len(combos),
+        "client_threads": client_threads,
+        "service_workers": workers,
+        "sequential": {
+            "seconds": round(sequential_s, 4),
+            "requests_per_sec": round(len(requests) / sequential_s, 2),
+        },
+        "service": {
+            "seconds": round(service_s, 4),
+            "requests_per_sec": round(len(requests) / service_s, 2),
+            "statuses": statuses,
+            "latency": metrics["latency"],
+        },
+        "speedup": round(sequential_s / service_s, 2),
+        "counters": metrics["counters"],
+    }
+
+
+# ---------------------------------------------------------------------
 def run(benches, cross_check: bool):
     results = {}
     for fn in benches:
@@ -200,6 +302,13 @@ def main(argv=None) -> int:
     parser.add_argument("--explore-workers", type=int,
                         default=min(2, os.cpu_count() or 1),
                         help="worker processes for the explorer sweep")
+    parser.add_argument("--service-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_service.json"),
+                        help="service benchmark output JSON path")
+    parser.add_argument("--service-workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="worker processes for the service pool")
     args = parser.parse_args(argv)
 
     benches = SMOKE if args.smoke else FULL
@@ -241,6 +350,20 @@ def main(argv=None) -> int:
             json.dump(explore_doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.explore_out}")
+
+        print("running service benchmark "
+              "(coalescing vs sequential) ...")
+        service_doc = {
+            "schema": "repro-bench-service/1",
+            "mode": mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "service": bench_service(args.smoke, args.service_workers),
+        }
+        with open(args.service_out, "w", encoding="utf-8") as fh:
+            json.dump(service_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.service_out}")
     return 0
 
 

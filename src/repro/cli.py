@@ -10,7 +10,11 @@ Commands
 ``explore``     sweep the design space (rates x flows x pin scales x
                 port models x sub-bus x branching) over a worker pool
                 with a persistent result cache, and emit a
-                Pareto-frontier report.
+                Pareto-frontier report;
+``serve``       run the long-running synthesis service: an asyncio
+                HTTP job server with request coalescing, a warm worker
+                pool, deadline-aware load shedding, and a graceful
+                SIGTERM drain.
 
 All flow commands accept ``--flow auto`` (the default: dispatch per
 partitioning shape) and ``--timeout-ms`` (a wall-clock budget threaded
@@ -214,13 +218,20 @@ def cmd_explore(args) -> int:
         axes["slot_reserve"] = _csv(args.slot_reserves, int)
     spec = SweepSpec(axes=axes)
 
+    cache = ResultCache(args.cache)
     executor = Executor(workers=args.workers,
-                        cache=ResultCache(args.cache),
+                        cache=cache,
                         deadline_ms=args.timeout_ms,
                         prune_dominated=not args.no_prune)
     jobs = spec.expand(design)
     result = executor.run(jobs)
     report = build_report(args.design, spec, result)
+    if args.compact_cache:
+        compaction = cache.compact()
+        if not args.json:
+            print(f"cache compacted: {compaction['entries']} live "
+                  f"entries kept, {compaction['removed']} dead lines "
+                  f"removed")
 
     if args.out:
         write_report(report, args.out)
@@ -254,6 +265,18 @@ def cmd_explore(args) -> int:
         if args.out:
             print(f"report written to {args.out}")
     return 0 if result.all_ok else EXIT_DEGRADED
+
+
+def cmd_serve(args) -> int:
+    """Run the long-running synthesis service until SIGTERM/SIGINT."""
+    from repro.service import ServiceConfig, serve
+    config = ServiceConfig(host=args.host, port=args.port,
+                           workers=args.workers,
+                           max_queue=args.max_queue,
+                           cache_path=args.cache,
+                           default_timeout_ms=args.timeout_ms,
+                           pool_mode=args.pool)
+    return serve(config)
 
 
 def cmd_emit_rtl(args) -> int:
@@ -377,12 +400,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--no-prune", action="store_true",
                        help="disable cancellation of queued points "
                             "whose optimistic metrics are dominated")
+    p_exp.add_argument("--compact-cache", action="store_true",
+                       help="after the sweep, atomically rewrite the "
+                            "cache file down to its live index "
+                            "(drops dead duplicate/corrupt lines)")
     p_exp.add_argument("--out", "-o",
                        help="write the machine-readable report here")
     p_exp.add_argument("--json", action="store_true",
                        help="print the full report as JSON instead of "
                             "the text summary")
     p_exp.set_defaults(func=cmd_explore)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the long-running synthesis service (async HTTP job "
+             "server with coalescing, warm workers, load shedding)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8764,
+                       help="TCP port (default: 8764; 0 picks a free "
+                            "port)")
+    p_srv.add_argument("--workers", type=int,
+                       default=min(4, os.cpu_count() or 1),
+                       help="warm worker processes "
+                            "(default: min(4, cores))")
+    p_srv.add_argument("--max-queue", type=int, default=64,
+                       help="admission limit on in-flight jobs; "
+                            "beyond it requests are shed with 429 "
+                            "(default: 64)")
+    p_srv.add_argument("--cache", default=None,
+                       help="JSON-lines result cache file shared with "
+                            "`repro explore`; appends are fsynced")
+    p_srv.add_argument("--timeout-ms", type=float, default=30000.0,
+                       help="default per-request deadline when the "
+                            "request carries none (default: 30000)")
+    p_srv.add_argument("--pool", choices=["process", "thread"],
+                       default="process",
+                       help="worker pool mode (default: process)")
+    p_srv.set_defaults(func=cmd_serve)
     return parser
 
 

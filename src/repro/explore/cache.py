@@ -14,7 +14,14 @@ Robustness rules:
   ``error`` and ``budget_exhausted`` outcomes depend on the carved
   deadline of that particular run and must be retried, not replayed;
 * writes are single ``O_APPEND`` lines in canonical form, so two
-  explorer processes sharing a cache file interleave whole records.
+  explorer processes sharing a cache file interleave whole records;
+* ``sync=True`` (opt-in; the synthesis service uses it) fsyncs every
+  append, so an acknowledged write survives a killed process — the
+  default stays buffered because sweep re-runs can always re-solve;
+* :meth:`ResultCache.compact` atomically rewrites the file down to the
+  live index: the append-only, last-write-wins format means long-lived
+  multi-writer caches accumulate dead duplicate lines that cost load
+  time but carry no information.
 """
 
 from __future__ import annotations
@@ -36,8 +43,10 @@ CACHEABLE_STATUSES = ("ok", "degraded")
 class ResultCache:
     """In-memory index over an (optional) JSON-lines cache file."""
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(self, path: Optional[str] = None,
+                 sync: bool = False) -> None:
         self.path = path
+        self.sync = bool(sync)
         self._index: Dict[str, Dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
@@ -95,10 +104,60 @@ class ResultCache:
                 {"v": CACHE_VERSION, "key": key, "record": stored})
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
+                if self.sync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
         return True
 
     def items(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
         return iter(self._index.items())
+
+    # ------------------------------------------------------------------
+    def compact(self) -> Dict[str, Any]:
+        """Atomically rewrite the file down to the live index.
+
+        Dead lines come from two places: another writer appending a key
+        this process had already written (each side's in-memory index
+        misses the other's line), and corrupt/truncated lines left by a
+        killed run.  Compaction writes one canonical line per live
+        index entry to a temp file in the same directory, fsyncs it,
+        and ``os.replace``\\ s it over the cache — readers either see
+        the old file or the compacted one, never a partial rewrite.
+        """
+        summary = {
+            "path": self.path,
+            "lines_before": 0,
+            "entries": len(self._index),
+            "removed": 0,
+            "compacted": False,
+        }
+        if self.path is None:
+            return summary
+        exists = os.path.exists(self.path)
+        if not exists and not self._index:
+            return summary
+        if exists:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                summary["lines_before"] = sum(
+                    1 for line in handle if line.strip())
+        tmp_path = f"{self.path}.compact.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for key, record in self._index.items():
+                    handle.write(canonical_dumps(
+                        {"v": CACHE_VERSION, "key": key,
+                         "record": record}) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        self.corrupt_lines = 0
+        summary["removed"] = max(
+            0, summary["lines_before"] - len(self._index))
+        summary["compacted"] = True
+        return summary
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:

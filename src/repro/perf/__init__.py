@@ -24,6 +24,7 @@ Phase timers (``PERF.phase``) follow the same naming; flows record
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -31,17 +32,27 @@ from typing import Dict, Iterator, Mapping
 
 
 class PerfRegistry:
-    """Counters plus phase wall-clock accumulators."""
+    """Counters plus phase wall-clock accumulators.
 
-    __slots__ = ("counters", "timings")
+    Thread-safe: the synthesis service reads ``snapshot()`` (its
+    ``/metrics`` endpoint) while warm-pool workers increment counters,
+    so every mutation and every read of the underlying dicts is guarded
+    by an ``RLock``.  The lock is uncontended in single-threaded runs
+    and an order of magnitude cheaper than the work between ticks, so
+    the hot paths keep paying one increment per event.
+    """
+
+    __slots__ = ("counters", "timings", "_lock")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = defaultdict(int)
         self.timings: Dict[str, float] = defaultdict(float)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def inc(self, key: str, amount: int = 1) -> None:
-        self.counters[key] += amount
+        with self._lock:
+            self.counters[key] += amount
 
     @contextmanager
     def phase(self, key: str) -> Iterator[None]:
@@ -50,27 +61,33 @@ class PerfRegistry:
         try:
             yield
         finally:
-            self.timings[key] += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.timings[key] += elapsed
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         # Counters are integers by contract; coerce on the way out so a
         # float that slipped in via ``inc(amount=...)`` cannot drift the
         # serialized snapshots that cross process boundaries.
-        return {"counters": {k: int(v) for k, v in self.counters.items()},
-                "timings": {k: float(v) for k, v in self.timings.items()}}
+        with self._lock:
+            return {
+                "counters": {k: int(v) for k, v in self.counters.items()},
+                "timings": {k: float(v) for k, v in self.timings.items()},
+            }
 
     def delta_since(self, before: Mapping[str, Mapping[str, float]]
                     ) -> Dict[str, Dict[str, float]]:
         """Counters/timings accumulated since ``before = snapshot()``."""
         prev_c = before.get("counters", {})
         prev_t = before.get("timings", {})
-        counters = {k: int(v) - int(prev_c.get(k, 0))
-                    for k, v in self.counters.items()
-                    if int(v) - int(prev_c.get(k, 0))}
-        timings = {k: v - prev_t.get(k, 0.0)
-                   for k, v in self.timings.items()
-                   if v - prev_t.get(k, 0.0) > 0.0}
+        with self._lock:
+            counters = {k: int(v) - int(prev_c.get(k, 0))
+                        for k, v in self.counters.items()
+                        if int(v) - int(prev_c.get(k, 0))}
+            timings = {k: v - prev_t.get(k, 0.0)
+                       for k, v in self.timings.items()
+                       if v - prev_t.get(k, 0.0) > 0.0}
         return {"counters": counters, "timings": timings}
 
     def merge(self, other) -> None:
@@ -85,14 +102,16 @@ class PerfRegistry:
         """
         if isinstance(other, PerfRegistry):
             other = other.snapshot()
-        for key, value in (other.get("counters") or {}).items():
-            self.counters[key] += int(round(value))
-        for key, value in (other.get("timings") or {}).items():
-            self.timings[key] += float(value)
+        with self._lock:
+            for key, value in (other.get("counters") or {}).items():
+                self.counters[key] += int(round(value))
+            for key, value in (other.get("timings") or {}).items():
+                self.timings[key] += float(value)
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timings.clear()
+        with self._lock:
+            self.counters.clear()
+            self.timings.clear()
 
 
 #: Process-global registry; cheap enough to leave always on.

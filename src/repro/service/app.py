@@ -1,0 +1,376 @@
+"""The synthesis service: admission -> coalesce -> pool -> cache.
+
+:class:`SynthesisService` owns every piece of serving state — the warm
+:class:`~repro.service.pool.WorkerPool`, the shared persistent
+:class:`~repro.explore.cache.ResultCache`, the in-flight coalescing
+map, the bounded job store, and the metrics — and implements the
+request lifecycle:
+
+1. **cache** — a request whose content hash is already cached is
+   answered without queueing (``cache_hits``);
+2. **coalesce** — identical to an in-flight job, it attaches to that
+   job's completion event instead of solving again (``coalesced``);
+3. **admission** — otherwise it must pass load shedding: queue depth
+   below ``max_queue`` *and* projected queue wait (depth x EMA job
+   time / workers) within the request deadline, else 429 with a
+   ``Retry-After`` hint (``shed``);
+4. **execute** — admitted jobs run on the pool under a worker-count
+   semaphore; the per-request deadline rides into the worker as a
+   :class:`repro.robustness.budget.SolveBudget`, so overloaded solves
+   degrade gracefully instead of being killed;
+5. **complete** — the record lands in the cache (making later
+   identical requests free), its perf delta is merged, and every
+   waiter — coalesced followers included — is released at once.
+
+All state transitions happen on the event-loop thread; the pool is the
+only concurrency boundary and crosses it with plain-data records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.explore.cache import ResultCache
+from repro.explore.pareto import OBJECTIVES, pareto_front
+from repro.explore.spec import SweepJob, SweepSpec
+from repro.perf import PERF, PerfRegistry
+from repro.robustness.budget import carve_deadline_ms
+from repro.service import catalog
+from repro.service.jobs import Job, JobStore, ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import WorkerPool
+
+#: Version tag stamped on every job response object.
+RESPONSE_SCHEMA = "repro-service-response/1"
+#: Job statuses that carry a full record.
+COMPLETED_STATUSES = ("ok", "degraded")
+
+
+class ShedRequest(ReproError):
+    """Admission control rejected the request (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: int) -> None:
+        super().__init__(reason)
+        self.retry_after_s = max(1, int(retry_after_s))
+
+
+class SynthesisService:
+    """Long-running serving state shared by every connection."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self.perf = PerfRegistry()
+        self.cache = ResultCache(config.cache_path,
+                                 sync=config.cache_sync)
+        self.pool = WorkerPool(workers=config.workers,
+                               mode=config.pool_mode,
+                               job_runner=config.job_runner)
+        self.store = JobStore(config.retained_jobs)
+        self.inflight: Dict[str, Job] = {}
+        self.queue_depth = 0
+        self.draining = False
+        self._slots = asyncio.Semaphore(self.pool.workers)
+        self._tasks: set = set()
+
+    # -- admission -----------------------------------------------------
+    def projected_wait_ms(self, new_jobs: int = 1) -> float:
+        """Expected queue wait for a request arriving now."""
+        ema = self.metrics.ema_job_ms
+        depth = self.queue_depth + max(0, new_jobs - 1)
+        return depth * ema / self.pool.workers
+
+    def check_admission(self, deadline_ms: Optional[float],
+                        new_jobs: int = 1) -> None:
+        """Raise :class:`ShedRequest` unless the work can be admitted."""
+        ema_s = max(0.001, self.metrics.ema_job_ms / 1000.0)
+        if self.queue_depth + new_jobs > self.config.max_queue:
+            self.metrics.inc("shed")
+            raise ShedRequest(
+                f"queue full ({self.queue_depth}/"
+                f"{self.config.max_queue})",
+                retry_after_s=math.ceil(ema_s))
+        projected = self.projected_wait_ms(new_jobs)
+        if deadline_ms is not None and projected > deadline_ms:
+            self.metrics.inc("shed")
+            raise ShedRequest(
+                f"projected queue wait {projected:.0f}ms exceeds "
+                f"deadline {deadline_ms:.0f}ms",
+                retry_after_s=math.ceil(projected / 1000.0))
+
+    # -- submission ----------------------------------------------------
+    def submit_point(self, point: SweepJob,
+                     deadline_ms: Optional[float],
+                     slice_ms: Optional[float] = None,
+                     preadmitted: bool = False) -> Tuple[Job, str]:
+        """Admit one content-addressed solve; returns (job, how) where
+        ``how`` is ``cached`` / ``coalesced`` / ``new``."""
+        existing = self.inflight.get(point.key)
+        if existing is not None:
+            existing.coalesced += 1
+            self.metrics.inc("accepted")
+            self.metrics.inc("coalesced")
+            return existing, "coalesced"
+        cached = self.cache.get(point.key)
+        if cached is not None:
+            job = Job(key=point.key, params=dict(point.params),
+                      cached=True)
+            job.finish(cached)
+            self.store.add(job)
+            self.metrics.inc("accepted")
+            self.metrics.inc("cache_hits")
+            return job, "cached"
+        if not preadmitted:
+            self.check_admission(deadline_ms)
+        budget_ms = slice_ms if slice_ms is not None else deadline_ms
+        job = Job(key=point.key, params=dict(point.params),
+                  payload=point.payload(deadline_ms=budget_ms))
+        self.inflight[point.key] = job
+        self.store.add(job)
+        self.queue_depth += 1
+        self.metrics.inc("accepted")
+        self.metrics.inc("executed")
+        self._spawn(self._execute(job))
+        return job, "new"
+
+    def submit_sweep(self, spec: SweepSpec, points: Sequence[SweepJob],
+                     design_name: str,
+                     deadline_ms: Optional[float]) -> Job:
+        """Admit a whole sweep atomically (all points or a 429)."""
+        fresh = {p.key for p in points
+                 if p.key not in self.inflight and p.key not in self.cache}
+        self.check_admission(deadline_ms, new_jobs=len(fresh))
+        slice_ms = carve_deadline_ms(deadline_ms, max(1, len(fresh)),
+                                     workers=self.pool.workers)
+        sweep = Job(key="", kind="sweep",
+                    params={"design": design_name,
+                            "spec": spec.to_dict()})
+        # No awaits between point submissions, so the upfront capacity
+        # check still holds for every per-point admission below.
+        sweep.children = [
+            self.submit_point(p, deadline_ms, slice_ms=slice_ms,
+                              preadmitted=True)[0]
+            for p in points]
+        self.store.add(sweep)
+        self._spawn(self._finish_sweep(sweep))
+        return sweep
+
+    # -- execution -----------------------------------------------------
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _execute(self, job: Job) -> None:
+        start = time.perf_counter()
+        try:
+            async with self._slots:
+                job.status = "running"
+                record = await self.pool.run(job.payload)
+            if not isinstance(record, dict):
+                record = {"status": "error",
+                          "error": "job runner returned "
+                                   f"{type(record).__name__}"}
+        except Exception as exc:  # pool infrastructure failure
+            record = {"status": "error",
+                      "error": f"worker pool failure: {exc}"}
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        record.setdefault("wall_ms", round(wall_ms, 3))
+        delta = record.get("perf") or {}
+        self.perf.merge(delta)
+        if self.pool.mode == "process":
+            # Pool workers incremented *their* PERF; fold the delta in
+            # so this process's registry sees the whole service.
+            PERF.merge(delta)
+        self.cache.put(job.key, record)
+        self.queue_depth -= 1
+        self.inflight.pop(job.key, None)
+        self.metrics.observe_job_ms(wall_ms)
+        self.metrics.inc("completed")
+        status = record.get("status")
+        if status == "degraded":
+            self.metrics.inc("degraded")
+        elif status == "error":
+            self.metrics.inc("errors")
+        elif status == "budget_exhausted":
+            self.metrics.inc("budget_exhausted")
+        job.finish(record)
+
+    async def _finish_sweep(self, sweep: Job) -> None:
+        for child in sweep.children:
+            await child.wait()
+        points: List[Dict[str, Any]] = []
+        for index, child in enumerate(sweep.children):
+            record = child.record or {}
+            point = {"index": index, "key": child.key,
+                     "params": child.params, "status": child.status,
+                     "cached": child.cached,
+                     "wall_ms": record.get("wall_ms", 0.0)}
+            for name in ("metrics", "error"):
+                if name in record:
+                    point[name] = record[name]
+            points.append(point)
+        done = [p for p in points
+                if p.get("status") in COMPLETED_STATUSES
+                and "metrics" in p]
+        front = pareto_front([p["metrics"] for p in done], OBJECTIVES)
+        counts: Dict[str, int] = {}
+        for point in points:
+            counts[point["status"]] = counts.get(point["status"], 0) + 1
+        sweep.finish({
+            "status": ("ok" if all(p["status"] == "ok" for p in points)
+                       else "degraded"),
+            "points": points,
+            "pareto": [done[i]["index"] for i in front],
+            "status_counts": counts,
+            "wall_ms": round(sum(p["wall_ms"] for p in points), 3),
+        })
+
+    # -- shutdown ------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop admitting, finish every in-flight job, stop the pool."""
+        self.draining = True
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)
+        self.pool.shutdown()
+
+
+# ---------------------------------------------------------------------
+# Response building
+# ---------------------------------------------------------------------
+def job_response(job: Job) -> Dict[str, Any]:
+    """The schema-governed JSON object for a job's current state."""
+    out: Dict[str, Any] = {
+        "schema": RESPONSE_SCHEMA,
+        "job_id": job.id,
+        "kind": job.kind,
+        "status": job.status,
+        "cached": job.cached,
+        "coalesced": job.coalesced,
+        "params": job.params,
+    }
+    if job.key:
+        out["key"] = job.key
+    if not job.done:
+        out["location"] = f"/v1/jobs/{job.id}"
+        return out
+    record = job.record or {}
+    for name in ("metrics", "stats", "diagnostics", "wall_ms", "error",
+                 "progress", "points", "pareto", "status_counts"):
+        if name in record:
+            out[name] = record[name]
+    return out
+
+
+def health_payload(service: SynthesisService) -> Dict[str, Any]:
+    return {
+        "schema": "repro-service-health/1",
+        "status": "draining" if service.draining else "ok",
+        "queue_depth": service.queue_depth,
+        "workers": service.pool.workers,
+        "jobs": len(service.store),
+    }
+
+
+def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
+    snap = service.metrics.snapshot()
+    snap.update({
+        "queue_depth": service.queue_depth,
+        "inflight": len(service.inflight),
+        "draining": service.draining,
+        "jobs_retained": len(service.store),
+    })
+    return {
+        "schema": "repro-service-metrics/1",
+        "service": snap,
+        "workers": {"count": service.pool.workers,
+                    "mode": service.pool.mode},
+        "cache": service.cache.stats(),
+        "perf": service.perf.snapshot(),
+    }
+
+
+# ---------------------------------------------------------------------
+# Request handlers (HTTP status, JSON payload, extra headers)
+# ---------------------------------------------------------------------
+Handled = Tuple[int, Dict[str, Any], Dict[str, str]]
+
+
+def _error(status: int, message: str, **extra: Any) -> Handled:
+    payload = {"schema": "repro-service-error/1", "error": message}
+    payload.update(extra)
+    return status, payload, {}
+
+
+def _deadline_ms(body: Dict[str, Any],
+                 config: ServiceConfig) -> Optional[float]:
+    raw = body.get("timeout_ms", config.default_timeout_ms)
+    if raw is None:
+        return None
+    deadline = float(raw)
+    if deadline <= 0:
+        raise ReproError(f"timeout_ms must be positive, got {raw!r}")
+    return deadline
+
+
+async def _respond_job(job: Job, wait: bool,
+                       deadline_ms: Optional[float]) -> Handled:
+    if wait and not job.done:
+        # The job's own budget bounds the solve; double it (plus slack)
+        # to cover queue wait, then fall back to async polling.
+        limit_s = (None if deadline_ms is None
+                   else (2.0 * deadline_ms + 2000.0) / 1000.0)
+        await job.wait(limit_s)
+    status = 200 if job.done else 202
+    return status, job_response(job), {}
+
+
+async def handle_api(service: SynthesisService, method: str, path: str,
+                     body: Optional[Dict[str, Any]]) -> Handled:
+    """Route one parsed request; returns (status, payload, headers)."""
+    if path == "/healthz":
+        if method != "GET":
+            return _error(405, "method not allowed")
+        return 200, health_payload(service), {}
+    if path == "/metrics":
+        if method != "GET":
+            return _error(405, "method not allowed")
+        return 200, metrics_payload(service), {}
+    if path.startswith("/v1/jobs/"):
+        if method != "GET":
+            return _error(405, "method not allowed")
+        job = service.store.get(path[len("/v1/jobs/"):])
+        if job is None:
+            return _error(404, "no such job")
+        return 200, job_response(job), {}
+    if path in ("/v1/synthesize", "/v1/sweep"):
+        if method != "POST":
+            return _error(405, "method not allowed")
+        if service.draining:
+            return _error(503, "service is draining")
+        if body is None:
+            return _error(400, "request body must be a JSON object")
+        try:
+            deadline_ms = _deadline_ms(body, service.config)
+            wait = bool(body.get("wait", True))
+            if path == "/v1/synthesize":
+                _space, point = catalog.synthesize_job(body)
+                job, _how = service.submit_point(point, deadline_ms)
+            else:
+                space, spec, points = catalog.sweep_jobs(body)
+                job = service.submit_sweep(spec, points, space.name,
+                                           deadline_ms)
+        except ShedRequest as exc:
+            status, payload, _ = _error(
+                429, str(exc), retry_after_s=exc.retry_after_s)
+            return status, payload, {"Retry-After":
+                                     str(exc.retry_after_s)}
+        except (ReproError, ValueError, TypeError) as exc:
+            return _error(400, str(exc))
+        return await _respond_job(job, wait, deadline_ms)
+    return _error(404, f"no such endpoint {path!r}")

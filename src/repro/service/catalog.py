@@ -1,0 +1,127 @@
+"""Resolve request payloads into content-addressed sweep jobs.
+
+The service speaks the same job language as the design-space explorer:
+a request names a design (a built-in from the catalog, or an inline
+``{"graph": ..., "partitioning": ...}`` in :mod:`repro.io_json` form)
+plus sweep parameters, and this module materializes it through
+:class:`repro.explore.spec.SweepSpec` into :class:`SweepJob`\\ s.  That
+reuse is what makes request coalescing sound — a ``/v1/synthesize``
+request, a ``/v1/sweep`` point, and a CLI ``repro explore`` point with
+the same content all hash to the same :func:`repro.explore.keys.job_key`
+and therefore share one solve and one cache entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import ReproError
+from repro.explore.spec import (DesignSpace, KNOWN_AXES, SweepJob,
+                                SweepSpec)
+from repro.io_json import graph_from_dict, partitioning_from_dict
+
+#: Built-in design names -> DesignSpace factory kwargs.  Mirrors the
+#: CLI catalog; the elliptic designs pin their resource vectors per
+#: rate, matching the published experiments.
+_BUILTINS = ("ar-simple", "ar-general", "ar-general-bidir",
+             "elliptic", "elliptic-bidir")
+
+
+def design_space(design: Union[str, Mapping[str, Any]]) -> DesignSpace:
+    """A :class:`DesignSpace` for a built-in name or an inline design."""
+    if isinstance(design, str):
+        return _builtin_space(design)
+    if isinstance(design, Mapping):
+        try:
+            graph = graph_from_dict(design["graph"])
+            partitioning = partitioning_from_dict(design["partitioning"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(
+                f"inline design needs 'graph' and 'partitioning' in "
+                f"repro.io_json form: {exc}") from exc
+        timing = design.get("timing", "ar")
+        return DesignSpace(name=str(design.get("name", "inline")),
+                           graph=graph, partitioning=partitioning,
+                           timing=timing)
+    raise ReproError(
+        f"design must be a built-in name or an inline design object, "
+        f"got {type(design).__name__}")
+
+
+def _builtin_space(name: str) -> DesignSpace:
+    from repro.designs import (AR_GENERAL_PINS_BIDIR,
+                               AR_GENERAL_PINS_UNIDIR, AR_SIMPLE_PINS,
+                               ELLIPTIC_PINS_BIDIR,
+                               ELLIPTIC_PINS_UNIDIR, ar_general_design,
+                               ar_simple_design, elliptic_design,
+                               elliptic_resources)
+    if name == "ar-simple":
+        return DesignSpace(name=name, graph=ar_simple_design(),
+                           partitioning=AR_SIMPLE_PINS, timing="ar")
+    if name == "ar-general":
+        return DesignSpace(name=name, graph=ar_general_design(),
+                           partitioning=AR_GENERAL_PINS_UNIDIR,
+                           timing="ar")
+    if name == "ar-general-bidir":
+        return DesignSpace(name=name, graph=ar_general_design(),
+                           partitioning=AR_GENERAL_PINS_BIDIR,
+                           timing="ar")
+    if name == "elliptic":
+        return DesignSpace(name=name, graph=elliptic_design(),
+                           partitioning=ELLIPTIC_PINS_UNIDIR,
+                           timing="elliptic",
+                           resources_for=elliptic_resources)
+    if name == "elliptic-bidir":
+        return DesignSpace(name=name, graph=elliptic_design(),
+                           partitioning=ELLIPTIC_PINS_BIDIR,
+                           timing="elliptic",
+                           resources_for=elliptic_resources)
+    raise ReproError(
+        f"unknown design {name!r}; expected one of "
+        f"{sorted(_BUILTINS)} or an inline design object")
+
+
+# ---------------------------------------------------------------------
+def request_params(body: Mapping[str, Any]) -> Dict[str, Any]:
+    """Sweep parameters from a request body's top-level fields."""
+    params = {axis: body[axis] for axis in KNOWN_AXES if axis in body}
+    extra = body.get("options")
+    if extra is not None:
+        if not isinstance(extra, Mapping):
+            raise ReproError("'options' must be an object")
+        for name, value in extra.items():
+            if name not in KNOWN_AXES:
+                raise ReproError(
+                    f"unknown option {name!r}; expected one of "
+                    f"{sorted(KNOWN_AXES)}")
+            params.setdefault(name, value)
+    return params
+
+
+def synthesize_job(body: Mapping[str, Any]) -> Tuple[DesignSpace,
+                                                     SweepJob]:
+    """Materialize one ``/v1/synthesize`` request into a job."""
+    if "design" not in body:
+        raise ReproError("request body needs a 'design' field")
+    space = design_space(body["design"])
+    spec = SweepSpec(base=request_params(body))
+    jobs = spec.expand(space)
+    return space, jobs[0]
+
+
+def sweep_jobs(body: Mapping[str, Any]) -> Tuple[DesignSpace, SweepSpec,
+                                                 List[SweepJob]]:
+    """Materialize a ``/v1/sweep`` request into its point jobs."""
+    if "design" not in body:
+        raise ReproError("request body needs a 'design' field")
+    space = design_space(body["design"])
+    axes = body.get("axes") or {}
+    points = body.get("points") or ()
+    if not isinstance(axes, Mapping):
+        raise ReproError("'axes' must be an object of value lists")
+    spec = SweepSpec(axes=axes, points=points,
+                     base=request_params(body))
+    jobs = spec.expand(space)
+    if not jobs:
+        raise ReproError("sweep expands to zero points")
+    return space, spec, jobs

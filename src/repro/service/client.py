@@ -1,0 +1,154 @@
+"""Stdlib HTTP client for the synthesis service.
+
+Used by the test suite, the CI ``serve-smoke`` job, and the service
+benchmark; also a reasonable starting point for real callers.  One
+:class:`ServiceClient` is safe to share across threads — every call
+opens a fresh ``http.client`` connection, which keeps the client free
+of connection-state locking at the cost of a TCP handshake per call
+(negligible next to a synthesis solve).
+
+Admission rejections surface as :class:`ServiceUnavailable` carrying
+the server's ``Retry-After`` hint; other 4xx/5xx raise
+:class:`ServiceError` with the decoded error payload attached.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceUnavailable(ServiceError):
+    """429/503: request shed or service draining; retry later."""
+
+    def __init__(self, message: str, status: int,
+                 payload: Optional[Dict[str, Any]] = None,
+                 retry_after_s: int = 1) -> None:
+        super().__init__(message, status=status, payload=payload)
+        self.retry_after_s = max(1, int(retry_after_s))
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP wrapper around the service endpoints."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8764,
+                 timeout_s: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[Mapping[str, Any]] = None
+                ) -> Tuple[int, Dict[str, Any]]:
+        """One HTTP exchange; returns (status, decoded payload)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            data = None if body is None else json.dumps(body)
+            conn.request(method, path, body=data,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if response.status in (429, 503):
+                raise ServiceUnavailable(
+                    payload.get("error", "service unavailable"),
+                    status=response.status, payload=payload,
+                    retry_after_s=int(
+                        response.getheader("Retry-After") or 1))
+            if response.status >= 400:
+                raise ServiceError(
+                    payload.get("error",
+                                f"HTTP {response.status}"),
+                    status=response.status, payload=payload)
+            return response.status, payload
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def synthesize(self, design: Union[str, Mapping[str, Any]],
+                   wait: bool = True,
+                   timeout_ms: Optional[float] = None,
+                   **params: Any) -> Dict[str, Any]:
+        """POST /v1/synthesize; returns the job response object."""
+        body: Dict[str, Any] = {"design": design, "wait": wait}
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        body.update(params)
+        _status, payload = self.request("POST", "/v1/synthesize", body)
+        return payload
+
+    def sweep(self, design: Union[str, Mapping[str, Any]],
+              axes: Optional[Mapping[str, Sequence[Any]]] = None,
+              points: Optional[Sequence[Mapping[str, Any]]] = None,
+              wait: bool = True, timeout_ms: Optional[float] = None,
+              **params: Any) -> Dict[str, Any]:
+        """POST /v1/sweep; returns the sweep job response object."""
+        body: Dict[str, Any] = {"design": design, "wait": wait}
+        if axes is not None:
+            body["axes"] = {k: list(v) for k, v in axes.items()}
+        if points is not None:
+            body["points"] = [dict(p) for p in points]
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        body.update(params)
+        _status, payload = self.request("POST", "/v1/sweep", body)
+        return payload
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """GET /v1/jobs/<id>."""
+        _status, payload = self.request("GET", f"/v1/jobs/{job_id}")
+        return payload
+
+    def wait_job(self, job_id: str, poll_s: float = 0.05,
+                 timeout_s: float = 120.0) -> Dict[str, Any]:
+        """Poll a job until it reaches a terminal status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.job(job_id)
+            if payload.get("status") not in ("queued", "running"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still "
+                    f"{payload.get('status')} after {timeout_s}s",
+                    payload=payload)
+            time.sleep(poll_s)
+
+    def health(self) -> Dict[str, Any]:
+        _status, payload = self.request("GET", "/healthz")
+        return payload
+
+    def metrics(self) -> Dict[str, Any]:
+        _status, payload = self.request("GET", "/metrics")
+        return payload
+
+    def wait_until_ready(self, timeout_s: float = 15.0,
+                         poll_s: float = 0.1) -> Dict[str, Any]:
+        """Retry /healthz until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.health()
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll_s)

@@ -1,0 +1,105 @@
+"""Thread-safe service counters and latency percentiles.
+
+The serving layer's observability surface is deliberately tiny: a
+handful of monotonic counters (accepted / coalesced / cache hits /
+shed / executed / completed / degraded / errors), two gauges (queue
+depth, draining), and a ring of recent per-job wall times from which
+``/metrics`` derives p50/p95.  Everything is guarded by one lock —
+pool callbacks, the admission path, and ``/metrics`` scrapes touch the
+same state from different tasks (and, in thread-pool mode, different
+threads).
+
+Solver-level counters (pivots, cuts, cache probes, ...) are *not*
+duplicated here: the service merges each job's :mod:`repro.perf` delta
+into a service-lifetime :class:`repro.perf.PerfRegistry` and exposes
+its snapshot alongside these counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict
+
+#: Monotonic counters the service increments; ``/metrics`` reports all
+#: of them even when still zero, so dashboards never see missing keys.
+COUNTER_NAMES = (
+    "accepted",            # requests admitted (incl. coalesced + cached)
+    "coalesced",           # joined an identical in-flight job
+    "cache_hits",          # served from the persistent result cache
+    "shed",                # rejected with 429 by admission control
+    "executed",            # jobs actually dispatched to the worker pool
+    "completed",           # executed jobs that reached a terminal state
+    "degraded",            # completed with budget fallbacks fired
+    "errors",              # completed with status error
+    "budget_exhausted",    # completed with the budget fully spent
+)
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+class ServiceMetrics:
+    """Counters + a bounded latency ring, safe under concurrency."""
+
+    def __init__(self, latency_window: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {n: 0 for n in COUNTER_NAMES}
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+        self._ema_ms: float = 0.0
+        self._ema_seeded = False
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_job_ms(self, wall_ms: float) -> None:
+        """Record one executed job's wall time (drives the EMA)."""
+        with self._lock:
+            self._latencies.append(float(wall_ms))
+            if self._ema_seeded:
+                self._ema_ms = 0.8 * self._ema_ms + 0.2 * float(wall_ms)
+            else:
+                self._ema_ms = float(wall_ms)
+                self._ema_seeded = True
+
+    # ------------------------------------------------------------------
+    @property
+    def ema_job_ms(self) -> float:
+        """Smoothed per-job wall time; 0.0 until the first completion."""
+        with self._lock:
+            return self._ema_ms
+
+    def seed_ema_ms(self, value: float) -> None:
+        """Preload the EMA (admission-control tests and restarts)."""
+        with self._lock:
+            self._ema_ms = float(value)
+            self._ema_seeded = True
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            ordered = sorted(self._latencies)
+            latency = {
+                "count": len(ordered),
+                "p50_ms": round(percentile(ordered, 0.50), 3),
+                "p95_ms": round(percentile(ordered, 0.95), 3),
+                "max_ms": round(ordered[-1], 3) if ordered else 0.0,
+                "mean_ms": (round(sum(ordered) / len(ordered), 3)
+                            if ordered else 0.0),
+            }
+            return {
+                "counters": dict(self._counters),
+                "latency": latency,
+                "ema_job_ms": round(self._ema_ms, 3),
+            }

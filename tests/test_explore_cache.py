@@ -190,3 +190,78 @@ class TestResultCache:
         got = cache.get("k")
         got["metrics"]["total_pins"] = -1
         assert cache.get("k")["metrics"]["total_pins"] == 100
+
+
+class TestSyncAppend:
+    def test_sync_appends_survive_reload(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path, sync=True)
+        assert cache.sync is True
+        assert cache.put("a", _record(pins=7))
+        assert ResultCache(path).get("a")["metrics"]["total_pins"] == 7
+
+    def test_sync_defaults_off(self):
+        assert ResultCache(None).sync is False
+
+
+def _raw_line(key, pins, version=1):
+    return json.dumps({"v": version, "key": key,
+                       "record": _record(pins=pins)}) + "\n"
+
+
+class TestCompaction:
+    def test_removes_dead_duplicates_and_corruption(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        # Simulate a second writer's stale appends plus a torn write.
+        with open(path, "w") as handle:
+            handle.write(_raw_line("a", pins=1))
+            handle.write(_raw_line("a", pins=2))   # dead: superseded
+            handle.write(_raw_line("b", pins=3))
+            handle.write("{torn line\n")
+        cache = ResultCache(path)
+        assert len(cache) == 2
+        assert cache.corrupt_lines == 1
+
+        summary = cache.compact()
+        assert summary["compacted"] is True
+        assert summary["lines_before"] == 4
+        assert summary["entries"] == 2
+        assert summary["removed"] == 2
+        assert cache.corrupt_lines == 0
+
+        reloaded = ResultCache(path)
+        assert len(reloaded) == 2
+        assert reloaded.corrupt_lines == 0
+        # Last write won: key "a" kept the superseding record.
+        assert reloaded.get("a")["metrics"]["total_pins"] == 2
+        assert reloaded.get("b")["metrics"]["total_pins"] == 3
+        with open(path) as handle:
+            assert len(handle.readlines()) == 2
+
+    def test_compact_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        cache.put("k", _record())
+        assert cache.compact()["removed"] == 0
+        again = cache.compact()
+        assert again["compacted"] is True
+        assert again["removed"] == 0
+        assert ResultCache(path).get("k") is not None
+
+    def test_memory_only_cache_declines(self):
+        cache = ResultCache(None)
+        cache.put("k", _record())
+        assert cache.compact()["compacted"] is False
+
+    def test_missing_file_empty_index_declines(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "never-written.jsonl"))
+        assert cache.compact()["compacted"] is False
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        cache = ResultCache(path)
+        cache.put("k", _record())
+        cache.compact()
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if ".compact." in name]
+        assert leftovers == []

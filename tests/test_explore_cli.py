@@ -69,6 +69,25 @@ class TestExploreCommand:
         assert warm["cache"]["hit_rate"] == 1.0
         assert all(p["cached"] for p in warm["points"])
 
+    def test_compact_cache_flag_drops_dead_lines(self, tmp_path,
+                                                 capsys):
+        cache = str(tmp_path / "cache.jsonl")
+        assert main(FAST + ["--cache", cache]) == 0
+        capsys.readouterr()
+        with open(cache) as handle:
+            live = handle.readlines()
+        # Simulate another writer's stale duplicate plus a torn write.
+        with open(cache, "a") as handle:
+            handle.write(live[0])
+            handle.write("{torn line\n")
+        assert main(FAST + ["--cache", cache,
+                            "--compact-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache compacted" in out
+        assert "2 dead lines removed" in out
+        with open(cache) as handle:
+            assert len(handle.readlines()) == len(live)
+
     def test_bad_flow_axis_exits_one(self, capsys):
         code = main(["explore", "ar-simple", "--rates", "2",
                      "--flows", "imaginary-flow", "--workers", "1"])

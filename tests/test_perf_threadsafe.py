@@ -1,0 +1,79 @@
+"""PerfRegistry must be safe under concurrent mutation.
+
+The serving layer merges worker perf deltas and scrapes ``/metrics``
+snapshots while solves are running, so ``inc``/``phase``/``snapshot``/
+``merge`` race by design.  Before the registry grew its lock, the
+failure modes were lost increments (read-modify-write on a plain dict)
+and ``RuntimeError: dictionary changed size during iteration`` from
+snapshotting mid-insert; these tests pin both down.
+"""
+
+import threading
+
+from repro.perf import PerfRegistry
+
+
+def _run_all(threads):
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30.0)
+        assert not thread.is_alive()
+
+
+def test_concurrent_increments_are_exact():
+    registry = PerfRegistry()
+    workers, per_worker = 8, 4000
+    barrier = threading.Barrier(workers)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(per_worker):
+            registry.inc("shared")
+            with registry.phase("busy"):
+                pass
+
+    _run_all([threading.Thread(target=hammer) for _ in range(workers)])
+    assert registry.counters["shared"] == workers * per_worker
+    assert registry.timings["busy"] >= 0.0
+
+
+def test_snapshot_while_keys_are_being_added():
+    registry = PerfRegistry()
+    fresh_keys = 20000
+
+    def writer():
+        for i in range(fresh_keys):
+            registry.inc(f"key_{i}")
+            with registry.phase(f"t_{i}"):
+                pass
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        # Unlocked dict iteration here raises RuntimeError as the
+        # writer resizes the dicts underneath the snapshot.
+        while thread.is_alive():
+            snap = registry.snapshot()
+            assert all(isinstance(v, int)
+                       for v in snap["counters"].values())
+            registry.delta_since(snap)
+    finally:
+        thread.join(30.0)
+    assert not thread.is_alive()
+    assert len(registry.counters) == fresh_keys
+
+
+def test_concurrent_merges_accumulate_exactly():
+    target = PerfRegistry()
+    workers, per_worker = 6, 300
+
+    def merger():
+        for _ in range(per_worker):
+            target.merge({"counters": {"jobs": 1},
+                          "timings": {"solve_s": 0.001}})
+
+    _run_all([threading.Thread(target=merger) for _ in range(workers)])
+    assert target.counters["jobs"] == workers * per_worker
+    expected = workers * per_worker * 0.001
+    assert abs(target.timings["solve_s"] - expected) < 1e-6
