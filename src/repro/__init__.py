@@ -47,6 +47,8 @@ from repro.robustness import (BudgetExhausted, Diagnostics, SolveBudget)
 from repro.scheduling import Schedule, ListScheduler, ForceDirectedScheduler
 from repro.explore import (DesignSpace, Executor, ResultCache,
                            SweepSpec, pareto_front)
+from repro.check import (CheckReport, Violation, check_result, fuzz,
+                         run_differential)
 
 __version__ = "1.0.0"
 
@@ -84,5 +86,10 @@ __all__ = [
     "Executor",
     "ResultCache",
     "pareto_front",
+    "CheckReport",
+    "Violation",
+    "check_result",
+    "fuzz",
+    "run_differential",
     "__version__",
 ]

@@ -1,0 +1,27 @@
+"""Unified design-rule checking, differential testing, and fuzzing.
+
+* :func:`check_result` — one checker subsuming the scattered
+  ``verify()`` fragments; every invariant is a named, toggleable
+  :class:`Rule` producing structured :class:`Violation` records.
+* :func:`run_differential` — runs all applicable flows on one design
+  and flags feasibility disagreements and checker gaps.
+* :func:`fuzz` — seeded random-design campaigns with greedy shrinking
+  and a replayable JSONL corpus.
+"""
+
+from repro.check.fuzz import (CaseResult, FuzzCase, FuzzReport,
+                              fuzz, generate_cases, load_corpus,
+                              run_case, shrink)
+from repro.check.oracle import (FlowOutcome, OracleReport,
+                                applicable_flows, proof_refutes,
+                                run_differential)
+from repro.check.report import CheckError, CheckReport, Violation
+from repro.check.rules import RULES, Rule, check_result, rule_names
+
+__all__ = [
+    "CaseResult", "CheckError", "CheckReport", "FlowOutcome",
+    "FuzzCase", "FuzzReport", "OracleReport", "RULES", "Rule",
+    "Violation", "applicable_flows", "check_result", "fuzz",
+    "generate_cases", "load_corpus", "proof_refutes", "rule_names",
+    "run_case", "run_differential", "shrink",
+]

@@ -1,0 +1,237 @@
+"""Cross-flow differential oracle.
+
+The three chapter flows answer the same question — does this design
+admit a pin-feasible pipelined implementation at rate ``L``? — by very
+different machinery (ILP feasibility + Theorem 3.1 construction,
+heuristic connection search, FDS + clique partitioning).  Running them
+against each other on one design catches two bug classes no single
+flow can see:
+
+* **feasibility disagreements** — one flow *proves* the design
+  infeasible (:class:`repro.errors.InfeasibleError` out of the ILP)
+  while another produces a result that passes the unified checker.  A
+  heuristic merely *giving up* (``ConnectionError_``,
+  ``SchedulingError``) proves nothing and never counts as
+  disagreement.  Proofs are model-scoped: the Chapter 3 ILP bakes in
+  the Theorem 3.1 interconnect shape (dedicated external bundles,
+  star interchip bundles — a chip's pins facing the outside world
+  never double as interchip pins), so its "infeasible" only covers
+  that restricted model and is *not* refuted by a general-bus-model
+  result that time-shares one port between external and interchip
+  traffic across control-step groups.  The reverse direction has
+  teeth: Chapter 3 interconnects are a subset of general ones, so a
+  general-flow infeasibility proof is refuted by *any* clean result;
+* **checker gaps** — a result that is clean under its flow's own
+  scattered ``verify()`` but dirty under the unified
+  :func:`repro.check.check_result` (a rule the legacy verifier
+  missed), or the reverse (a unified-checker blind spot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.check.report import CheckReport
+from repro.check.rules import PIN_RULES, check_result
+from repro.errors import InfeasibleError, ReproError
+from repro.partition.simple import is_simple_partitioning
+from repro.robustness.budget import BudgetExhausted, SolveBudget
+
+#: Flow outcome classifications.
+OK = "ok"                      #: produced a result
+INFEASIBLE = "infeasible"      #: proved there is no solution
+GAVE_UP = "gave-up"            #: heuristic failure — proves nothing
+BUDGET = "budget"              #: ran out of solve budget
+
+#: Interconnect model each flow's results/proofs live in.  A proof in
+#: the "chapter3" model (disjoint external/interchip pin nets) does not
+#: refute a "general" result; a "general" proof refutes everything.
+FLOW_MODEL = {
+    "simple": "chapter3",
+    "connection-first": "general",
+    "schedule-first": "general",
+}
+
+
+def proof_refutes(prover_flow: str, producer_flow: str) -> bool:
+    """Whether ``prover_flow``'s infeasibility proof covers results the
+    ``producer_flow`` can emit (see the module docstring)."""
+    prover = FLOW_MODEL.get(prover_flow, "general")
+    producer = FLOW_MODEL.get(producer_flow, "general")
+    return prover == "general" or producer == "chapter3"
+
+
+@dataclass
+class FlowOutcome:
+    """What one flow did with the design."""
+
+    flow: str
+    outcome: str
+    error: Optional[str] = None
+    own_problems: List[str] = field(default_factory=list)
+    report: Optional[CheckReport] = None
+    declared_overruns: bool = False
+    result: Optional[object] = None
+
+    @property
+    def produced_clean(self) -> bool:
+        """Produced a result the unified checker fully accepts.
+
+        Declared pin overruns do *not* count as clean: a result that
+        ignores the pin budgets cannot refute an ILP infeasibility
+        proof made under those budgets.
+        """
+        return self.outcome == OK and self.report is not None \
+            and self.report.ok
+
+    @property
+    def acceptable(self) -> bool:
+        """No violations beyond openly-declared pin overruns."""
+        if self.outcome != OK or self.report is None:
+            return True
+        if self.report.ok:
+            return True
+        if self.declared_overruns:
+            return all(v.rule in PIN_RULES
+                       for v in self.report.violations)
+        return False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "flow": self.flow,
+            "outcome": self.outcome,
+            "error": self.error,
+            "own_problems": list(self.own_problems),
+            "declared_overruns": self.declared_overruns,
+            "report": None if self.report is None
+            else self.report.to_dict(),
+        }
+
+
+@dataclass
+class OracleReport:
+    """Everything one differential run produced."""
+
+    outcomes: List[FlowOutcome] = field(default_factory=list)
+    disagreements: List[str] = field(default_factory=list)
+    checker_gaps: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and not self.checker_gaps \
+            and all(o.acceptable for o in self.outcomes)
+
+    def violations(self) -> List[str]:
+        """Unified-checker violations not covered by a flow's openly
+        declared pin overruns."""
+        out = []
+        for outcome in self.outcomes:
+            if outcome.report is None:
+                continue
+            for violation in outcome.report.violations:
+                if outcome.declared_overruns \
+                        and violation.rule in PIN_RULES:
+                    continue
+                out.append(f"{outcome.flow}: [{violation.rule}] "
+                           f"{violation.message}")
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "disagreements": list(self.disagreements),
+            "checker_gaps": list(self.checker_gaps),
+        }
+
+
+def applicable_flows(graph, partitioning) -> List[str]:
+    """Flows that can run the design at all.
+
+    The Chapter 3 flow requires a simple partitioning with
+    unidirectional pins; the other two take anything.
+    """
+    flows = []
+    if is_simple_partitioning(graph) \
+            and not partitioning.any_bidirectional():
+        flows.append("simple")
+    flows.extend(["connection-first", "schedule-first"])
+    return flows
+
+
+def run_differential(graph, partitioning, timing, initiation_rate,
+                     flows: Optional[Sequence[str]] = None,
+                     timeout_ms: Optional[float] = None,
+                     resources=None,
+                     keep_results: bool = False) -> OracleReport:
+    """Run every applicable flow on one design and cross-compare.
+
+    Returns an :class:`OracleReport`; ``report.ok`` means no flow
+    produced a dirty result, no feasibility disagreement, and no gap
+    between any flow's own checker and the unified one.
+    """
+    from repro.core.flow import synthesize
+
+    if flows is None:
+        flows = applicable_flows(graph, partitioning)
+    report = OracleReport()
+    for flow in flows:
+        budget = (None if timeout_ms is None
+                  else SolveBudget(deadline_ms=timeout_ms))
+        try:
+            result = synthesize(graph, partitioning, timing,
+                                initiation_rate, flow=flow,
+                                budget=budget, resources=resources)
+        except InfeasibleError as exc:
+            report.outcomes.append(FlowOutcome(
+                flow, INFEASIBLE, error=str(exc)))
+            continue
+        except BudgetExhausted as exc:
+            report.outcomes.append(FlowOutcome(
+                flow, BUDGET, error=str(exc)))
+            continue
+        except ReproError as exc:
+            report.outcomes.append(FlowOutcome(
+                flow, GAVE_UP, error=str(exc)))
+            continue
+        outcome = FlowOutcome(
+            flow, OK,
+            own_problems=result.verify(),
+            report=check_result(result),
+            declared_overruns=bool(
+                result.stats.get("budget_overruns")),
+            result=result if keep_results else None)
+        report.outcomes.append(outcome)
+
+    _cross_compare(report)
+    return report
+
+
+def _cross_compare(report: OracleReport) -> None:
+    proved_infeasible = [o for o in report.outcomes
+                         if o.outcome == INFEASIBLE]
+    clean = [o for o in report.outcomes if o.produced_clean]
+    for loser in proved_infeasible:
+        for winner in clean:
+            if not proof_refutes(loser.flow, winner.flow):
+                continue
+            report.disagreements.append(
+                f"{loser.flow} proved the design infeasible but "
+                f"{winner.flow} produced a result the unified "
+                f"checker accepts")
+    for outcome in report.outcomes:
+        if outcome.outcome != OK or outcome.report is None:
+            continue
+        own_clean = not outcome.own_problems
+        unified_clean = outcome.report.ok
+        if own_clean and not unified_clean:
+            rules = sorted(outcome.report.by_rule())
+            report.checker_gaps.append(
+                f"{outcome.flow}: clean under its own verify() but "
+                f"the unified checker flags {rules}")
+        elif unified_clean and not own_clean:
+            report.checker_gaps.append(
+                f"{outcome.flow}: clean under the unified checker "
+                f"but its own verify() reports "
+                f"{outcome.own_problems}")

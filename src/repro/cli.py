@@ -14,7 +14,13 @@ Commands
 ``serve``       run the long-running synthesis service: an asyncio
                 HTTP job server with request coalescing, a warm worker
                 pool, deadline-aware load shedding, and a graceful
-                SIGTERM drain.
+                SIGTERM drain;
+``check``       synthesize and run the unified design-rule checker
+                (optionally the cross-flow differential oracle) on the
+                result, printing structured violations;
+``fuzz``        run the seeded differential fuzzer over random
+                partitioned designs, shrinking and recording failures
+                to a replayable JSONL corpus.
 
 All flow commands accept ``--flow auto`` (the default: dispatch per
 partitioning shape) and ``--timeout-ms`` (a wall-clock budget threaded
@@ -279,6 +285,72 @@ def cmd_serve(args) -> int:
     return serve(config)
 
 
+def cmd_check(args) -> int:
+    """Synthesize, then run the unified design-rule checker."""
+    from repro.check import check_result, run_differential
+    from repro.check.rules import enforceable_violations
+
+    if args.oracle:
+        graph, pins, timing, resources = _load(args.design, args.rate)
+        oracle = run_differential(graph, pins, timing, args.rate,
+                                  timeout_ms=args.timeout_ms,
+                                  resources=resources)
+        if args.json:
+            print(json.dumps(oracle.to_dict(), indent=1,
+                             sort_keys=True))
+        else:
+            for outcome in oracle.outcomes:
+                extra = f" ({outcome.error})" if outcome.error else ""
+                print(f"{outcome.flow:18s} {outcome.outcome}{extra}")
+            for message in (oracle.violations()
+                            + oracle.disagreements
+                            + oracle.checker_gaps):
+                print(f"  {message}")
+            print("oracle: " + ("ok" if oracle.ok else "FAILED"))
+        return 0 if oracle.ok else 1
+
+    result = _synthesize(args)
+    report = check_result(result, disable=tuple(args.disable or ()))
+    hard = enforceable_violations(result, report)
+    if args.json:
+        payload = report.to_dict()
+        payload["enforceable"] = [v.to_dict() for v in hard]
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(f"rules run: {', '.join(report.rules_run)}")
+        for message in report.messages():
+            print(f"  {message}")
+        print("check: " + ("ok" if report.ok else
+                           ("tolerated (declared pin overruns)"
+                            if not hard else "FAILED")))
+    return 0 if not hard else 1
+
+
+def cmd_fuzz(args) -> int:
+    """Run the seeded differential fuzzer; exit 1 on any failure."""
+    from repro.check import fuzz as run_fuzz
+
+    report = run_fuzz(args.seed, cases=args.cases,
+                      timeout_ms=args.timeout_ms,
+                      corpus_path=args.corpus,
+                      do_shrink=not args.no_shrink)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(f"fuzz seed={args.seed!r}: {report.cases_run} cases, "
+              f"{len(report.failures)} failures")
+        for failure in report.failures:
+            print(f"  case {failure.case.to_dict()}")
+            print(f"    signature: {', '.join(failure.signature())}")
+        for name, messages in (
+                ("violations", report.violations),
+                ("disagreements", report.disagreements),
+                ("checker gaps", report.checker_gaps)):
+            for message in messages:
+                print(f"  [{name}] {message}")
+    return 0 if report.ok else 1
+
+
 def cmd_emit_rtl(args) -> int:
     """Synthesize then dump the structural RTL."""
     from repro.rtl import emit_structural
@@ -410,6 +482,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full report as JSON instead of "
                             "the text summary")
     p_exp.set_defaults(func=cmd_explore)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="synthesize and run the unified design-rule checker "
+             "(or the cross-flow differential oracle)")
+    _add_flow_options(p_chk)
+    p_chk.add_argument("--oracle", action="store_true",
+                       help="run every applicable flow and cross-"
+                            "compare instead of checking one result")
+    p_chk.add_argument("--disable", action="append", default=[],
+                       metavar="RULE",
+                       help="skip a named rule (repeatable; see "
+                            "repro.check.rule_names())")
+    p_chk.add_argument("--json", action="store_true",
+                       help="print the structured report as JSON")
+    p_chk.set_defaults(func=cmd_check)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="run the seeded differential fuzzer over random "
+             "partitioned designs")
+    p_fuzz.add_argument("--seed", default="repro",
+                        help="string seed for the case stream "
+                             "(default: repro)")
+    p_fuzz.add_argument("--cases", type=int, default=200,
+                        help="number of generated cases (default: 200)")
+    p_fuzz.add_argument("--timeout-ms", type=float, default=4000.0,
+                        help="per-flow solve budget per case "
+                             "(default: 4000)")
+    p_fuzz.add_argument("--corpus", default=None,
+                        help="JSONL corpus file; recorded failures "
+                             "replay first and new ones are appended")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="record failing cases without greedy "
+                             "shrinking")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="print the fuzz report as JSON")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_srv = sub.add_parser(
         "serve",

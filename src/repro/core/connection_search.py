@@ -95,6 +95,12 @@ class ConnectionSearch:
         self._buses: List[_BusState] = []
         self._pins_used: Dict[int, int] = {
             index: 0 for index in partitioning.indices()}
+        # Direction-split usage, needed to honour fixed input/output
+        # pin splits (ChipSpec.input_pins / output_pins).
+        self._pins_out: Dict[int, int] = {
+            index: 0 for index in partitioning.indices()}
+        self._pins_in: Dict[int, int] = {
+            index: 0 for index in partitioning.indices()}
         self._unassigned_bits: Dict[int, int] = {
             index: 0 for index in partitioning.indices()}
         for node in self._ops:
@@ -178,24 +184,43 @@ class ConnectionSearch:
         return len(state.values) < self.capacity
 
     def _pin_delta(self, state: _BusState,
-                   node: Node) -> Optional[Dict[int, int]]:
-        """Extra pins per partition, or None if over budget."""
+                   node: Node) -> Optional[Dict[int, Tuple[int, int]]]:
+        """Extra (output, input) pins per partition, or None if over
+        budget — including a chip's fixed input/output split."""
         width = node.bit_width
         src, dst = node.source_partition, node.dest_partition
-        delta: Dict[int, int] = {}
+        delta: Dict[int, Tuple[int, int]] = {}
         if self.bidirectional:
-            delta[src] = max(0, width - state.bi_w.get(src, 0))
-            delta[dst] = delta.get(dst, 0) + max(
-                0, width - state.bi_w.get(dst, 0))
+            # Bidirectional ports have no direction; book the extra
+            # width on the "output" side of the pooled tracker.
+            delta[src] = (max(0, width - state.bi_w.get(src, 0)), 0)
+            prev = delta.get(dst, (0, 0))
+            delta[dst] = (prev[0]
+                          + max(0, width - state.bi_w.get(dst, 0)),
+                          prev[1])
         else:
-            delta[src] = max(0, width - state.out_w.get(src, 0))
-            delta[dst] = delta.get(dst, 0) + max(
-                0, width - state.in_w.get(dst, 0))
-        for partition, extra in delta.items():
-            budget = self.partitioning.total_pins(partition)
-            if self._pins_used[partition] + extra > budget:
-                return None
-        return delta
+            delta[src] = (max(0, width - state.out_w.get(src, 0)), 0)
+            prev = delta.get(dst, (0, 0))
+            delta[dst] = (prev[0], prev[1] + max(
+                0, width - state.in_w.get(dst, 0)))
+        return delta if self._budget_ok(delta) else None
+
+    def _budget_ok(self, delta: Mapping[int, Tuple[int, int]]) -> bool:
+        """Whether the extra pins fit every touched chip's budget —
+        the total pool, and the fixed split when one is declared."""
+        for partition, (extra_out, extra_in) in delta.items():
+            spec = self.partitioning.chip(partition)
+            used = self._pins_used[partition]
+            if used + extra_out + extra_in > spec.total_pins:
+                return False
+            if spec.split_fixed:
+                if self._pins_out[partition] + extra_out \
+                        > spec.output_pins:
+                    return False
+                if self._pins_in[partition] + extra_in \
+                        > spec.input_pins:
+                    return False
+        return True
 
     def _gain(self, state: _BusState, node: Node) -> float:
         src, dst = node.source_partition, node.dest_partition
@@ -257,11 +282,12 @@ class ConnectionSearch:
             "bi": dict(state.bi_w),
             "had_value": self.value_key(node) in state.values,
             "pins": dict(self._pins_used),
+            "pins_out": dict(self._pins_out),
+            "pins_in": dict(self._pins_in),
         }
         delta = self._pin_delta(state, node)
         assert delta is not None
-        for partition, extra in delta.items():
-            self._pins_used[partition] += extra
+        self._book_pins(delta)
         if self.bidirectional:
             state.bi_w[src] = max(state.bi_w.get(src, 0), width)
             state.bi_w[dst] = max(state.bi_w.get(dst, 0), width)
@@ -284,10 +310,18 @@ class ConnectionSearch:
         state.in_w = record["in"]
         state.bi_w = record["bi"]
         self._pins_used = record["pins"]
+        self._pins_out = record["pins_out"]
+        self._pins_in = record["pins_in"]
         self._unassigned_bits[src] += width
         self._unassigned_bits[dst] += width
         if record["new"]:
             self._buses.pop()
+
+    def _book_pins(self, delta: Mapping[int, Tuple[int, int]]) -> None:
+        for partition, (extra_out, extra_in) in delta.items():
+            self._pins_used[partition] += extra_out + extra_in
+            self._pins_out[partition] += extra_out
+            self._pins_in[partition] += extra_in
 
 
 def synthesize_connection(graph: Cdfg, partitioning: Partitioning,

@@ -474,12 +474,19 @@ def synthesize(graph: Cdfg,
                *,
                flow: str = "auto",
                budget=None,
+               check: bool = False,
                **opts) -> SynthesisResult:
     """The front door: dispatch, budget, and graceful degradation.
 
     ``flow="auto"`` picks the Chapter 3 flow for simple partitionings
     with unidirectional pins and the Chapter 4 flow otherwise; the
     remaining keyword arguments are :class:`SynthesisOptions` fields.
+
+    ``check=True`` additionally runs the unified design-rule checker
+    (:func:`repro.check.check_result`) over the finished result and
+    raises :class:`repro.check.CheckError` on any violation — stricter
+    than the flows' built-in ``require_valid()``, which the unified
+    rules subsume.
 
     With a :class:`repro.robustness.budget.SolveBudget`, every solver
     in the chosen flow cooperates with the deadline/caps, and the
@@ -496,12 +503,17 @@ def synthesize(graph: Cdfg,
     token = as_token(budget)
     diag = Diagnostics()
     try:
-        return _dispatch(graph, partitioning, timing, initiation_rate,
-                         options, token, diag)
+        result = _dispatch(graph, partitioning, timing,
+                           initiation_rate, options, token, diag)
     except BudgetExhausted as exc:
         if exc.diagnostics is None:
             exc.diagnostics = diag
         raise
+    if check:
+        # Imported here: repro.check is a layer above the flows.
+        from repro.check.rules import check_result
+        check_result(result).raise_if_violations()
+    return result
 
 
 def _dispatch(graph: Cdfg, partitioning: Partitioning,

@@ -175,6 +175,18 @@ class Interconnect:
     def capable_buses(self, io: Node) -> List[Bus]:
         return [bus for bus in self.buses if bus.capable(io)]
 
+    def pins_used_split(self, partition: int) -> Tuple[int, int]:
+        """(output, input) pins used — meaningful for unidirectional
+        ports; bidirectional widths count on the output side."""
+        out_used = in_used = 0
+        for bus in self.buses:
+            if bus.bidirectional:
+                out_used += bus.bi_widths.get(partition, 0)
+            else:
+                out_used += bus.out_widths.get(partition, 0)
+                in_used += bus.in_widths.get(partition, 0)
+        return out_used, in_used
+
     def check_budget(self, partitioning: Partitioning) -> List[str]:
         problems = []
         for index in partitioning.indices():
@@ -184,6 +196,18 @@ class Interconnect:
                 problems.append(
                     f"partition {index} uses {used} pins "
                     f"(> budget {budget})")
+            spec = partitioning.chip(index)
+            if spec.split_fixed:
+                out_used, in_used = self.pins_used_split(index)
+                if out_used > spec.output_pins:
+                    problems.append(
+                        f"partition {index} uses {out_used} output "
+                        f"pins (> output-pin budget "
+                        f"{spec.output_pins})")
+                if in_used > spec.input_pins:
+                    problems.append(
+                        f"partition {index} uses {in_used} input "
+                        f"pins (> input-pin budget {spec.input_pins})")
         return problems
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

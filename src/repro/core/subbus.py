@@ -175,20 +175,18 @@ class SubBusConnectionSearch(ConnectionSearch):
             else:
                 required = node.bit_width
         src, dst = node.source_partition, node.dest_partition
-        delta: Dict[int, int] = {}
+        delta: Dict[int, Tuple[int, int]] = {}
         if self.bidirectional:
-            delta[src] = max(0, required - state.bi_w.get(src, 0))
-            delta[dst] = delta.get(dst, 0) + max(
-                0, required - state.bi_w.get(dst, 0))
+            delta[src] = (max(0, required - state.bi_w.get(src, 0)), 0)
+            prev = delta.get(dst, (0, 0))
+            delta[dst] = (prev[0] + max(
+                0, required - state.bi_w.get(dst, 0)), prev[1])
         else:
-            delta[src] = max(0, required - state.out_w.get(src, 0))
-            delta[dst] = delta.get(dst, 0) + max(
-                0, required - state.in_w.get(dst, 0))
-        for partition, extra in delta.items():
-            if self._pins_used[partition] + extra > \
-                    self.partitioning.total_pins(partition):
-                return None
-        return delta
+            delta[src] = (max(0, required - state.out_w.get(src, 0)), 0)
+            prev = delta.get(dst, (0, 0))
+            delta[dst] = (prev[0], prev[1] + max(
+                0, required - state.in_w.get(dst, 0)))
+        return delta if self._budget_ok(delta) else None
 
     def _gain_at(self, state: _BusState, node: Node, start: int,
                  split: Optional[Tuple[int, int]] = None) -> float:
@@ -214,6 +212,8 @@ class SubBusConnectionSearch(ConnectionSearch):
             "bi": dict(state.bi_w),
             "had_value": self.value_key(node) in state.values,
             "pins": dict(self._pins_used),
+            "pins_out": dict(self._pins_out),
+            "pins_in": dict(self._pins_in),
             "segments": (list(self._segments[state.index])
                          if state.index in self._segments else None),
             "op_segment": dict(self._op_segment.get(state.index, {})),
@@ -221,8 +221,7 @@ class SubBusConnectionSearch(ConnectionSearch):
         }
         delta = self._pin_delta_at(state, node, start, split)
         assert delta is not None
-        for partition, extra in delta.items():
-            self._pins_used[partition] += extra
+        self._book_pins(delta)
         if split is not None:
             self._segments[state.index] = list(split)
         required = self._required_port(state, start, node.bit_width) \
@@ -253,6 +252,8 @@ class SubBusConnectionSearch(ConnectionSearch):
         state.in_w = record["in"]
         state.bi_w = record["bi"]
         self._pins_used = record["pins"]
+        self._pins_out = record["pins_out"]
+        self._pins_in = record["pins_in"]
         if record["segments"] is None:
             self._segments.pop(state.index, None)
         else:

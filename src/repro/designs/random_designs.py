@@ -43,6 +43,7 @@ def random_partitioned_design(seed: int,
                               widths: Tuple[int, ...] = (8, 16),
                               pin_budget: int = 256,
                               bidirectional: bool = False,
+                              output_pins: int = None,
                               ) -> Tuple[Cdfg, Partitioning]:
     """A random layered design plus a (generous) partitioning.
 
@@ -51,6 +52,10 @@ def random_partitioned_design(seed: int,
     cross-chip arcs are plentiful; :func:`insert_io_nodes` then splices
     the I/O operations the synthesis flows consume.  External inputs
     feed the first operation of each chip.
+
+    ``output_pins`` fixes every real chip's input/output pin split
+    (``output_pins`` out of ``pin_budget``); the outside-world pseudo
+    chip keeps a free split.  Incompatible with ``bidirectional``.
     """
     rng_inputs = _stream(seed, "inputs")
     rng_ops = _stream(seed, "ops")
@@ -96,5 +101,11 @@ def random_partitioned_design(seed: int,
     chips = {OUTSIDE_WORLD: ChipSpec(pin_budget,
                                      bidirectional=bidirectional)}
     for chip in range(1, n_chips + 1):
-        chips[chip] = ChipSpec(pin_budget, bidirectional=bidirectional)
+        if output_pins is not None:
+            chips[chip] = ChipSpec(
+                pin_budget, output_pins=output_pins,
+                input_pins=pin_budget - output_pins)
+        else:
+            chips[chip] = ChipSpec(pin_budget,
+                                   bidirectional=bidirectional)
     return graph, Partitioning(chips)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import copy
 import json
 import os
+import threading
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.io_json import canonical_dumps
@@ -48,14 +49,19 @@ class ResultCache:
         self.path = path
         self.sync = bool(sync)
         self._index: Dict[str, Dict[str, Any]] = {}
+        #: Serializes put() appends against compact()'s read-merge-
+        #: replace window so a concurrent append cannot be dropped.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.corrupt_lines = 0
         if path is not None and os.path.exists(path):
-            self._load(path)
+            self._index = self._read_file(path)
 
     # ------------------------------------------------------------------
-    def _load(self, path: str) -> None:
+    def _read_file(self, path: str) -> Dict[str, Dict[str, Any]]:
+        """Parse the JSON-lines file; last write wins per key."""
+        index: Dict[str, Dict[str, Any]] = {}
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -71,7 +77,8 @@ class ResultCache:
                     self.corrupt_lines += 1
                     continue
                 # Last write wins, matching append order.
-                self._index[key] = record
+                index[key] = record
+        return index
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -93,20 +100,21 @@ class ResultCache:
         """Persist a completed record; returns True if newly stored."""
         if record.get("status") not in CACHEABLE_STATUSES:
             return False
-        if key in self._index:
-            return False
         stored = copy.deepcopy(record)
         # Per-run bookkeeping does not belong in the cache.
         stored.pop("cached", None)
-        self._index[key] = stored
-        if self.path is not None:
-            line = canonical_dumps(
-                {"v": CACHE_VERSION, "key": key, "record": stored})
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-                if self.sync:
-                    handle.flush()
-                    os.fsync(handle.fileno())
+        with self._lock:
+            if key in self._index:
+                return False
+            self._index[key] = stored
+            if self.path is not None:
+                line = canonical_dumps(
+                    {"v": CACHE_VERSION, "key": key, "record": stored})
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                    if self.sync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
         return True
 
     def items(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
@@ -114,16 +122,24 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def compact(self) -> Dict[str, Any]:
-        """Atomically rewrite the file down to the live index.
+        """Atomically rewrite the file down to the live records.
 
         Dead lines come from two places: another writer appending a key
         this process had already written (each side's in-memory index
         misses the other's line), and corrupt/truncated lines left by a
-        killed run.  Compaction writes one canonical line per live
-        index entry to a temp file in the same directory, fsyncs it,
-        and ``os.replace``\\ s it over the cache — readers either see
-        the old file or the compacted one, never a partial rewrite.
+        killed run.  Compaction re-reads the file *under the append
+        lock* and merges it with the in-memory index — so records
+        appended concurrently (by another thread of this process, or by
+        another process sharing the file) survive with last-write-wins
+        semantics — then writes one canonical line per live entry to a
+        temp file in the same directory, fsyncs it, and
+        ``os.replace``\\ s it over the cache: readers either see the
+        old file or the compacted one, never a partial rewrite.
         """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Dict[str, Any]:
         summary = {
             "path": self.path,
             "lines_before": 0,
@@ -136,14 +152,21 @@ class ResultCache:
         exists = os.path.exists(self.path)
         if not exists and not self._index:
             return summary
+        merged: Dict[str, Dict[str, Any]] = {}
         if exists:
             with open(self.path, "r", encoding="utf-8") as handle:
                 summary["lines_before"] = sum(
                     1 for line in handle if line.strip())
+            # The file is the authority on concurrent appends; index
+            # entries missing from it (lost file, foreign truncation)
+            # are added back on top.
+            merged = self._read_file(self.path)
+        for key, record in self._index.items():
+            merged.setdefault(key, record)
         tmp_path = f"{self.path}.compact.{os.getpid()}"
         try:
             with open(tmp_path, "w", encoding="utf-8") as handle:
-                for key, record in self._index.items():
+                for key, record in merged.items():
                     handle.write(canonical_dumps(
                         {"v": CACHE_VERSION, "key": key,
                          "record": record}) + "\n")
@@ -153,9 +176,11 @@ class ResultCache:
         finally:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
+        self._index = merged
         self.corrupt_lines = 0
+        summary["entries"] = len(merged)
         summary["removed"] = max(
-            0, summary["lines_before"] - len(self._index))
+            0, summary["lines_before"] - len(merged))
         summary["compacted"] = True
         return summary
 

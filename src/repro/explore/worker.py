@@ -101,6 +101,8 @@ def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
         record["metrics"] = result_metrics(result, wall_ms)
         record["stats"] = _jsonable(_stats_to_dict(result.stats))
         record["diagnostics"] = result.diagnostics.to_dict()
+        if payload.get("check"):
+            _check_record(result, record)
     except BudgetExhausted as exc:
         record["status"] = "budget_exhausted"
         record["error"] = str(exc)
@@ -116,6 +118,26 @@ def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
         "wall_ms", round((time.perf_counter() - start) * 1000.0, 3))
     record["perf"] = PERF.delta_since(before)
     return record
+
+
+def _check_record(result, record: Dict[str, Any]) -> None:
+    """Run the unified design-rule checker on a finished solve.
+
+    Enforceable violations (pin overruns a schedule-first result has
+    *declared* are tolerated, everything else counts) flip the record
+    to the non-cacheable ``invalid`` status, so a bad result is never
+    served from the cache.  The full report rides along either way.
+    """
+    from repro.check.rules import check_result, enforceable_violations
+
+    report = check_result(result)
+    record["check"] = report.to_dict()
+    hard = enforceable_violations(result, report)
+    if hard:
+        record["status"] = "invalid"
+        record["error"] = ("design-rule check failed: "
+                           + "; ".join(f"[{v.rule}] {v.message}"
+                                       for v in hard[:5]))
 
 
 def _jsonable(data: Dict[str, Any]) -> Dict[str, Any]:

@@ -127,8 +127,13 @@ class SynthesisService:
         if not preadmitted:
             self.check_admission(deadline_ms)
         budget_ms = slice_ms if slice_ms is not None else deadline_ms
+        payload = point.payload(deadline_ms=budget_ms)
+        # Served results are design-rule-checked in the worker; a
+        # violating result comes back ``invalid`` (non-cacheable), so
+        # the cache and coalesced followers only ever see clean ones.
+        payload["check"] = True
         job = Job(key=point.key, params=dict(point.params),
-                  payload=point.payload(deadline_ms=budget_ms))
+                  payload=payload)
         self.inflight[point.key] = job
         self.store.add(job)
         self.queue_depth += 1
@@ -196,6 +201,8 @@ class SynthesisService:
             self.metrics.inc("degraded")
         elif status == "error":
             self.metrics.inc("errors")
+        elif status == "invalid":
+            self.metrics.inc("invalid")
         elif status == "budget_exhausted":
             self.metrics.inc("budget_exhausted")
         job.finish(record)
@@ -260,8 +267,9 @@ def job_response(job: Job) -> Dict[str, Any]:
         out["location"] = f"/v1/jobs/{job.id}"
         return out
     record = job.record or {}
-    for name in ("metrics", "stats", "diagnostics", "wall_ms", "error",
-                 "progress", "points", "pareto", "status_counts"):
+    for name in ("metrics", "stats", "diagnostics", "check", "wall_ms",
+                 "error", "progress", "points", "pareto",
+                 "status_counts"):
         if name in record:
             out[name] = record[name]
     return out

@@ -42,6 +42,25 @@ class ServiceUnavailable(ServiceError):
         self.retry_after_s = max(1, int(retry_after_s))
 
 
+def parse_retry_after(value: Optional[str], default: int = 1) -> int:
+    """Decode a ``Retry-After`` header value, defensively.
+
+    RFC 9110 allows both delta-seconds and an HTTP-date; proxies add
+    their own creative spellings.  Anything that is not a plain
+    non-negative number (int or float seconds) falls back to
+    ``default`` rather than crashing the client on an error path.
+    """
+    if value is None:
+        return default
+    try:
+        seconds = float(value.strip())
+    except (ValueError, AttributeError):
+        return default
+    if seconds != seconds or seconds < 0 or seconds == float("inf"):
+        return default
+    return max(default, int(seconds))
+
+
 class ServiceClient:
     """Thin JSON-over-HTTP wrapper around the service endpoints."""
 
@@ -72,8 +91,8 @@ class ServiceClient:
                 raise ServiceUnavailable(
                     payload.get("error", "service unavailable"),
                     status=response.status, payload=payload,
-                    retry_after_s=int(
-                        response.getheader("Retry-After") or 1))
+                    retry_after_s=parse_retry_after(
+                        response.getheader("Retry-After")))
             if response.status >= 400:
                 raise ServiceError(
                     payload.get("error",

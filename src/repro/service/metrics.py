@@ -32,6 +32,7 @@ COUNTER_NAMES = (
     "completed",           # executed jobs that reached a terminal state
     "degraded",            # completed with budget fallbacks fired
     "errors",              # completed with status error
+    "invalid",             # completed but failed the design-rule check
     "budget_exhausted",    # completed with the budget fully spent
 )
 

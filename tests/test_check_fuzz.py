@@ -1,0 +1,140 @@
+"""Fuzz harness mechanics: determinism, shrinking, corpus replay."""
+
+import json
+
+import pytest
+
+import importlib
+
+#: The submodule itself (the package re-exports the ``fuzz`` function
+#: under the same name, shadowing attribute-style module access).
+fuzz_pkg = importlib.import_module("repro.check.fuzz")
+
+from repro.check.fuzz import (CaseResult, FuzzCase, append_corpus,
+                              fuzz, generate_cases, load_corpus,
+                              run_case, shrink)
+from repro.check.oracle import OracleReport
+
+
+def test_generate_cases_deterministic():
+    a = list(generate_cases("seed-a", 10))
+    b = list(generate_cases("seed-a", 10))
+    assert a == b
+    c = list(generate_cases("seed-b", 10))
+    assert a != c
+
+
+def test_generate_cases_prefix_stable():
+    # Asking for more cases must not reshuffle the earlier ones.
+    short = list(generate_cases("seed-a", 5))
+    long = list(generate_cases("seed-a", 10))
+    assert long[:5] == short
+
+
+def test_case_round_trip():
+    case = FuzzCase(seed=7, n_chips=2, n_ops=9, widths=(4, 8),
+                    pin_budget=24, bidirectional=False,
+                    output_pins=6, rate=2)
+    data = json.loads(json.dumps(case.to_dict()))
+    assert FuzzCase.from_dict(data) == case
+
+
+def test_from_dict_ignores_signature_and_unknown_keys():
+    data = {"seed": 1, "signature": ["disagreement"], "future": True}
+    case = FuzzCase.from_dict(data)
+    assert case.seed == 1
+
+
+def test_case_builds_fixed_split_design():
+    case = FuzzCase(seed=3, n_chips=2, n_ops=8, widths=(8,),
+                    pin_budget=32, output_pins=8)
+    _graph, pins = case.build()
+    spec = pins.chip(1)
+    assert spec.split_fixed
+    assert spec.output_pins == 8
+    assert spec.input_pins == 24
+
+
+def test_run_case_clean():
+    case = FuzzCase(seed=5, n_chips=2, n_ops=6, widths=(8,),
+                    pin_budget=256, rate=1)
+    result = run_case(case, timeout_ms=8000)
+    assert not result.failed
+    assert result.signature() == []
+
+
+# ---------------------------------------------------------------------
+def _fake_runner(failing):
+    """run_case stand-in: fails (signature ['x']) iff failing(case)."""
+    def runner(case, timeout_ms=None):
+        report = OracleReport()
+        if failing(case):
+            report.disagreements.append("x")
+        result = CaseResult(case, report)
+        return result
+    return runner
+
+
+def test_shrink_reduces_while_preserving_signature(monkeypatch):
+    monkeypatch.setattr(
+        fuzz_pkg, "run_case",
+        _fake_runner(lambda c: c.n_ops >= 5 and c.rate >= 2))
+    case = FuzzCase(seed=1, n_chips=4, n_ops=16, widths=(4, 8, 16),
+                    pin_budget=32, output_pins=8, rate=4)
+    small = shrink(case, ["disagreement"], timeout_ms=None)
+    assert small.n_ops == 5
+    assert small.rate == 2
+    assert small.n_chips == 2
+    assert small.widths == (4,)
+    assert small.output_pins is None
+
+
+def test_shrink_keeps_case_when_nothing_smaller_fails(monkeypatch):
+    monkeypatch.setattr(fuzz_pkg, "run_case",
+                        _fake_runner(lambda c: c.n_ops == 12))
+    case = FuzzCase(seed=1, n_chips=2, n_ops=12, widths=(8,),
+                    pin_budget=16, rate=1)
+    assert shrink(case, ["disagreement"]) == case
+
+
+# ---------------------------------------------------------------------
+def test_corpus_round_trip(tmp_path):
+    path = str(tmp_path / "corpus.jsonl")
+    case = FuzzCase(seed=9, n_ops=7, output_pins=4, pin_budget=16)
+    report = OracleReport()
+    report.disagreements.append("boom")
+    append_corpus(path, CaseResult(case, report))
+    loaded = load_corpus(path)
+    assert loaded == [case]
+
+
+def test_load_corpus_tolerates_corrupt_lines(tmp_path):
+    path = tmp_path / "corpus.jsonl"
+    path.write_text('{"seed": 1}\nnot json\n\n{"seed": 2}\n')
+    loaded = load_corpus(str(path))
+    assert [c.seed for c in loaded] == [1, 2]
+
+
+def test_load_corpus_missing_file():
+    assert load_corpus("/nonexistent/corpus.jsonl") == []
+
+
+def test_fuzz_records_and_replays_failures(tmp_path, monkeypatch):
+    monkeypatch.setattr(fuzz_pkg, "run_case",
+                        _fake_runner(lambda c: c.seed % 2 == 1))
+    path = str(tmp_path / "corpus.jsonl")
+    odd = [c for c in generate_cases("t", 8) if c.seed % 2 == 1]
+    report = fuzz("t", cases=8, corpus_path=path, do_shrink=False)
+    assert len(report.failures) == len(odd)
+    assert not report.ok
+    # Replay: corpus failures run first, then the stream repeats them.
+    corpus_before = len(load_corpus(path))
+    assert corpus_before == len(odd)
+    replay = fuzz("t", cases=8, corpus_path=path, do_shrink=False)
+    assert replay.cases_run == 8 + corpus_before
+
+
+def test_fuzz_clean_smoke():
+    report = fuzz("smoke-clean", cases=2, timeout_ms=8000)
+    assert report.cases_run == 2
+    assert report.ok, report.to_dict()

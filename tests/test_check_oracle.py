@@ -1,0 +1,133 @@
+"""Differential-oracle semantics and builtin-design agreement.
+
+Satellite (d) of the checker work: the flows must agree on the
+built-in designs, and a flow's own ``require_valid()`` verdict must
+coincide with the unified checker's (no checker gaps in either
+direction).
+"""
+
+import pytest
+
+from repro.check import (applicable_flows, check_result, proof_refutes,
+                         run_differential)
+from repro.check.oracle import (FlowOutcome, INFEASIBLE, OK,
+                                OracleReport, _cross_compare)
+from repro.check.report import CheckReport, Violation
+from repro.cli import _load
+from repro.designs import AR_SIMPLE_PINS, ar_simple_design
+
+#: (design, rate) points matching the CI smoke matrix.
+BUILTIN_POINTS = [
+    ("ar-simple", 2),
+    ("ar-general", 3),
+    ("ar-general-bidir", 3),
+    ("elliptic", 6),
+    ("elliptic-bidir", 7),
+]
+
+
+@pytest.mark.parametrize("design,rate", BUILTIN_POINTS)
+def test_flows_agree_on_builtin(design, rate):
+    graph, pins, timing, resources = _load(design, rate)
+    oracle = run_differential(graph, pins, timing, rate,
+                              timeout_ms=15000, resources=resources,
+                              keep_results=True)
+    assert oracle.ok, oracle.to_dict()
+    # No checker gap: each flow's own verify() verdict must equal the
+    # unified checker's (modulo openly declared pin overruns).
+    for outcome in oracle.outcomes:
+        if outcome.result is None:
+            continue
+        own_clean = not outcome.result.verify()
+        assert own_clean == outcome.report.ok or outcome.acceptable
+
+
+def test_applicable_flows_simple():
+    graph = ar_simple_design()
+    flows = applicable_flows(graph, AR_SIMPLE_PINS)
+    assert flows == ["simple", "connection-first", "schedule-first"]
+
+
+def test_applicable_flows_general():
+    from repro.designs import AR_GENERAL_PINS_BIDIR, ar_general_design
+    flows = applicable_flows(ar_general_design(), AR_GENERAL_PINS_BIDIR)
+    assert flows == ["connection-first", "schedule-first"]
+
+
+def test_require_valid_matches_unified_checker():
+    graph, pins, timing, resources = _load("ar-general", 3)
+    from repro.core.flow import synthesize
+    result = synthesize(graph, pins, timing, 3,
+                        flow="connection-first", resources=resources)
+    result.require_valid()
+    assert check_result(result).ok
+
+
+# ---------------------------------------------------------------------
+# Proof scoping: Chapter 3's ILP proves infeasibility of its own
+# restricted interconnect model only.
+# ---------------------------------------------------------------------
+def test_proof_refutes_scoping():
+    assert not proof_refutes("simple", "connection-first")
+    assert not proof_refutes("simple", "schedule-first")
+    assert proof_refutes("connection-first", "simple")
+    assert proof_refutes("connection-first", "schedule-first")
+    assert proof_refutes("schedule-first", "connection-first")
+
+
+def _clean_outcome(flow):
+    return FlowOutcome(flow, OK, report=CheckReport())
+
+
+def test_general_proof_vs_clean_result_disagrees():
+    report = OracleReport(outcomes=[
+        FlowOutcome("connection-first", INFEASIBLE, error="ilp"),
+        _clean_outcome("schedule-first"),
+    ])
+    _cross_compare(report)
+    assert report.disagreements
+    assert not report.ok
+
+
+def test_chapter3_proof_vs_general_result_is_fine():
+    report = OracleReport(outcomes=[
+        FlowOutcome("simple", INFEASIBLE, error="ilp"),
+        _clean_outcome("connection-first"),
+    ])
+    _cross_compare(report)
+    assert not report.disagreements
+    assert report.ok
+
+
+def test_dirty_result_never_refutes():
+    dirty = CheckReport(violations=[
+        Violation.at("pin-budget", "over budget", chip=1)])
+    report = OracleReport(outcomes=[
+        FlowOutcome("connection-first", INFEASIBLE, error="ilp"),
+        FlowOutcome("schedule-first", OK, report=dirty,
+                    declared_overruns=True),
+    ])
+    _cross_compare(report)
+    assert not report.disagreements
+
+
+def test_checker_gap_detected():
+    dirty = CheckReport(violations=[
+        Violation.at("bus-conflict", "collision", bus=1)])
+    report = OracleReport(outcomes=[
+        FlowOutcome("connection-first", OK, own_problems=[],
+                    report=dirty),
+    ])
+    _cross_compare(report)
+    assert report.checker_gaps
+    assert not report.ok
+
+
+def test_checker_gap_reverse_direction():
+    report = OracleReport(outcomes=[
+        FlowOutcome("connection-first", OK,
+                    own_problems=["phantom problem"],
+                    report=CheckReport()),
+    ])
+    _cross_compare(report)
+    assert report.checker_gaps
