@@ -165,6 +165,78 @@ def bench_explore(smoke: bool, workers: int):
 
 
 # ---------------------------------------------------------------------
+def bench_warm_neighbors(smoke: bool):
+    """The warm-start tier on near-duplicate solves, cold vs warm.
+
+    Sweeps the stacked AR design (four copies sharing one chip set, so
+    the pin ILP dominates each solve) over 21 neighboring pin budgets —
+    non-identical points whose content hashes all differ, so the result
+    cache never helps.  The cold run solves every point from scratch;
+    the warm run chains the points onto one worker in descending budget
+    order with a shared pin-oracle store, so after the chain head the
+    store's witness/dominance shortcuts answer whole solve trajectories
+    without building a tableau.  Both runs use one worker: the metric
+    is per-point work, not parallelism.
+
+    The budget grid starts at 1.75x: below that the budgets constrain
+    the schedule, each point takes a different commit trajectory, and
+    the warm tier degrades toward cold (by design — warm answers must
+    stay bit-identical, so divergent points re-solve).
+    """
+    from repro.core.oracle_store import OracleStore
+    from repro.designs import ar_stacked_design, ar_stacked_pins
+    from repro.explore import (DesignSpace, Executor, ResultCache,
+                               SweepSpec)
+
+    copies = 4
+    design = DesignSpace(name=f"ar-stacked-{copies}",
+                         graph=ar_stacked_design(copies),
+                         partitioning=ar_stacked_pins(copies),
+                         timing="ar")
+    scales = [round(1.75 + 0.025 * i, 4) for i in range(21)]
+    spec = SweepSpec(axes={"rate": [2], "flow": ["simple"],
+                           "pin_scale": scales})
+    jobs = spec.expand(design)
+
+    runs = {}
+    for label in ("cold", "warm_neighbors"):
+        warm = label != "cold"
+        executor = Executor(workers=1, cache=ResultCache(),
+                            warm=warm,
+                            oracle_store=OracleStore() if warm else None)
+        before = PERF.snapshot()
+        start = time.perf_counter()
+        result = executor.run(jobs)
+        seconds = time.perf_counter() - start
+        counters = PERF.delta_since(before)["counters"]
+        runs[label] = {
+            "seconds": round(seconds, 4),
+            "points": len(result.points),
+            "points_per_sec": round(
+                len(result.points) / seconds, 2) if seconds else 0.0,
+            "statuses": result.status_counts(),
+            "counters": {
+                "warm_accepted": counters.get("gomory.warm_accepted", 0),
+                "warm_rejected": counters.get("gomory.warm_rejected", 0),
+                "pin_store_hits": counters.get("pin.store_hits", 0),
+                "pin_store_dominance_hits": counters.get(
+                    "pin.store_dominance_hits", 0),
+                "tableau_pivots": counters.get("tableau.pivots", 0),
+            },
+        }
+        print(f"  warm_neighbors[{label}]  {seconds:8.3f}s  "
+              f"{runs[label]['points_per_sec']:8.1f} points/s  "
+              f"pivots={runs[label]['counters']['tableau_pivots']}")
+    cold_pps = runs["cold"]["points_per_sec"]
+    warm_pps = runs["warm_neighbors"]["points_per_sec"]
+    speedup = round(warm_pps / cold_pps, 2) if cold_pps else 0.0
+    print(f"  warm_neighbors speedup {speedup}x")
+    return {"design": design.name, "workers": 1,
+            "axes": spec.to_dict()["axes"], "n_points": len(jobs),
+            "speedup": speedup, "runs": runs}
+
+
+# ---------------------------------------------------------------------
 def bench_service(smoke: bool, workers: int):
     """The serving layer vs sequential ``synthesize()`` calls.
 
@@ -234,7 +306,10 @@ def bench_service(smoke: bool, workers: int):
         for thread in pumps:
             thread.join()
         service_s = time.perf_counter() - start
-        metrics = client.metrics()["service"]
+        payload = client.metrics()
+        metrics = payload["service"]
+        oracle = payload.get("oracle", {})
+        perf_counters = payload.get("perf", {}).get("counters", {})
     print(f"  service[coalesced]   {service_s:8.3f}s  "
           f"{len(requests) / service_s:8.1f} req/s  "
           f"speedup={sequential_s / service_s:.1f}x  "
@@ -260,6 +335,14 @@ def bench_service(smoke: bool, workers: int):
         },
         "speedup": round(sequential_s / service_s, 2),
         "counters": metrics["counters"],
+        "oracle_store": oracle,
+        "pin_counters": {
+            "pin_store_hits": perf_counters.get("pin.store_hits", 0),
+            "pin_store_dominance_hits": perf_counters.get(
+                "pin.store_dominance_hits", 0),
+            "pin_cache_hits": perf_counters.get("pin.cache_hits", 0),
+            "pin_cache_misses": perf_counters.get("pin.cache_misses", 0),
+        },
     }
 
 
@@ -345,6 +428,7 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "explore": bench_explore(args.smoke, args.explore_workers),
+            "warm_neighbors": bench_warm_neighbors(args.smoke),
         }
         with open(args.explore_out, "w", encoding="utf-8") as fh:
             json.dump(explore_doc, fh, indent=2, sort_keys=True)

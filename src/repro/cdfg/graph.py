@@ -129,6 +129,7 @@ class Cdfg:
         self._succs: Dict[str, List[Edge]] = {}
         self._preds: Dict[str, List[Edge]] = {}
         self._values_cache: Optional[Dict[str, List[Node]]] = None
+        self._recursive_cache: Optional[List[Edge]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -153,6 +154,7 @@ class Cdfg:
         self._edges.append(edge)
         self._succs[src].append(edge)
         self._preds[dst].append(edge)
+        self._recursive_cache = None
         return edge
 
     def replace_node(self, node: Node) -> None:
@@ -207,7 +209,16 @@ class Cdfg:
         return [n for n in self._nodes.values() if n.is_io()]
 
     def recursive_edges(self) -> List[Edge]:
-        return [e for e in self._edges if e.is_recursive()]
+        """The data-recursive subset of the edges.
+
+        Cached: the scheduler's recursion-deadline checks consult this
+        per placement attempt, and the subset is tiny next to the full
+        edge list it would otherwise rescan.  ``add_edge`` invalidates.
+        """
+        if self._recursive_cache is None:
+            self._recursive_cache = [e for e in self._edges
+                                     if e.is_recursive()]
+        return list(self._recursive_cache)
 
     def values_map(self) -> Dict[str, List[Node]]:
         """Group I/O nodes by transferred value name (the sets ``W_v``).

@@ -44,7 +44,8 @@ from repro.cdfg.graph import Cdfg
 from repro.designs import (AR_GENERAL_PINS_BIDIR, AR_GENERAL_PINS_UNIDIR,
                            AR_SIMPLE_PINS, ELLIPTIC_PINS_BIDIR,
                            ELLIPTIC_PINS_UNIDIR, ar_general_design,
-                           ar_simple_design, elliptic_design,
+                           ar_simple_design, ar_stacked_design,
+                           ar_stacked_pins, elliptic_design,
                            elliptic_resources)
 from repro.errors import ReproError
 from repro.io_json import _stats_to_dict, dump_result, load_design
@@ -65,6 +66,9 @@ BUILTINS = {
     "elliptic": "5th-order elliptic wave filter, 5 chips, recursive "
                 "feedback (Ch 4/5)",
     "elliptic-bidir": "elliptic filter, bidirectional pins",
+    "ar-stacked-N": "N independent AR filter copies on one 4-chip set "
+                    "(warm-start / scaling benchmarks; e.g. "
+                    "ar-stacked-4)",
 }
 
 
@@ -86,6 +90,14 @@ def _load(name_or_path: str, rate: int
     if name_or_path == "elliptic-bidir":
         return (elliptic_design(), ELLIPTIC_PINS_BIDIR,
                 elliptic_filter_timing(), elliptic_resources(rate))
+    if name_or_path.startswith("ar-stacked-"):
+        try:
+            copies = int(name_or_path[len("ar-stacked-"):])
+        except ValueError:
+            copies = 0
+        if copies >= 1:
+            return (ar_stacked_design(copies), ar_stacked_pins(copies),
+                    ar_filter_timing(), None)
     graph, partitioning = load_design(name_or_path)
     return graph, partitioning, ar_filter_timing(), None
 
@@ -225,10 +237,16 @@ def cmd_explore(args) -> int:
     spec = SweepSpec(axes=axes)
 
     cache = ResultCache(args.cache)
+    oracle = None
+    if args.warm or args.oracle_cache:
+        from repro.core.oracle_store import OracleStore
+        oracle = OracleStore(args.oracle_cache)
     executor = Executor(workers=args.workers,
                         cache=cache,
                         deadline_ms=args.timeout_ms,
-                        prune_dominated=not args.no_prune)
+                        prune_dominated=not args.no_prune,
+                        warm=args.warm,
+                        oracle_store=oracle)
     jobs = spec.expand(design)
     result = executor.run(jobs)
     report = build_report(args.design, spec, result)
@@ -280,6 +298,7 @@ def cmd_serve(args) -> int:
                            workers=args.workers,
                            max_queue=args.max_queue,
                            cache_path=args.cache,
+                           oracle_path=args.oracle_cache,
                            default_timeout_ms=args.timeout_ms,
                            pool_mode=args.pool)
     return serve(config)
@@ -472,6 +491,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--no-prune", action="store_true",
                        help="disable cancellation of queued points "
                             "whose optimistic metrics are dominated")
+    p_exp.add_argument("--warm", action="store_true",
+                       help="warm-start tier: chain neighboring pin "
+                            "budgets on one worker, reusing solver "
+                            "bases and the shared pin-oracle store")
+    p_exp.add_argument("--oracle-cache", default=None,
+                       help="persist the shared pin-oracle store as "
+                            "JSONL at this path (implies a shared "
+                            "store even without --warm)")
     p_exp.add_argument("--compact-cache", action="store_true",
                        help="after the sweep, atomically rewrite the "
                             "cache file down to its live index "
@@ -547,6 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--pool", choices=["process", "thread"],
                        default="process",
                        help="worker pool mode (default: process)")
+    p_srv.add_argument("--oracle-cache", default=None,
+                       help="persist the shared pin-oracle store as "
+                            "JSONL at this path (workers inherit it "
+                            "warm; deltas merge back on completion)")
     p_srv.set_defaults(func=cmd_serve)
     return parser
 

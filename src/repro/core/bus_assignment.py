@@ -26,6 +26,7 @@ from repro.cdfg.graph import Cdfg, Node
 from repro.cdfg.ops import OpKind
 from repro.core.interconnect import Bus, BusAssignment, Interconnect
 from repro.errors import BusAssignmentError
+from repro.perf import PERF
 from repro.scheduling.base import Schedule
 
 #: A concrete placement: (bus index, starting segment).
@@ -245,6 +246,7 @@ class BusAllocator:
             need = self._need(node, target, position[1])
             if self._spare(target, exclude=in_flight) >= need:
                 self.reassignments += 1
+                PERF.inc("bus.reassignments")
                 return [(node.name, position)]
             if bus_index in visited:
                 continue
@@ -265,6 +267,7 @@ class BusAllocator:
                     + self._victim_demand(victim_node, target)
                 if freed >= need:
                     self.reassignments += 1
+                    PERF.inc("bus.reassignments")
                     return [(node.name, position)] + relocation
         return None
 

@@ -29,6 +29,7 @@ from repro.core.bus_bounds import max_buses_pipelined
 from repro.core.interconnect import Bus, BusAssignment, Interconnect
 from repro.errors import ConnectionError_
 from repro.partition.model import Partitioning
+from repro.perf import PERF
 from repro.robustness.budget import as_token
 
 #: Priority weights of the gain factors (values from Section 4.1.2,
@@ -154,6 +155,7 @@ class ConnectionSearch:
         node = self._ops[position]
         for candidate in self._candidates(node):
             self.steps += 1
+            PERF.inc("search.steps")
             if self.budget is not None:
                 self.budget.note_incumbent(
                     solver="connection_search",

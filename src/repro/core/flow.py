@@ -140,6 +140,11 @@ class SynthesisResult:
     simple_allocation: Optional[SimpleConnectionResult] = None
     stats: Dict[str, float] = field(default_factory=dict)
     diagnostics: Diagnostics = field(default_factory=Diagnostics)
+    #: Warm-start handle for structurally-identical re-solves: the pin
+    #: checker's exported :class:`repro.ilp.WarmBasis` (simple flow
+    #: only; None elsewhere).  Deliberately not serialized with the
+    #: result — it travels between neighboring solves, not to archives.
+    warm_basis: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property
@@ -191,10 +196,14 @@ class SynthesisResult:
 _STAT_COUNTERS = {
     "pin_checks": "pin.checks",
     "pin_cache_hits": "pin.cache_hits",
+    "pin_cache_misses": "pin.cache_misses",
+    "pin_store_hits": "pin.store_hits",
     "tableau_pivots": "tableau.pivots",
     "gomory_cuts": "gomory.cuts",
     "simplex_solves": "simplex.solves",
     "bnb_nodes": "bnb.nodes",
+    "search_steps": "search.steps",
+    "reassignments": "bus.reassignments",
 }
 
 
@@ -202,7 +211,8 @@ def _normalized_stats(before, **extra) -> Dict[str, float]:
     """The cross-flow stats contract: counter deltas + flow extras.
 
     Every flow reports the solver-effort counters (zero when a solver
-    was not exercised) plus ``search_steps``/``reassignments`` so the
+    was not exercised) — including ``search_steps``/``reassignments``,
+    which the chapter-4/5 engines now tick as PERF counters — so the
     key set is identical across flows; flow-specific extras ride along.
     """
     counters = PERF.delta_since(before)["counters"]
@@ -210,8 +220,6 @@ def _normalized_stats(before, **extra) -> Dict[str, float]:
         key: counters.get(counter, 0)
         for key, counter in _STAT_COUNTERS.items()
     }
-    stats["search_steps"] = 0
-    stats["reassignments"] = 0
     stats.update(extra)
     return stats
 
@@ -233,7 +241,8 @@ def _run_simple(graph: Cdfg, partitioning: Partitioning,
                 timing: DesignTiming, initiation_rate: int,
                 opts: SynthesisOptions,
                 token: Optional[BudgetToken],
-                diag: Diagnostics) -> SynthesisResult:
+                diag: Diagnostics,
+                warm_basis=None) -> SynthesisResult:
     """Chapter 3 flow body (budget- and diagnostics-aware)."""
     validate_cdfg(graph, require_partitions=False)
     if not is_simple_partitioning(graph):
@@ -248,11 +257,13 @@ def _run_simple(graph: Cdfg, partitioning: Partitioning,
         checker = PinAllocationChecker(graph, partitioning,
                                        initiation_rate,
                                        method=opts.pin_method,
-                                       budget=token, diagnostics=diag)
+                                       budget=token, diagnostics=diag,
+                                       warm_basis=warm_basis)
         scheduler = ListScheduler(graph, timing, initiation_rate,
                                   resources, io_hooks=checker,
                                   budget=token)
         schedule = scheduler.run()
+        checker.finalize()
         allocation = build_simple_connection(graph, schedule)
     result = SynthesisResult(
         graph=graph,
@@ -263,8 +274,10 @@ def _run_simple(graph: Cdfg, partitioning: Partitioning,
         simple_allocation=allocation,
         stats=_normalized_stats(before,
                                 pin_checks=checker.checks,
-                                pin_cache_hits=checker.cache_hits),
+                                pin_cache_hits=checker.cache_hits,
+                                pin_store_hits=checker.store_hits),
         diagnostics=diag,
+        warm_basis=checker.export_warm_basis(),
     )
     return result.require_valid()
 
@@ -337,8 +350,6 @@ def _run_connection_first(graph: Cdfg, partitioning: Partitioning,
         interconnect=interconnect,
         assignment=allocator.final_assignment(),
         stats=_normalized_stats(before,
-                                search_steps=search.steps,
-                                reassignments=allocator.reassignments,
                                 initial_assignment=initial),
         diagnostics=diag,
     )
@@ -403,12 +414,13 @@ def synthesize_simple(graph: Cdfg,
                       initiation_rate: int,
                       resources: Optional[ResourceVector] = None,
                       pin_method: str = "gomory",
-                      budget=None) -> SynthesisResult:
+                      budget=None, warm_basis=None) -> SynthesisResult:
     """Chapter 3 flow for designs with a simple partitioning."""
     opts = SynthesisOptions(flow="simple", resources=resources,
                             pin_method=pin_method)
     return _run_simple(graph, partitioning, timing, initiation_rate,
-                       opts, as_token(budget), Diagnostics())
+                       opts, as_token(budget), Diagnostics(),
+                       warm_basis=warm_basis)
 
 
 def synthesize_connection_first(graph: Cdfg,
@@ -475,12 +487,19 @@ def synthesize(graph: Cdfg,
                flow: str = "auto",
                budget=None,
                check: bool = False,
+               pin_warm_basis=None,
                **opts) -> SynthesisResult:
     """The front door: dispatch, budget, and graceful degradation.
 
     ``flow="auto"`` picks the Chapter 3 flow for simple partitionings
     with unidirectional pins and the Chapter 4 flow otherwise; the
     remaining keyword arguments are :class:`SynthesisOptions` fields.
+
+    ``pin_warm_basis`` hands the simple flow's pin checker a
+    :class:`repro.ilp.WarmBasis` exported by a structurally identical
+    earlier solve (``result.warm_basis``); the solver warm-starts from
+    it when compatible and silently cold-starts otherwise, so verdicts
+    are unchanged.  Other flows ignore it.
 
     ``check=True`` additionally runs the unified design-rule checker
     (:func:`repro.check.check_result`) over the finished result and
@@ -504,7 +523,8 @@ def synthesize(graph: Cdfg,
     diag = Diagnostics()
     try:
         result = _dispatch(graph, partitioning, timing,
-                           initiation_rate, options, token, diag)
+                           initiation_rate, options, token, diag,
+                           warm_basis=pin_warm_basis)
     except BudgetExhausted as exc:
         if exc.diagnostics is None:
             exc.diagnostics = diag
@@ -520,7 +540,8 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
               timing: DesignTiming, initiation_rate: int,
               options: SynthesisOptions,
               token: Optional[BudgetToken],
-              diag: Diagnostics) -> SynthesisResult:
+              diag: Diagnostics,
+              warm_basis=None) -> SynthesisResult:
     chosen = options.flow
     auto = chosen == "auto"
     if auto:
@@ -537,7 +558,8 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
         try:
             return _run_simple(graph, partitioning, timing,
                                initiation_rate, options,
-                               token.child() if token else None, diag)
+                               token.child() if token else None, diag,
+                               warm_basis=warm_basis)
         except BudgetExhausted as exc:
             # Auto-dispatch may retreat to the general flow (and its
             # own fallback chain); an explicit flow="simple" must not.

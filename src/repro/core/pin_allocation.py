@@ -34,17 +34,153 @@ placed (the Equations 3.12 -> 3.13 tableau update).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.cdfg.graph import Cdfg, Node
+from repro.core.oracle_store import (INIT_GROUP, INIT_NODE, OracleStore,
+                                     budget_vector, get_active)
 from repro.errors import IlpError, InfeasibleError
-from repro.ilp import (DualAllIntegerSolver, Model, Var, lsum, solve_ilp)
+from repro.ilp import (DualAllIntegerSolver, Model, Var, WarmBasis, lsum,
+                       solve_ilp)
 from repro.ilp.model import LinExpr, SolveStatus
 from repro.ilp.simplex import solve_lp
+from repro.io_json import graph_to_dict
 from repro.partition.model import OUTSIDE_WORLD, Partitioning
 from repro.perf import PERF
 from repro.robustness.budget import BudgetExhausted, as_token
 from repro.scheduling.base import Schedule
+
+
+def design_signature(graph: Cdfg, partitioning: Partitioning,
+                     initiation_rate: int) -> str:
+    """Structure key for the shared pin oracle.
+
+    Covers everything a pin-feasibility verdict depends on *except* the
+    budget values themselves: the CDFG, the initiation rate, and each
+    chip's port-model pattern (bidirectional / split-fixed flags).
+    Budgets live in the per-entry vector so verdicts recorded at one
+    budget can answer dominated queries at another.
+    """
+    payload = {
+        "graph": graph_to_dict(graph),
+        "rate": int(initiation_rate),
+        "chips": [[index,
+                   bool(partitioning.chip(index).bidirectional),
+                   bool(partitioning.chip(index).split_fixed)]
+                  for index in partitioning.indices()],
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def assignment_usage(graph: Cdfg, partitioning: Partitioning,
+                     initiation_rate: int,
+                     assignment: Mapping[str, int]) -> Tuple[int, ...]:
+    """Pin usage of a complete group assignment, model-free.
+
+    ``assignment`` maps every I/O operation name to its control-step
+    group.  The result is in :func:`budget_vector` coordinates and is a
+    valid feasibility witness at any budget vector it fits — used to
+    re-record a finished schedule's commit trajectory with the tightest
+    witness available (the schedule's own usage), without building the
+    ILP model.
+    """
+
+    def xval(node: Node, k: int) -> int:
+        return 1 if assignment.get(node.name) == k else 0
+
+    return _usage_from_assignment(
+        graph.io_nodes(), graph.values_map(), partitioning,
+        initiation_rate, xval)
+
+
+def _usage_from_assignment(ios, values_map, partitioning: Partitioning,
+                           L: int, xval) -> Tuple[int, ...]:
+    """Shared load accounting behind the witness vectors.
+
+    ``xval(node, k)`` is the 0/1 placement indicator; shared-output
+    indicators are derived from it (a value's output bundle is loaded
+    in group ``k`` iff any of its transfers lands there).  Mirrors the
+    model rows exactly: per-group bundle peaks, split external vs
+    interchip traffic, one dedicated world bundle per chip.  Slots the
+    model never bounds (total pins of a split-fixed chip, the per-side
+    caps of a pooled one) come back as ``0``/``-1`` so they never block
+    a transfer.
+    """
+
+    def peak(loads) -> int:
+        return max(loads, default=0)
+
+    def chip_usage(index: int) -> Tuple[int, int]:
+        ext_in = [n for n in ios if n.dest_partition == index
+                  and n.source_partition == OUTSIDE_WORLD]
+        star_in = [n for n in ios if n.dest_partition == index
+                   and n.source_partition != OUTSIDE_WORLD]
+        out_values = {v: members for v, members in values_map.items()
+                      if members[0].source_partition == index}
+        ein = peak(sum(n.bit_width * xval(n, k) for n in ext_in)
+                   for k in range(L)) if ext_in else 0
+        sin = peak(sum(n.bit_width * xval(n, k) for n in star_in)
+                   for k in range(L)) if star_in else 0
+
+        def term_val(members, k: int) -> int:
+            return 1 if any(xval(m, k) for m in members) else 0
+
+        ext_vals = {v: [m for m in ms
+                        if m.dest_partition == OUTSIDE_WORLD]
+                    for v, ms in out_values.items()}
+        star_vals = {v: [m for m in ms
+                         if m.dest_partition != OUTSIDE_WORLD]
+                     for v, ms in out_values.items()}
+        eout = peak(
+            sum(members[0].bit_width * term_val(members, k)
+                for members in ext_vals.values() if members)
+            for k in range(L)) if any(ext_vals.values()) else 0
+        sout = peak(
+            sum(members[0].bit_width * term_val(members, k)
+                for members in star_vals.values() if members)
+            for k in range(L)) if any(star_vals.values()) else 0
+        return ein + sin, eout + sout
+
+    def world_usage() -> Tuple[int, int]:
+        in_use = out_use = 0
+        for chip in partitioning.indices():
+            if chip == OUTSIDE_WORLD:
+                continue
+            to_chip = [n for n in ios
+                       if n.source_partition == OUTSIDE_WORLD
+                       and n.dest_partition == chip]
+            from_chip = [n for n in ios
+                         if n.source_partition == chip
+                         and n.dest_partition == OUTSIDE_WORLD]
+            if to_chip:
+                out_use += peak(
+                    sum(n.bit_width * xval(n, k) for n in to_chip)
+                    for k in range(L))
+            if from_chip:
+                in_use += peak(
+                    sum(n.bit_width * xval(n, k) for n in from_chip)
+                    for k in range(L))
+        return in_use, out_use
+
+    out: List[int] = []
+    for index in partitioning.indices():
+        spec = partitioning.chip(index)
+        if index == OUTSIDE_WORLD:
+            in_use, out_use = world_usage()
+        else:
+            in_use, out_use = chip_usage(index)
+        if spec.split_fixed:
+            # The split-fixed rows bound each side separately and never
+            # reference total_pins.
+            out.extend([0, in_use, out_use])
+        else:
+            # Pooled pins: feasible iff in + out <= total (the ``o``
+            # split variable absorbs the rest).
+            out.extend([in_use + out_use, -1, -1])
+    return tuple(out)
 
 
 class PinAllocationProblem:
@@ -59,6 +195,10 @@ class PinAllocationProblem:
         self.x: Dict[Tuple[str, int], Var] = {}
         self.y: Dict[Tuple[str, int], Var] = {}
         self.o: Dict[int, Var] = {}
+        #: Cached graph views — witness extraction walks them per
+        #: feasible probe, and they are pure functions of the graph.
+        self._ios = graph.io_nodes()
+        self._values_map = graph.values_map()
         self._build()
 
     # ------------------------------------------------------------------
@@ -336,6 +476,28 @@ class PinAllocationProblem:
         model.minimize(0)
         return model
 
+    def usage_vector(self, values: Mapping[int, int]
+                     ) -> Tuple[int, ...]:
+        """Per-chip pin usage of a feasible point, in the coordinates
+        of :func:`repro.core.oracle_store.budget_vector`.
+
+        Mirrors the model's own load accounting (bundle peaks over the
+        ``L`` groups, shared-output ``y`` terms), so a verdict proved
+        feasible here stays feasible at *any* budget vector the usage
+        fits — the oracle store's witness shortcut.  The shared-output
+        indicators are re-derived from the ``x`` values rather than
+        read back (a solver is free to leave a ``y`` at 1 with every
+        member unplaced; dropping it keeps the point feasible and the
+        witness strictly tighter).
+        """
+
+        def xval(node: Node, k: int) -> int:
+            return int(values.get(self.x[(node.name, k)].index, 0))
+
+        return _usage_from_assignment(
+            self._ios, self._values_map, self.partitioning, self.L,
+            xval)
+
     def solve_with_fixed(self, fixed: Mapping[str, int],
                          budget=None) -> bool:
         """One-shot feasibility with some ops pinned to groups (B&B)."""
@@ -399,16 +561,40 @@ class PinAllocationChecker:
     LP-relaxation bound (sound "no", optimistic "yes" — the flow-level
     ``require_valid()`` still verifies the final answer).  Every latch
     is recorded on the ``diagnostics`` trail.
+
+    Warm-start tier
+    ---------------
+    Two optional inputs make near-duplicate solves cheap:
+
+    * ``oracle_store`` — a shared :class:`repro.core.oracle_store
+      .OracleStore` (defaults to the process-wide active one).  Exact
+      verdicts are published under (design signature, committed set,
+      node, group) plus the budget vector; queries are first answered
+      from the store, including by budget-dominance, and count as
+      ``pin.store_hits``.  With a hot store the checker may never build
+      a tableau at all: the base-model feasibility check and the
+      store-proven commits are *deferred* until the first genuine probe
+      materializes the solver and replays them.
+    * ``warm_basis`` — a :class:`repro.ilp.WarmBasis` exported by a
+      structurally identical parent solve.  Materialization tries
+      :meth:`DualAllIntegerSolver.warm_start` first and falls back to a
+      cold build.  A warm tableau carries the parent's Gomory cuts,
+      which are valid certificates for "feasible" but not for
+      "infeasible" on the perturbed model — so the first infeasible
+      verdict from a warm tableau demotes it: the solver is rebuilt
+      cold (replaying committed bounds) and the probe re-asked, keeping
+      every answer bit-identical to a cold run.
     """
 
     def __init__(self, graph: Cdfg, partitioning: Partitioning,
                  initiation_rate: int, method: str = "gomory",
-                 budget=None, diagnostics=None) -> None:
+                 budget=None, diagnostics=None,
+                 oracle_store: Optional[OracleStore] = None,
+                 warm_basis=None) -> None:
         if method not in ("gomory", "bnb"):
             raise IlpError(f"unknown method {method!r}")
-        self.problem = PinAllocationProblem(graph, partitioning,
-                                            initiation_rate)
         self.graph = graph
+        self.partitioning = partitioning
         self.L = initiation_rate
         self.method = method
         self.budget = as_token(budget)
@@ -419,21 +605,154 @@ class PinAllocationChecker:
         self.fixed: Dict[str, int] = {}
         self.checks = 0
         self.cache_hits = 0
+        self.store_hits = 0
         self._oracle: Dict[Tuple[Tuple[Tuple[str, int], ...], str, int],
                            bool] = {}
         self._fingerprint: Tuple[Tuple[str, int], ...] = ()
+        self._problem: Optional[PinAllocationProblem] = None
         self._solver: Optional[DualAllIntegerSolver] = None
-        if method == "gomory":
-            self._solver = DualAllIntegerSolver(self.problem.model,
-                                                budget=self.budget)
-            if not self._solver.reoptimize():
+        self._ready = False
+        self._warm_active = False
+        #: Store-proven commits awaiting replay onto a real tableau.
+        self._pending: List[Tuple[str, int]] = []
+        #: Bounds already applied to the *current* tableau — a warm
+        #: demotion replays all of ``fixed`` at once, so later replay
+        #: loops must not commit the same bound twice.
+        self._applied: Dict[str, int] = {}
+        self._export: Optional[WarmBasis] = None
+        if isinstance(warm_basis, dict):
+            warm_basis = WarmBasis.from_dict(warm_basis)
+        self._warm: Optional[WarmBasis] = warm_basis
+        store = oracle_store if oracle_store is not None else get_active()
+        #: Private stores replicate the old per-checker memo exactly;
+        #: shared ones add cross-solve and dominance answers.
+        self._store = store if store is not None else OracleStore()
+        self._sig = design_signature(graph, partitioning, initiation_rate)
+        self._budget_vec = budget_vector(partitioning)
+        init_key = (self._sig, (), INIT_NODE, INIT_GROUP)
+        hit = self._store.lookup(init_key, self._budget_vec)
+        if hit is not None:
+            self.store_hits += 1
+            PERF.inc("pin.store_hits")
+            if not hit[0]:
                 raise InfeasibleError(
                     "no feasible pin allocation exists for this design "
-                    "(infeasible initial ILP, Section 3.3)")
+                    "(oracle store)")
+            # Known feasible: defer building the tableau until a probe
+            # actually needs one.
         else:
-            if not self.problem.solve_with_fixed({}, budget=self.budget):
+            self._materialize()
+
+    # -- lazy materialization --------------------------------------------
+    @property
+    def problem(self) -> PinAllocationProblem:
+        if self._problem is None:
+            self._problem = PinAllocationProblem(
+                self.graph, self.partitioning, self.L)
+        return self._problem
+
+    def _materialize(self) -> None:
+        """Build the model and solver, then replay deferred commits.
+
+        Raises :class:`InfeasibleError` when the base model is
+        infeasible (recording the proof in the store).
+        """
+        if self._ready:
+            return
+        problem = self.problem
+        init_key = (self._sig, (), INIT_NODE, INIT_GROUP)
+        if self.method == "gomory" and self._degraded_method is None:
+            solver = None
+            if self._warm is not None:
+                solver = DualAllIntegerSolver.warm_start(
+                    problem.model, self._warm, budget=self.budget)
+            # "Active" here means *suspect*: inherited cuts certify
+            # feasible answers only.  A tightening warm start (new rhs
+            # <= parent rhs) keeps the cuts valid outright, so its
+            # verdicts need no confirmation.
+            self._warm_active = (solver is not None
+                                 and not getattr(solver, "warm_sound",
+                                                 True))
+            if solver is None:
+                solver = DualAllIntegerSolver(problem.model,
+                                              budget=self.budget)
+                if not solver.reoptimize():
+                    self._store.record(init_key, self._budget_vec, False)
+                    raise InfeasibleError(
+                        "no feasible pin allocation exists for this "
+                        "design (infeasible initial ILP, Section 3.3)")
+            self._solver = solver
+            self._applied = {}
+            self._store.record(init_key, self._budget_vec, True,
+                               witness=self._witness_of(solver))
+            # Capture the exportable basis now, before any committed
+            # x >= 1 bounds make the tableau parent-specific.
+            self._export = solver.export_warm_basis()
+        else:
+            if not problem.solve_with_fixed({}, budget=self.budget):
+                self._store.record(init_key, self._budget_vec, False)
                 raise InfeasibleError(
                     "no feasible pin allocation exists for this design")
+            self._store.record(init_key, self._budget_vec, True)
+        self._ready = True
+        pending, self._pending = self._pending, []
+        for op, group in pending:
+            self._commit_to_solver(op, group)
+
+    def _witness_of(self, solver) -> Optional[Tuple[int, ...]]:
+        """Pin usage of the solver's current feasible point, or None."""
+        values = solver.solution_values()
+        if values is None:  # pragma: no cover - all-integer invariant
+            return None
+        return self.problem.usage_vector(values)
+
+    def _demote_warm(self) -> None:
+        """Replace a suspect warm tableau with a cold build.
+
+        Inherited cuts certify "feasible" but not "infeasible"; on the
+        first infeasible answer the warm tableau is thrown away, the
+        solver rebuilt from the pristine model, and every committed
+        bound replayed (each was proved feasible before commit, so the
+        replay succeeds unless the budget runs out).
+        """
+        PERF.inc("pin.warm_demotions")
+        self._warm_active = False
+        problem = self.problem
+        try:
+            solver = DualAllIntegerSolver(problem.model,
+                                          budget=self.budget)
+            if not solver.reoptimize():
+                raise InfeasibleError(
+                    "no feasible pin allocation exists for this "
+                    "design (infeasible initial ILP, Section 3.3)")
+            self._solver = solver
+            self._applied = {}
+            if not self.fixed:
+                self._export = solver.export_warm_basis()
+            for op, group in self.fixed.items():
+                solver.commit_lower_bound(problem.var(op, group))
+                self._applied[op] = group
+        except BudgetExhausted as exc:
+            self._degrade("bnb", exc)
+
+    def _commit_to_solver(self, op: str, group: int) -> None:
+        assert self._solver is not None
+        if op in self._applied:
+            return
+        try:
+            self._solver.commit_lower_bound(self.problem.var(op, group))
+            self._applied[op] = group
+        except BudgetExhausted as exc:
+            # The commit's re-optimization ran out of budget; the
+            # tableau was rolled back, so abandon it and latch onto
+            # branch & bound (``self.fixed`` carries the state).
+            self._degrade("bnb", exc)
+        except InfeasibleError:
+            if not self._warm_active:
+                raise
+            # Spurious infeasibility from inherited cuts: rebuild cold
+            # (which replays every committed bound, this one included).
+            self._demote_warm()
 
     # -- IoHooks ---------------------------------------------------------
     def can_schedule(self, node: Node, step: int,
@@ -449,9 +768,19 @@ class PinAllocationChecker:
             self.cache_hits += 1
             PERF.inc("pin.cache_hits")
             return cached
+        store_key = (self._sig, self._fingerprint, node.name, group)
+        hit = self._store.lookup(store_key, self._budget_vec)
+        if hit is not None:
+            self.store_hits += 1
+            PERF.inc("pin.store_hits")
+            self._oracle[key] = hit[0]
+            return hit[0]
         PERF.inc("pin.cache_misses")
-        verdict = self._probe(node, group)
+        verdict, exact, witness = self._probe(node, group)
         self._oracle[key] = verdict
+        if exact:
+            self._store.record(store_key, self._budget_vec, verdict,
+                               witness=witness)
         return verdict
 
     @property
@@ -459,34 +788,60 @@ class PinAllocationChecker:
         """The probe strategy currently in force (after any latches)."""
         return self._degraded_method or self.method
 
-    def _probe(self, node: Node, group: int) -> bool:
-        """Uncached feasibility probe (solver, branch & bound, or LP)."""
-        method = self.active_method
+    def _probe(self, node: Node, group: int
+               ) -> Tuple[bool, bool, Optional[Tuple[int, ...]]]:
+        """Uncached feasibility probe (solver, branch & bound, or LP).
+
+        Returns ``(verdict, exact, witness)``; only exact verdicts
+        (cutting planes or branch & bound, never the LP relaxation)
+        may enter the shared oracle store.  ``witness`` is the pin
+        usage of the feasible point a Gomory probe found, letting the
+        store transfer the "yes" to every budget it fits.
+        """
         tentative = dict(self.fixed)
         tentative[node.name] = group
-        if method == "gomory":
+        if self.active_method == "gomory":
+            self._materialize()
+        if self.active_method == "gomory":
             assert self._solver is not None
             var = self.problem.var(node.name, group)
             try:
-                return self._solver.try_lower_bound(var)
+                verdict, values = self._solver.probe_lower_bound(var)
+                if not verdict and self._warm_active:
+                    # Suspect "no": a relaxed warm model inherits cuts
+                    # that may over-constrain.  Confirm cheaply — an
+                    # infeasible LP relaxation is a sound "no" and the
+                    # tableau survives; otherwise ask branch & bound
+                    # for the exact answer and demote the tableau only
+                    # if it provably lied.
+                    PERF.inc("pin.warm_confirms")
+                    if not self.problem.lp_relaxation_feasible(tentative):
+                        return False, True, None
+                    confirmed = self.problem.solve_with_fixed(
+                        tentative, budget=self.budget)
+                    if confirmed:
+                        self._demote_warm()
+                    return confirmed, True, None
+                witness = (self.problem.usage_vector(values)
+                           if verdict and values is not None else None)
+                return verdict, True, witness
             except BudgetExhausted as exc:
                 self._degrade("bnb", exc)
-                method = "bnb"
             except IlpError:
                 # Cutting-plane cap: fall back to exact branch & bound
                 # for this probe only (no budget involved, no latch).
                 PERF.inc("pin.bnb_fallbacks")
-                return self.problem.solve_with_fixed(tentative,
-                                                     budget=self.budget)
-        if method == "bnb":
+                return self.problem.solve_with_fixed(
+                    tentative, budget=self.budget), True, None
+        if self.active_method == "bnb":
             try:
-                return self.problem.solve_with_fixed(tentative,
-                                                     budget=self.budget)
+                return self.problem.solve_with_fixed(
+                    tentative, budget=self.budget), True, None
             except BudgetExhausted as exc:
                 self._degrade("lp", exc)
         # Weakest rung: one bounded LP-relaxation solve, not ticked
         # against the budget (it IS the last-resort answer).
-        return self.problem.lp_relaxation_feasible(tentative)
+        return self.problem.lp_relaxation_feasible(tentative), False, None
 
     def _degrade(self, to: str, exc: BudgetExhausted) -> None:
         """Latch onto a cheaper probe strategy for the rest of the run."""
@@ -504,18 +859,71 @@ class PinAllocationChecker:
 
     def commit(self, node: Node, step: int, schedule: Schedule) -> None:
         group = step % self.L
+        proven = self._oracle.get((self._fingerprint, node.name, group))
         self.fixed[node.name] = group
         self._fingerprint = tuple(sorted(self.fixed.items()))
         if self.method == "gomory" and self._degraded_method is None:
-            assert self._solver is not None
-            var = self.problem.var(node.name, group)
-            try:
-                self._solver.commit_lower_bound(var)
-            except BudgetExhausted as exc:
-                # The commit's re-optimization ran out of budget; the
-                # tableau was rolled back, so abandon it and latch onto
-                # branch & bound (``self.fixed`` carries the state).
-                self._degrade("bnb", exc)
+            if not self._ready and proven:
+                # The tableau was never built and the store already
+                # proved this placement feasible: defer the Eq 3.12
+                # -> 3.13 update until something actually probes.
+                self._pending.append((node.name, group))
+                return
+            self._materialize()
+            self._commit_to_solver(node.name, group)
+
+    # -- warm-start export -----------------------------------------------
+    def export_warm_basis(self) -> Optional[WarmBasis]:
+        """A :class:`WarmBasis` for structurally-identical neighbors.
+
+        Captured at materialization time (pre-commit tableau); when the
+        store answered everything and no tableau was ever built, the
+        inherited parent basis is passed through unchanged.
+        """
+        if self._export is not None:
+            return self._export
+        return self._warm
+
+    def finalize(self) -> None:
+        """Re-record the finished schedule's trajectory, tightly.
+
+        A completed schedule is one concrete feasible point of the pin
+        ILP — and of every intermediate ILP along the commit trajectory
+        (dropping the extra placements only lowers the ``<=``-form
+        loads, and each cover row keeps its one placement).  Its usage
+        vector is therefore a witness for the init query *and* every
+        (prefix, op, group) step actually taken, far tighter than the
+        arbitrary feasible points the probes happened to find.  With
+        these on record, a neighbor solve whose budgets fit the usage
+        replays the whole trajectory straight from the store and never
+        materializes a tableau.
+
+        Skipped when the LP rung answered anything (optimistic "yes"
+        verdicts must not seed the store as proofs).
+        """
+        if self._degraded_method == "lp":
+            return
+        io_names = {n.name for n in self.graph.io_nodes()}
+        if not io_names or set(self.fixed) != io_names:
+            return  # partial schedule: nothing sound to re-record
+        usage = assignment_usage(self.graph, self.partitioning, self.L,
+                                 self.fixed)
+        self._store.record((self._sig, (), INIT_NODE, INIT_GROUP),
+                           self._budget_vec, True, witness=usage)
+        prefix: Dict[str, int] = {}
+        for op, group in self.fixed.items():  # insertion == commit order
+            key = (self._sig, tuple(sorted(prefix.items())), op, group)
+            self._store.record(key, self._budget_vec, True,
+                               witness=usage)
+            prefix[op] = group
+
+    def oracle_stats(self) -> Dict[str, int]:
+        """Checker-level cache/store hit counts (for flow stats)."""
+        return {
+            "checks": self.checks,
+            "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
+        }
 
     # ---------------------------------------------------------------
     def _sharing_consistent(self, node: Node, step: int,

@@ -23,6 +23,7 @@ from repro.core.interconnect import Bus, BusAssignment, Interconnect
 from repro.errors import ConnectionError_
 from repro.graphs.hungarian import hungarian_max_weight
 from repro.partition.model import Partitioning
+from repro.perf import PERF
 from repro.scheduling.base import Schedule
 
 Clique = Tuple[str, ...]  # sorted member op names
@@ -64,6 +65,7 @@ class PostScheduleConnector:
     # ------------------------------------------------------------------
     def run(self) -> Tuple[Interconnect, BusAssignment]:
         cliques = self.partition_cliques()
+        PERF.inc("connect.cliques", len(cliques))
         interconnect = Interconnect(bidirectional=self.bidirectional)
         assignment = BusAssignment()
         for index, members in enumerate(cliques, start=1):

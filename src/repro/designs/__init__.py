@@ -12,6 +12,8 @@ substitution rationale.
 from repro.designs.ar_filter import (
     ar_simple_design,
     ar_general_design,
+    ar_stacked_design,
+    ar_stacked_pins,
     AR_SIMPLE_PINS,
     AR_GENERAL_PINS_UNIDIR,
     AR_GENERAL_PINS_BIDIR,
@@ -28,6 +30,8 @@ from repro.designs.random_designs import random_partitioned_design
 __all__ = [
     "ar_simple_design",
     "ar_general_design",
+    "ar_stacked_design",
+    "ar_stacked_pins",
     "AR_SIMPLE_PINS",
     "AR_GENERAL_PINS_UNIDIR",
     "AR_GENERAL_PINS_BIDIR",

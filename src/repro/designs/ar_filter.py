@@ -130,6 +130,108 @@ def ar_simple_design() -> Cdfg:
     return b.build()
 
 
+def ar_stacked_design(copies: int = 2) -> Cdfg:
+    """``copies`` independent AR filter instances on one chip set.
+
+    Every copy re-creates the Figure 3.5 structure with its node and
+    value names prefixed ``c<i>.``; all copies share the same four
+    chips (and the outside world), so the pin ILP couples them while
+    the dataflow does not.  With :func:`ar_stacked_pins` this scales
+    the pin-allocation tableau roughly linearly in ``copies`` without
+    changing the per-copy schedule structure — the workload profile of
+    the warm-start benchmarks, where the ILP share of a solve should
+    dominate the scheduler share.
+    """
+    if copies < 1:
+        raise ValueError("copies must be >= 1")
+    b = CdfgBuilder(f"ar-stacked-{copies}")
+    W = OUTSIDE_WORLD
+    for c in range(copies):
+        p = f"c{c}."
+        for k in range(1, 7):
+            b.io(f"{p}In{k}", f"{p}p{k}",
+                 source=b.const(f"{p}src.p{k}", partition=W),
+                 dests=[], source_partition=W, dest_partition=4)
+        b.op(f"{p}m41", "mul", 4, inputs=[f"{p}In1", f"{p}In2"])
+        b.op(f"{p}m42", "mul", 4, inputs=[f"{p}In3", f"{p}In4"])
+        b.op(f"{p}m43", "mul", 4, inputs=[f"{p}In5", f"{p}In6"])
+        b.op(f"{p}m44", "mul", 4, inputs=[f"{p}In1", f"{p}In6"])
+        b.op(f"{p}a41", "add", 4, inputs=[f"{p}m41", f"{p}m42"])
+        b.op(f"{p}a42", "add", 4, inputs=[f"{p}m43", f"{p}m44"])
+        b.io(f"{p}X5", f"{p}v5", source=f"{p}a41", dests=[],
+             source_partition=4, dest_partition=1)
+        b.io(f"{p}X5b", f"{p}v5", source=f"{p}a41", dests=[],
+             source_partition=4, dest_partition=2)
+        b.io(f"{p}X6", f"{p}v6", source=f"{p}a42", dests=[],
+             source_partition=4, dest_partition=1)
+        b.io(f"{p}X6b", f"{p}v6", source=f"{p}a42", dests=[],
+             source_partition=4, dest_partition=2)
+        for k in range(1, 9):
+            b.io(f"{p}I{k}", f"{p}i{k}",
+                 source=b.const(f"{p}src.i{k}", partition=W),
+                 dests=[], source_partition=W, dest_partition=1)
+        b.op(f"{p}m11", "mul", 1, inputs=[f"{p}I1", f"{p}I2"])
+        b.op(f"{p}m12", "mul", 1, inputs=[f"{p}I3", f"{p}I4"])
+        b.op(f"{p}m13", "mul", 1, inputs=[f"{p}I5", f"{p}I6"])
+        b.op(f"{p}m14", "mul", 1, inputs=[f"{p}I7", f"{p}X5"])
+        b.op(f"{p}a11", "add", 1, inputs=[f"{p}m11", f"{p}m12"])
+        b.op(f"{p}a12", "add", 1, inputs=[f"{p}m13", f"{p}m14"])
+        b.op(f"{p}a13", "add", 1, inputs=[f"{p}a11", f"{p}X6"])
+        b.op(f"{p}a14", "add", 1, inputs=[f"{p}a12", f"{p}I8"])
+        b.io(f"{p}X1", f"{p}v1", source=f"{p}a13", dests=[],
+             source_partition=1, dest_partition=3)
+        b.io(f"{p}X2", f"{p}v2", source=f"{p}a14", dests=[],
+             source_partition=1, dest_partition=3)
+        for k in range(1, 9):
+            b.io(f"{p}J{k}", f"{p}j{k}",
+                 source=b.const(f"{p}src.j{k}", partition=W),
+                 dests=[], source_partition=W, dest_partition=2)
+        b.op(f"{p}m21", "mul", 2, inputs=[f"{p}J1", f"{p}J2"])
+        b.op(f"{p}m22", "mul", 2, inputs=[f"{p}J3", f"{p}J4"])
+        b.op(f"{p}m23", "mul", 2, inputs=[f"{p}J5", f"{p}J6"])
+        b.op(f"{p}m24", "mul", 2, inputs=[f"{p}J7", f"{p}X5b"])
+        b.op(f"{p}a21", "add", 2, inputs=[f"{p}m21", f"{p}m22"])
+        b.op(f"{p}a22", "add", 2, inputs=[f"{p}m23", f"{p}m24"])
+        b.op(f"{p}a23", "add", 2, inputs=[f"{p}a21", f"{p}X6b"])
+        b.op(f"{p}a24", "add", 2, inputs=[f"{p}a22", f"{p}J8"])
+        b.io(f"{p}X3", f"{p}v3", source=f"{p}a23", dests=[],
+             source_partition=2, dest_partition=3)
+        b.io(f"{p}X4", f"{p}v4", source=f"{p}a24", dests=[],
+             source_partition=2, dest_partition=3)
+        for k in range(1, 3):
+            b.io(f"{p}K{k}", f"{p}k{k}",
+                 source=b.const(f"{p}src.k{k}", partition=W),
+                 dests=[], source_partition=W, dest_partition=3)
+        b.op(f"{p}m31", "mul", 3, inputs=[f"{p}X1", f"{p}K1"])
+        b.op(f"{p}m32", "mul", 3, inputs=[f"{p}X2", f"{p}K2"])
+        b.op(f"{p}m33", "mul", 3, inputs=[f"{p}X3", f"{p}K1"])
+        b.op(f"{p}m34", "mul", 3, inputs=[f"{p}X4", f"{p}K2"])
+        b.op(f"{p}a31", "add", 3, inputs=[f"{p}m31", f"{p}m32"])
+        b.op(f"{p}a32", "add", 3, inputs=[f"{p}m33", f"{p}m34"])
+        b.io(f"{p}O1", f"{p}out1", source=f"{p}a31", dests=[],
+             source_partition=3, dest_partition=W)
+        b.io(f"{p}O2", f"{p}out2", source=f"{p}a32", dests=[],
+             source_partition=3, dest_partition=W)
+    return b.build()
+
+
+def ar_stacked_pins(copies: int = 2, scale: float = 1.0) -> Partitioning:
+    """Pin budgets for :func:`ar_stacked_design`: the Section 3.4
+    budgets times ``copies`` (the copies share chips and their traffic
+    adds) times ``scale``."""
+
+    def s(base: int) -> int:
+        return int(base * copies * scale)
+
+    return Partitioning({
+        OUTSIDE_WORLD: ChipSpec(s(120)),
+        1: ChipSpec(s(48)),
+        2: ChipSpec(s(48)),
+        3: ChipSpec(s(32)),
+        4: ChipSpec(s(32)),
+    })
+
+
 def ar_general_design() -> Cdfg:
     """The general-partition AR filter of Figure 4.7 (reconstruction).
 

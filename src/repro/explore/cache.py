@@ -100,9 +100,12 @@ class ResultCache:
         """Persist a completed record; returns True if newly stored."""
         if record.get("status") not in CACHEABLE_STATUSES:
             return False
-        stored = copy.deepcopy(record)
-        # Per-run bookkeeping does not belong in the cache.
-        stored.pop("cached", None)
+        # Per-run bookkeeping and warm-start transients (the exported
+        # tableau basis, the oracle-store delta) do not belong in the
+        # cache: they describe one process's solve, not the result.
+        stored = {k: v for k, v in record.items()
+                  if k not in ("cached", "warm_basis", "oracle_delta")}
+        stored = copy.deepcopy(stored)
         with self._lock:
             if key in self._index:
                 return False

@@ -31,14 +31,19 @@ from concurrent.futures import (CancelledError, ProcessPoolExecutor,
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.oracle_store import OracleStore, activate
 from repro.explore.cache import ResultCache
 from repro.explore.pareto import (OBJECTIVES, PRUNE_OBJECTIVES,
                                   dominates, pareto_front)
 from repro.explore.spec import SweepJob
-from repro.explore.worker import run_job
+from repro.explore.worker import run_chain, run_job
 from repro.perf import PERF, PerfRegistry
 from repro.robustness.budget import carve_deadline_ms
 from repro.robustness.deadline import Deadline
+
+#: Sweep-point parameters that perturb only the pin budgets: jobs that
+#: agree on every *other* parameter are warm-start neighbors.
+NEIGHBOR_AXES = ("pin_scale", "pin_budgets")
 
 #: Point statuses that carry a full metric vector.
 COMPLETED_STATUSES = ("ok", "degraded")
@@ -87,12 +92,19 @@ class Executor:
                  cache: Optional[ResultCache] = None,
                  deadline_ms: Optional[float] = None,
                  prune_dominated: bool = True,
-                 min_job_ms: float = 25.0) -> None:
+                 min_job_ms: float = 25.0,
+                 warm: bool = False,
+                 oracle_store: Optional[OracleStore] = None) -> None:
         self.workers = max(1, int(workers))
         self.cache = cache if cache is not None else ResultCache(None)
         self.deadline_ms = deadline_ms
         self.prune_dominated = prune_dominated
         self.min_job_ms = min_job_ms
+        #: Warm mode: group pin-budget neighbors into chains that run
+        #: back-to-back on one worker, each point reusing its
+        #: predecessor's tableau basis and the shared oracle store.
+        self.warm = bool(warm)
+        self.oracle_store = oracle_store
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[SweepJob]) -> ExploreResult:
@@ -116,19 +128,66 @@ class Executor:
             else:
                 pending.append(job)
 
-        if pending:
-            if self.workers == 1:
-                self._run_inline(pending, deadline, records, front,
-                                 sweep_perf)
-            else:
-                self._run_pool(pending, deadline, records, front,
-                               sweep_perf)
+        # Activate the shared store *before* the pool forks, so worker
+        # processes inherit it and can answer oracle queries locally.
+        previous_store = (activate(self.oracle_store)
+                          if self.oracle_store is not None else None)
+        try:
+            if pending:
+                if self.warm:
+                    chains = self._chains(pending)
+                    if self.workers == 1:
+                        self._run_chains_inline(chains, deadline,
+                                                records, front,
+                                                sweep_perf)
+                    else:
+                        self._run_chains_pool(chains, deadline,
+                                              records, front,
+                                              sweep_perf)
+                elif self.workers == 1:
+                    self._run_inline(pending, deadline, records, front,
+                                     sweep_perf)
+                else:
+                    self._run_pool(pending, deadline, records, front,
+                                   sweep_perf)
+        finally:
+            if self.oracle_store is not None:
+                activate(previous_store)
 
         wall_ms = (time.perf_counter() - start) * 1000.0
         points = [records[job.index] for job in jobs]
         return ExploreResult(points=points, workers=self.workers,
                              wall_ms=wall_ms, perf=sweep_perf,
                              cache_stats=self.cache.stats())
+
+    # ------------------------------------------------------------------
+    def _chains(self, pending: List[SweepJob]) -> List[List[SweepJob]]:
+        """Group pending jobs into warm-start chains.
+
+        Chain key = every sweep parameter except the pin-budget axes
+        (a rate or flow change alters the ILP's *structure*, so those
+        points cannot share a basis).  Within a chain, points run in
+        *descending* ``pin_scale`` order: every successor is then a
+        tightening of its predecessor (component-wise smaller RHS), so
+        the inherited cut set stays valid outright and warm verdicts —
+        including "infeasible" — are sound without confirmation solves.
+        Infeasible verdicts proved at the larger budget also answer
+        smaller-budget oracle queries by dominance.
+        """
+        groups: Dict[tuple, List[SweepJob]] = {}
+        for job in pending:
+            key = tuple(sorted((k, repr(v))
+                               for k, v in job.params.items()
+                               if k not in NEIGHBOR_AXES))
+            groups.setdefault(key, []).append(job)
+
+        def scale_of(job: SweepJob):
+            value = job.params.get("pin_scale")
+            return (0, -float(value)) if isinstance(value, (int, float)) \
+                else (1, float(job.index))
+
+        return [sorted(chain, key=scale_of)
+                for chain in groups.values()]
 
     # ------------------------------------------------------------------
     def _prunable(self, job: SweepJob,
@@ -144,11 +203,15 @@ class Executor:
                 sweep_perf: PerfRegistry,
                 merge_global: bool) -> None:
         records[job.index] = record
+        record.pop("warm_basis", None)
         sweep_perf.merge(record.get("perf") or {})
         if merge_global:
             # Pool workers incremented *their* PERF; fold the deltas
             # into the parent so the sweep looks like one process.
             PERF.merge(record.get("perf") or {})
+            if self.oracle_store is not None:
+                # Likewise the oracle entries a forked worker proved.
+                self.oracle_store.merge(record.get("oracle_delta"))
         if record.get("status") in COMPLETED_STATUSES:
             front.append(record["metrics"])
             self.cache.put(job.key, record)
@@ -230,3 +293,84 @@ class Executor:
                         continue
                     if other.cancel():
                         skip_reason[other_job.index] = reason
+
+    # ------------------------------------------------------------------
+    def _run_chains_inline(self, chains: List[List[SweepJob]],
+                           deadline: Deadline,
+                           records: Dict[int, Dict[str, Any]],
+                           front: List[Dict[str, float]],
+                           sweep_perf: PerfRegistry) -> None:
+        remaining = sum(len(chain) for chain in chains)
+        for chain in chains:
+            warm = None
+            for job in chain:
+                if deadline.expired():
+                    records[job.index] = self._skipped(
+                        job, "deadline_skipped")
+                    remaining -= 1
+                    continue
+                if self._prunable(job, front):
+                    records[job.index] = self._skipped(job, "pruned")
+                    remaining -= 1
+                    continue
+                slice_ms = carve_deadline_ms(
+                    deadline.remaining_ms(), remaining,
+                    workers=1, floor_ms=self.min_job_ms)
+                payload = job.payload(deadline_ms=slice_ms)
+                payload["export_warm"] = True
+                if warm is not None:
+                    payload["warm_basis"] = warm
+                record = run_job(payload)
+                basis = record.pop("warm_basis", None)
+                if basis is not None:
+                    warm = basis
+                self._absorb(record, job, records, front, sweep_perf,
+                             merge_global=False)
+                remaining -= 1
+
+    def _run_chains_pool(self, chains: List[List[SweepJob]],
+                         deadline: Deadline,
+                         records: Dict[int, Dict[str, Any]],
+                         front: List[Dict[str, float]],
+                         sweep_perf: PerfRegistry) -> None:
+        total = sum(len(chain) for chain in chains)
+        slice_ms = carve_deadline_ms(
+            deadline.remaining_ms(), total,
+            workers=self.workers, floor_ms=self.min_job_ms)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context) as pool:
+            futures = {}
+            for chain in chains:
+                payloads = [job.payload(deadline_ms=slice_ms)
+                            for job in chain]
+                futures[pool.submit(run_chain, payloads)] = chain
+            for future in as_completed(futures):
+                chain = futures[future]
+                try:
+                    chain_records = future.result()
+                except CancelledError:
+                    for job in chain:
+                        records[job.index] = self._skipped(
+                            job, "deadline_skipped")
+                    continue
+                except Exception as exc:  # pool infrastructure failure
+                    for job in chain:
+                        records[job.index] = {
+                            "index": job.index, "key": job.key,
+                            "params": dict(job.params),
+                            "status": "error", "cached": False,
+                            "wall_ms": 0.0,
+                            "error": f"worker failed: {exc}"}
+                    continue
+                for job, record in zip(chain, chain_records):
+                    self._absorb(record, job, records, front,
+                                 sweep_perf, merge_global=True)
+                # Chains are the cancellation granularity in warm mode:
+                # once the deadline is gone, unstarted chains are cut.
+                if deadline.expired():
+                    for other, other_chain in futures.items():
+                        other.cancel()

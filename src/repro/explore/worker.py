@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import time
 import traceback
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.flow import SynthesisOptions, synthesize
+from repro.core.oracle_store import get_active
 from repro.errors import ReproError
 from repro.io_json import (_stats_to_dict, graph_from_dict,
                            partitioning_from_dict)
@@ -71,7 +72,22 @@ def result_metrics(result, wall_ms: float) -> Dict[str, float]:
 
 
 def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
-    """Synthesize one sweep point; always returns a record dict."""
+    """Synthesize one sweep point; always returns a record dict.
+
+    Warm-start extensions to the payload contract (all optional):
+
+    * ``warm_basis`` — a :class:`repro.ilp.WarmBasis` (or its dict
+      form) from a structurally-identical neighbor; handed to
+      :func:`synthesize` as ``pin_warm_basis``;
+    * ``export_warm`` — when truthy, the result's exported basis rides
+      along as ``record["warm_basis"]`` (an in-process object — callers
+      that archive records must drop it; :meth:`ResultCache.put` does).
+
+    When a process-wide oracle store is active (see
+    :mod:`repro.core.oracle_store`), the entries this job appended are
+    returned as ``record["oracle_delta"]`` for the parent to merge —
+    forked pool workers mutate only their copy of the store.
+    """
     record: Dict[str, Any] = {
         "index": payload.get("index", -1),
         "key": payload.get("key", ""),
@@ -80,6 +96,8 @@ def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
     }
     start = time.perf_counter()
     before = PERF.snapshot()
+    store = get_active()
+    mark = store.mark() if store is not None else 0
     try:
         graph = graph_from_dict(payload["design"]["graph"])
         partitioning = partitioning_from_dict(
@@ -95,12 +113,15 @@ def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
         result = synthesize(graph, partitioning, timing,
                             int(payload["rate"]), flow=flow,
                             budget=budget, resources=resources,
+                            pin_warm_basis=payload.get("warm_basis"),
                             **kwargs)
         wall_ms = (time.perf_counter() - start) * 1000.0
         record["status"] = "degraded" if result.degraded else "ok"
         record["metrics"] = result_metrics(result, wall_ms)
         record["stats"] = _jsonable(_stats_to_dict(result.stats))
         record["diagnostics"] = result.diagnostics.to_dict()
+        if payload.get("export_warm") and result.warm_basis is not None:
+            record["warm_basis"] = result.warm_basis
         if payload.get("check"):
             _check_record(result, record)
     except BudgetExhausted as exc:
@@ -117,7 +138,35 @@ def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
     record.setdefault(
         "wall_ms", round((time.perf_counter() - start) * 1000.0, 3))
     record["perf"] = PERF.delta_since(before)
+    if store is not None:
+        record["oracle_delta"] = store.delta_since(mark)
     return record
+
+
+def run_chain(payloads: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Run neighboring sweep points back-to-back in this process.
+
+    The executor groups points that differ only in their pin budgets
+    into a chain (ordered by *descending* ``pin_scale``, so every step
+    is a tightening and the inherited cuts stay sound) and dispatches
+    the whole chain to one worker, so each point inherits its
+    predecessor's :class:`WarmBasis` without any serialization and the
+    (inherited) oracle store stays hot.  The exported basis is threaded
+    internally and stripped from the returned records.
+    """
+    records: List[Dict[str, Any]] = []
+    warm = None
+    for payload in payloads:
+        job = dict(payload)
+        job["export_warm"] = True
+        if warm is not None and "warm_basis" not in job:
+            job["warm_basis"] = warm
+        record = run_job(job)
+        basis = record.pop("warm_basis", None)
+        if basis is not None:
+            warm = basis
+        records.append(record)
+    return records
 
 
 def _check_record(result, record: Dict[str, Any]) -> None:

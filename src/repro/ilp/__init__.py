@@ -30,7 +30,8 @@ from repro.ilp.model import (
 )
 from repro.ilp.simplex import solve_lp
 from repro.ilp.branch_bound import solve_ilp
-from repro.ilp.gomory import DualAllIntegerSolver
+from repro.ilp.gomory import (DualAllIntegerSolver, WarmBasis,
+                              build_initial, structure_signature)
 from repro.ilp.tableau import Tableau, cross_check_enabled, set_cross_check
 from repro.ilp.dense_tableau import DenseTableau
 from repro.ilp.linearize import (
@@ -54,6 +55,9 @@ __all__ = [
     "solve_lp",
     "solve_ilp",
     "DualAllIntegerSolver",
+    "WarmBasis",
+    "build_initial",
+    "structure_signature",
     "Tableau",
     "DenseTableau",
     "set_cross_check",

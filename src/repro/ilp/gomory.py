@@ -26,9 +26,12 @@ remain available for callers that need a detached deep copy.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import IlpError, InfeasibleError
 from repro.ilp.model import Model, Sense, Solution, SolveStatus, Var
@@ -43,6 +46,159 @@ def _require_integer(value: Fraction, what: str) -> int:
     if value.denominator != 1:
         raise IlpError(f"{what} must be integral, got {value}")
     return int(value)
+
+
+def build_initial(model: Model) -> Tuple[
+        List[Tuple[Dict[int, int], int]], Dict[int, int], Dict[int, int]]:
+    """Initial (gcd-reduced) row set for the dual all-integer tableau.
+
+    Returns ``(rows, cost, shifts)``: the ``<=``-form rows (coefficient
+    dict, reduced rhs) in canonical build order — per-variable upper
+    bounds first, then constraints — the minimization cost dict over
+    structural columns, and the per-variable lower-bound shifts.  This
+    is the shared front half of a cold :class:`DualAllIntegerSolver`
+    build and of warm-start compatibility checking: two models whose
+    rows differ only in the reduced rhs values share a tableau
+    *structure* and can exchange a :class:`WarmBasis`.
+    """
+    n_vars = len(model.vars)
+    direction = 1 if model.sense is Sense.MINIMIZE else -1
+
+    cost: Dict[int, int] = {}  # structural columns; slacks stay 0
+    for idx, coef in model.objective.terms.items():
+        value = _require_integer(coef, "objective coeff") * direction
+        if value < 0:
+            raise IlpError(
+                "initial tableau is not dual feasible: objective "
+                f"coefficient of {model.vars[idx].name} is negative "
+                "in minimization form")
+        if value:
+            cost[idx] = value
+
+    rows: List[Tuple[Dict[int, int], int]] = []
+    shifts: Dict[int, int] = {}
+
+    def push_le(coeffs: Dict[int, int], b: int) -> None:
+        # Euclidean row reduction: dividing an all-integer row by the
+        # gcd of its coefficients (flooring the rhs) preserves the
+        # integer feasible set and makes +-1 pivots far more common,
+        # which slashes the number of cuts the dual all-integer
+        # algorithm needs.
+        g = 0
+        for c in coeffs.values():
+            g = math.gcd(g, c)
+        if g > 1:
+            coeffs = {i: c // g for i, c in coeffs.items()}
+            b = b // g  # floor division: b may be negative
+        rows.append((coeffs, b))
+
+    for var in model.vars:
+        if not var.integer:
+            raise IlpError(
+                f"dual all-integer solver needs integer variables; "
+                f"{var.name} is continuous")
+        lb = _require_integer(var.lb, f"lower bound of {var.name}")
+        shifts[var.index] = lb
+        if var.ub is not None:
+            ub = _require_integer(var.ub, f"upper bound of {var.name}")
+            push_le({var.index: 1}, ub - lb)
+
+    for constraint in model.constraints:
+        shift = constraint.expr.const
+        coeffs: Dict[int, int] = {}
+        for i, c in constraint.expr.terms.items():
+            ci = _require_integer(c, "constraint coefficient")
+            coeffs[i] = ci
+            shift += ci * model.vars[i].lb
+        b = _require_integer(-shift, "constraint constant")
+        if constraint.op == "<=":
+            push_le(coeffs, b)
+        elif constraint.op == ">=":
+            push_le({i: -c for i, c in coeffs.items()}, -b)
+        else:  # ==
+            push_le(dict(coeffs), b)
+            push_le({i: -c for i, c in coeffs.items()}, -b)
+
+    assert n_vars == len(shifts)
+    return rows, cost, shifts
+
+
+def structure_signature(model: Model,
+                        rows: List[Tuple[Dict[int, int], int]],
+                        cost: Dict[int, int]) -> str:
+    """Content hash of everything a warm start must match exactly.
+
+    Covers variable names/order/integrality/bound *presence* and every
+    row's coefficient pattern plus the cost row — but **not** the rhs
+    values (those are the perturbation a warm start absorbs) and not
+    the bound/lower-bound *values* (they only move the reduced rhs).
+    """
+    payload = {
+        "vars": [(v.name, bool(v.integer), v.ub is not None)
+                 for v in model.vars],
+        "rows": [sorted(coeffs.items()) for coeffs, _b in rows],
+        "cost": sorted(cost.items()),
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class WarmBasis:
+    """A solved tableau exported for reuse on a structure-identical model.
+
+    The snapshot is the *initial* optimized state of a parent solver —
+    taken after the first :meth:`DualAllIntegerSolver.reoptimize` and
+    before any committed lower bounds — together with the parent's
+    initial reduced rhs vector.  Restoring onto a new model whose
+    :func:`structure_signature` matches replays only the rhs deltas
+    through the initial rows' slack columns (every final tableau row is
+    the recorded linear combination of initial rows, and that
+    combination is rhs-independent), then resumes the cutting-plane
+    loop.  See DESIGN.md §12 for the soundness rules; all entries are
+    integers (the all-integer invariant), so the snapshot is JSON
+    round-trippable via :meth:`to_dict`.
+    """
+
+    signature: str
+    n_structural: int
+    n_cols: int
+    initial_rhs: List[int]
+    rows: List[Dict[int, int]]
+    rhs: List[int]
+    basis: List[int]
+    cost_nums: Dict[int, int]
+    cost_rhs: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "signature": self.signature,
+            "n_structural": self.n_structural,
+            "n_cols": self.n_cols,
+            "initial_rhs": list(self.initial_rhs),
+            "rows": [{str(j): v for j, v in row.items()}
+                     for row in self.rows],
+            "rhs": list(self.rhs),
+            "basis": list(self.basis),
+            "cost_nums": {str(j): v for j, v in self.cost_nums.items()},
+            "cost_rhs": self.cost_rhs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WarmBasis":
+        return cls(
+            signature=str(data["signature"]),
+            n_structural=int(data["n_structural"]),
+            n_cols=int(data["n_cols"]),
+            initial_rhs=[int(v) for v in data["initial_rhs"]],
+            rows=[{int(j): int(v) for j, v in row.items()}
+                  for row in data["rows"]],
+            rhs=[int(v) for v in data["rhs"]],
+            basis=[int(v) for v in data["basis"]],
+            cost_nums={int(j): int(v)
+                       for j, v in data["cost_nums"].items()},
+            cost_rhs=int(data["cost_rhs"]),
+        )
 
 
 class DualAllIntegerSolver:
@@ -75,61 +231,9 @@ class DualAllIntegerSolver:
     def _build(self) -> None:
         model = self.model
         n = len(model.vars)
-        direction = 1 if model.sense is Sense.MINIMIZE else -1
-
-        cost: Dict[int, int] = {}  # structural columns; slacks stay 0
-        for idx, coef in model.objective.terms.items():
-            value = _require_integer(coef, "objective coeff") * direction
-            if value < 0:
-                raise IlpError(
-                    "initial tableau is not dual feasible: objective "
-                    f"coefficient of {model.vars[idx].name} is negative "
-                    "in minimization form")
-            if value:
-                cost[idx] = value
-
-        rows: List[Tuple[Dict[int, int], int]] = []
-
-        def push_le(coeffs: Dict[int, int], b: int) -> None:
-            # Euclidean row reduction: dividing an all-integer row by the
-            # gcd of its coefficients (flooring the rhs) preserves the
-            # integer feasible set and makes +-1 pivots far more common,
-            # which slashes the number of cuts the dual all-integer
-            # algorithm needs.
-            g = 0
-            for c in coeffs.values():
-                g = math.gcd(g, c)
-            if g > 1:
-                coeffs = {i: c // g for i, c in coeffs.items()}
-                b = b // g  # floor division: b may be negative
-            rows.append((coeffs, b))
-
-        for var in model.vars:
-            if not var.integer:
-                raise IlpError(
-                    f"dual all-integer solver needs integer variables; "
-                    f"{var.name} is continuous")
-            lb = _require_integer(var.lb, f"lower bound of {var.name}")
-            self._shifts[var.index] = lb
-            if var.ub is not None:
-                ub = _require_integer(var.ub, f"upper bound of {var.name}")
-                push_le({var.index: 1}, ub - lb)
-
-        for constraint in model.constraints:
-            shift = constraint.expr.const
-            coeffs: Dict[int, int] = {}
-            for i, c in constraint.expr.terms.items():
-                ci = _require_integer(c, "constraint coefficient")
-                coeffs[i] = ci
-                shift += ci * model.vars[i].lb
-            b = _require_integer(-shift, "constraint constant")
-            if constraint.op == "<=":
-                push_le(coeffs, b)
-            elif constraint.op == ">=":
-                push_le({i: -c for i, c in coeffs.items()}, -b)
-            else:  # ==
-                push_le(dict(coeffs), b)
-                push_le({i: -c for i, c in coeffs.items()}, -b)
+        rows, cost, shifts = build_initial(model)
+        self._shifts = shifts
+        self._initial_rhs = [b for _coeffs, b in rows]
 
         m = len(rows)
         tab_rows: List[Tuple[Dict[int, int], int]] = []
@@ -143,6 +247,127 @@ class DualAllIntegerSolver:
         self.tableau.enable_undo()
         for var in model.vars:
             self._col_of[var.index] = var.index
+
+    # -- warm starts ----------------------------------------------------
+    def export_warm_basis(self) -> Optional["WarmBasis"]:
+        """Snapshot the current tableau as a :class:`WarmBasis`.
+
+        Only exports *initial* states: after committed lower bounds the
+        tableau encodes bounds a structure-identical sibling model does
+        not have, so the export refuses (returns ``None``).  Likewise
+        if any row left the all-integer fast path (never happens on the
+        Gomory path, checked defensively).
+        """
+        if self._shift_log:
+            return None
+        tab = self.tableau
+        for var in self.model.vars:
+            if self._shifts[var.index] != _require_integer(
+                    var.lb, f"lower bound of {var.name}"):
+                return None
+        if tab._cost_den != 1 or any(d != 1 for d in tab._dens):
+            return None  # pragma: no cover - all-integer invariant
+        rows, cost, _shifts = build_initial(self.model)
+        return WarmBasis(
+            signature=structure_signature(self.model, rows, cost),
+            n_structural=len(self.model.vars),
+            n_cols=tab.n_cols,
+            initial_rhs=list(self._initial_rhs),
+            rows=[dict(r) for r in tab._nums],
+            rhs=list(tab._rhs_num),
+            basis=list(tab.basis),
+            cost_nums=dict(tab._cost_nums),
+            cost_rhs=tab._cost_rhs,
+        )
+
+    @classmethod
+    def warm_start(cls, model: Model, warm: WarmBasis,
+                   max_iter: int = 50_000,
+                   budget=None) -> Optional["DualAllIntegerSolver"]:
+        """Solver for ``model`` started from a parent's solved tableau.
+
+        Accepts when ``model`` shares the parent's tableau structure
+        (same variables, same row coefficient patterns — only reduced
+        rhs values may differ) **and** the resumed cutting-plane loop
+        restores primal feasibility.  The rhs perturbation is replayed
+        exactly: every final tableau row is a fixed linear combination
+        of initial rows whose weights are the row's entries in the
+        initial slack columns, so ``rhs[i] += delta_j * row[i][n + j]``.
+
+        Returns ``None`` — counting ``gomory.warm_rejected`` — on any
+        structure mismatch, on an iteration cap, or when the warm
+        tableau reoptimizes to *infeasible*: the parent's Gomory cuts
+        are valid for the new rhs only as one-sided evidence (a feasible
+        basis is a genuine integer point of the new system, but an
+        infeasible verdict may be an artifact of cuts derived for the
+        old rhs), so infeasibility must be re-proved cold.
+        """
+        PERF.inc("gomory.warm_attempts")
+        try:
+            rows, cost, shifts = build_initial(model)
+        except IlpError:
+            PERF.inc("gomory.warm_rejected")
+            return None
+        if (len(rows) != len(warm.initial_rhs)
+                or len(model.vars) != warm.n_structural
+                or structure_signature(model, rows, cost)
+                != warm.signature):
+            PERF.inc("gomory.warm_rejected")
+            return None
+
+        solver = cls.__new__(cls)
+        solver.model = model
+        solver.max_iter = max_iter
+        solver.budget = as_token(budget)
+        solver._shifts = shifts
+        solver._col_of = {var.index: var.index for var in model.vars}
+        solver._shift_log = []
+        solver.cuts_generated = 0
+        solver.pivots = 0
+        solver._initial_rhs = [b for _coeffs, b in rows]
+        # Every initial row is <=-form with identical coefficients, so
+        # rhs <= parent rhs component-wise means the new feasible set
+        # is a *subset* of the parent's — the inherited cuts are then
+        # valid outright and even "infeasible" answers are sound.
+        solver.warm_sound = all(
+            new_b <= old_b for old_b, new_b
+            in zip(warm.initial_rhs, solver._initial_rhs))
+
+        nums = [dict(r) for r in warm.rows]
+        rhs = list(warm.rhs)
+        cost_nums = dict(warm.cost_nums)
+        cost_rhs = warm.cost_rhs
+        n = warm.n_structural
+        for j, (old_b, new_b) in enumerate(zip(warm.initial_rhs,
+                                               solver._initial_rhs)):
+            delta = new_b - old_b
+            if not delta:
+                continue
+            col = n + j
+            for i in range(len(nums)):
+                w = nums[i].get(col, 0)
+                if w:
+                    rhs[i] += w * delta
+            cw = cost_nums.get(col, 0)
+            if cw:
+                cost_rhs += cw * delta
+        tab = Tableau.from_sparse(
+            warm.n_cols, list(zip(nums, rhs)), cost_nums,
+            list(warm.basis))
+        tab._cost_rhs = cost_rhs
+        tab._rebuild_shadow()
+        solver.tableau = tab
+        solver.tableau.enable_undo()
+        try:
+            feasible = solver.reoptimize()
+        except (IlpError, BudgetExhausted):
+            PERF.inc("gomory.warm_rejected")
+            return None
+        if not feasible:
+            PERF.inc("gomory.warm_rejected")
+            return None
+        PERF.inc("gomory.warm_accepted")
+        return solver
 
     # -- undo-log backtracking -----------------------------------------
     def _mark(self):
@@ -284,17 +509,39 @@ class DualAllIntegerSolver:
 
     def try_lower_bound(self, var: Var, amount: int = 1) -> bool:
         """Would raising the bound keep the ILP feasible?  (Rolls back.)"""
+        return self.probe_lower_bound(var, amount)[0]
+
+    def probe_lower_bound(self, var: Var, amount: int = 1
+                          ) -> Tuple[bool, Optional[Dict[int, int]]]:
+        """:meth:`try_lower_bound` plus the feasible point it found.
+
+        Returns ``(feasible, values)`` where ``values`` maps variable
+        index to its integral value in the re-optimized solution (or
+        ``None`` when infeasible) — the *witness* callers hand to the
+        oracle store so "feasible" verdicts transfer to every budget
+        vector the witness still fits.  Rolls back either way.
+        """
         PERF.inc("gomory.probes")
         token = self._mark()
         self.add_lower_bound(var, amount)
         try:
             feasible = self.reoptimize()
+            values = self.solution_values() if feasible else None
         except (IlpError, BudgetExhausted):
             self._undo(token)
             raise
         # Keep the re-optimized tableau only if the caller commits.
         self._undo(token)
-        return feasible
+        return feasible, values
+
+    def solution_values(self) -> Optional[Dict[int, int]]:
+        """Integral values of the current basic solution, by var index."""
+        basic = self.tableau.integral_basic_values()
+        if basic is None:  # pragma: no cover - all-integer invariant
+            return None
+        return {var.index: int(basic.get(self._col_of[var.index], 0)
+                               + self._shifts[var.index])
+                for var in self.model.vars}
 
     def commit_lower_bound(self, var: Var, amount: int = 1) -> None:
         """Raise the bound for real; raises if it makes the ILP infeasible."""

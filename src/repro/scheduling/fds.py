@@ -19,6 +19,7 @@ from repro.cdfg.analysis import (TimingSpec, compute_time_frames,
                                  topological_order, _EPS)
 from repro.cdfg.graph import Cdfg, Node
 from repro.errors import SchedulingError
+from repro.perf import PERF
 from repro.robustness.budget import as_token
 from repro.scheduling.base import Schedule
 
@@ -75,6 +76,7 @@ class ForceDirectedScheduler:
             assert best is not None
             _, chosen, step = best
             fixed[chosen] = step
+            PERF.inc("fds.placements")
             frames = compute_time_frames(graph, timing, self.pipe_length,
                                          initiation_rate=L, fixed=fixed)
             if not frames.feasible():

@@ -33,6 +33,7 @@ import math
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.oracle_store import OracleStore, activate
 from repro.errors import ReproError
 from repro.explore.cache import ResultCache
 from repro.explore.pareto import OBJECTIVES, pareto_front
@@ -67,6 +68,11 @@ class SynthesisService:
         self.perf = PerfRegistry()
         self.cache = ResultCache(config.cache_path,
                                  sync=config.cache_sync)
+        # Activate the shared pin-oracle store BEFORE the pool exists:
+        # forked workers inherit the active store (warm, read-only from
+        # the file's point of view) and ship back only their deltas.
+        self.oracle = OracleStore(config.oracle_path)
+        self._previous_oracle = activate(self.oracle)
         self.pool = WorkerPool(workers=config.workers,
                                mode=config.pool_mode,
                                job_runner=config.job_runner)
@@ -191,6 +197,11 @@ class SynthesisService:
             # Pool workers incremented *their* PERF; fold the delta in
             # so this process's registry sees the whole service.
             PERF.merge(delta)
+            # Likewise the pin-oracle entries the worker proved: merge
+            # them so the next request (on any worker after a respawn,
+            # or answered inline) starts warmer.
+            self.oracle.merge(record.get("oracle_delta"))
+        record.pop("oracle_delta", None)
         self.cache.put(job.key, record)
         self.queue_depth -= 1
         self.inflight.pop(job.key, None)
@@ -245,6 +256,7 @@ class SynthesisService:
             await asyncio.gather(*list(self._tasks),
                                  return_exceptions=True)
         self.pool.shutdown()
+        activate(self._previous_oracle)
 
 
 # ---------------------------------------------------------------------
@@ -299,6 +311,7 @@ def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
         "workers": {"count": service.pool.workers,
                     "mode": service.pool.mode},
         "cache": service.cache.stats(),
+        "oracle": service.oracle.stats(),
         "perf": service.perf.snapshot(),
     }
 

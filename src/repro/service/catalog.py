@@ -24,6 +24,7 @@ from repro.io_json import graph_from_dict, partitioning_from_dict
 #: CLI catalog; the elliptic designs pin their resource vectors per
 #: rate, matching the published experiments.
 _BUILTINS = ("ar-simple", "ar-general", "ar-general-bidir",
+             "ar-stacked-2", "ar-stacked-4",
              "elliptic", "elliptic-bidir")
 
 
@@ -53,11 +54,22 @@ def _builtin_space(name: str) -> DesignSpace:
                                AR_GENERAL_PINS_UNIDIR, AR_SIMPLE_PINS,
                                ELLIPTIC_PINS_BIDIR,
                                ELLIPTIC_PINS_UNIDIR, ar_general_design,
-                               ar_simple_design, elliptic_design,
+                               ar_simple_design, ar_stacked_design,
+                               ar_stacked_pins, elliptic_design,
                                elliptic_resources)
     if name == "ar-simple":
         return DesignSpace(name=name, graph=ar_simple_design(),
                            partitioning=AR_SIMPLE_PINS, timing="ar")
+    if name.startswith("ar-stacked-"):
+        try:
+            copies = int(name[len("ar-stacked-"):])
+        except ValueError:
+            copies = 0
+        if copies >= 1:
+            return DesignSpace(name=name,
+                               graph=ar_stacked_design(copies),
+                               partitioning=ar_stacked_pins(copies),
+                               timing="ar")
     if name == "ar-general":
         return DesignSpace(name=name, graph=ar_general_design(),
                            partitioning=AR_GENERAL_PINS_UNIDIR,

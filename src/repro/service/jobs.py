@@ -46,6 +46,10 @@ class ServiceConfig:
     max_queue: int = 64
     cache_path: Optional[str] = None
     cache_sync: bool = True
+    #: JSONL path for the shared pin-oracle store (None = in-memory).
+    #: The store is activated process-wide before the pool forks, so
+    #: workers inherit it warm and ship their deltas back.
+    oracle_path: Optional[str] = None
     default_timeout_ms: float = 30000.0
     pool_mode: str = "process"
     job_runner: Callable[[Dict[str, Any]], Dict[str, Any]] = run_job
