@@ -41,6 +41,7 @@ DIRECTIONS = {
     "rate": (True, True),       # points/sec, req/s: higher is better
     "speedup": (True, False),   # same-run ratio: hardware-independent
     "pivots": (False, False),   # deterministic work counter
+    "quality": (False, False),  # latency/pins: deterministic, lower
 }
 
 
@@ -107,9 +108,27 @@ def metrics_service(doc: Dict[str, Any]) -> List[Metric]:
     return out
 
 
+def metrics_schedulers(doc: Dict[str, Any]) -> List[Metric]:
+    out = []
+    for design, workload in sorted(doc.get("schedulers", {}).items()):
+        for name, run in sorted(workload.get("backends", {}).items()):
+            prefix = f"schedulers.{design}.{name}"
+            pps = run.get("points_per_sec")
+            if pps is not None:
+                out.append(Metric(f"{prefix}.points_per_sec",
+                                  "rate", pps))
+            for quality in ("latency", "total_pins"):
+                value = run.get(quality)
+                if value is not None:
+                    out.append(Metric(f"{prefix}.{quality}",
+                                      "quality", value))
+    return out
+
+
 EXTRACTORS = {
     "BENCH_ilp.json": metrics_ilp,
     "BENCH_explore.json": metrics_explore,
+    "BENCH_schedulers.json": metrics_schedulers,
     "BENCH_service.json": metrics_service,
 }
 

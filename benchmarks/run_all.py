@@ -237,6 +237,56 @@ def bench_warm_neighbors(smoke: bool):
 
 
 # ---------------------------------------------------------------------
+def bench_schedulers(smoke: bool):
+    """Every registered scheduler backend on two fixed workloads.
+
+    Drives each backend through the flow it supports — ``ar-general``
+    under connection-first (rate 3), ``ar-stacked-4`` under the
+    Chapter 3 simple flow (rate 2, four AR copies so the pin ILP
+    dominates) — and records solve throughput (points/sec over
+    ``repeats`` identical solves) plus the quality metrics that
+    distinguish backends: schedule latency (pipe length) and total
+    pins.  Throughput is wall-based; latency and pins are
+    deterministic for a fixed workload, so the regression gate holds
+    backends to their QoR, not just their speed.
+    """
+    from repro.core.flow import synthesize
+    from repro.designs import ar_stacked_design, ar_stacked_pins
+    from repro.pipeline import scheduler_names
+
+    repeats = 2 if smoke else 5
+    workloads = [
+        ("ar-general", ar_general_design(), AR_GENERAL_PINS_UNIDIR,
+         "connection-first", 3),
+        ("ar-stacked-4", ar_stacked_design(4), ar_stacked_pins(4),
+         "simple", 2),
+    ]
+    timing = ar_filter_timing()
+    out = {}
+    for name, graph, pins, flow, rate in workloads:
+        backends = {}
+        for backend in scheduler_names(flow):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                result = synthesize(graph, pins, timing, rate,
+                                    flow=flow, scheduler=backend)
+            seconds = time.perf_counter() - start
+            backends[backend] = {
+                "seconds": round(seconds, 4),
+                "points_per_sec": round(repeats / seconds, 2)
+                if seconds else 0.0,
+                "latency": result.pipe_length,
+                "total_pins": sum(result.pins_used().values()),
+            }
+            print(f"  schedulers[{name}/{backend}]  {seconds:8.3f}s  "
+                  f"{backends[backend]['points_per_sec']:8.1f} "
+                  f"points/s  latency={result.pipe_length}")
+        out[name] = {"flow": flow, "rate": rate, "repeats": repeats,
+                     "backends": backends}
+    return out
+
+
+# ---------------------------------------------------------------------
 def bench_service(smoke: bool, workers: int):
     """The serving layer vs sequential ``synthesize()`` calls.
 
@@ -385,6 +435,11 @@ def main(argv=None) -> int:
     parser.add_argument("--explore-workers", type=int,
                         default=min(2, os.cpu_count() or 1),
                         help="worker processes for the explorer sweep")
+    parser.add_argument("--schedulers-out",
+                        default=os.path.join(
+                            REPO_ROOT, "BENCH_schedulers.json"),
+                        help="scheduler-backend benchmark output JSON "
+                             "path")
     parser.add_argument("--service-out",
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_service.json"),
@@ -434,6 +489,19 @@ def main(argv=None) -> int:
             json.dump(explore_doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.explore_out}")
+
+        print("running scheduler-backend benchmark ...")
+        schedulers_doc = {
+            "schema": "repro-bench-schedulers/1",
+            "mode": mode,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "schedulers": bench_schedulers(args.smoke),
+        }
+        with open(args.schedulers_out, "w", encoding="utf-8") as fh:
+            json.dump(schedulers_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.schedulers_out}")
 
         print("running service benchmark "
               "(coalescing vs sequential) ...")

@@ -64,7 +64,7 @@ def proof_refutes(prover_flow: str, producer_flow: str) -> bool:
 
 @dataclass
 class FlowOutcome:
-    """What one flow did with the design."""
+    """What one flow (under one scheduler backend) did with the design."""
 
     flow: str
     outcome: str
@@ -73,6 +73,15 @@ class FlowOutcome:
     report: Optional[CheckReport] = None
     declared_overruns: bool = False
     result: Optional[object] = None
+    scheduler: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Participant name for messages: flow, plus the scheduler
+        backend when the run pinned a non-default one."""
+        if self.scheduler is None:
+            return self.flow
+        return f"{self.flow}[{self.scheduler}]"
 
     @property
     def produced_clean(self) -> bool:
@@ -100,6 +109,7 @@ class FlowOutcome:
     def to_dict(self) -> Dict[str, object]:
         return {
             "flow": self.flow,
+            "scheduler": self.scheduler,
             "outcome": self.outcome,
             "error": self.error,
             "own_problems": list(self.own_problems),
@@ -133,7 +143,7 @@ class OracleReport:
                 if outcome.declared_overruns \
                         and violation.rule in PIN_RULES:
                     continue
-                out.append(f"{outcome.flow}: [{violation.rule}] "
+                out.append(f"{outcome.label}: [{violation.rule}] "
                            f"{violation.message}")
         return out
 
@@ -160,12 +170,53 @@ def applicable_flows(graph, partitioning) -> List[str]:
     return flows
 
 
+def _participants(flows: Sequence[str],
+                  schedulers: Optional[Sequence[str]]
+                  ) -> List[tuple]:
+    """Expand flows into ``(flow, scheduler_or_None)`` participants.
+
+    Without ``schedulers`` each flow runs once under its default
+    backend (``None``).  With ``schedulers``, each flow runs once per
+    named backend that supports it (aliases resolve to their canonical
+    name first); a flow no requested backend supports still runs once
+    under its default so the cross-comparison keeps its baseline.
+    """
+    if not schedulers:
+        return [(flow, None) for flow in flows]
+    from repro.pipeline.registry import resolve_scheduler, scheduler_backend
+    out: List[tuple] = []
+    for flow in flows:
+        matched = False
+        seen = set()
+        for name in schedulers:
+            canonical = resolve_scheduler(name)
+            if canonical in seen:
+                continue
+            seen.add(canonical)
+            backend = scheduler_backend(canonical)
+            if backend is not None and flow in backend.flows:
+                out.append((flow, canonical))
+                matched = True
+        if not matched:
+            out.append((flow, None))
+    return out
+
+
 def run_differential(graph, partitioning, timing, initiation_rate,
                      flows: Optional[Sequence[str]] = None,
                      timeout_ms: Optional[float] = None,
                      resources=None,
-                     keep_results: bool = False) -> OracleReport:
+                     keep_results: bool = False,
+                     schedulers: Optional[Sequence[str]] = None
+                     ) -> OracleReport:
     """Run every applicable flow on one design and cross-compare.
+
+    ``schedulers`` widens the participant set along the backend axis:
+    each flow runs once per requested scheduler backend that supports
+    it (see :func:`repro.pipeline.scheduler_names`), so e.g.
+    ``schedulers=("list", "heap", "modulo")`` pits the heap and modulo
+    schedulers against the list baseline — and, through the flow axis,
+    against FDS — on one design.
 
     Returns an :class:`OracleReport`; ``report.ok`` means no flow
     produced a dirty result, no feasibility disagreement, and no gap
@@ -176,24 +227,26 @@ def run_differential(graph, partitioning, timing, initiation_rate,
     if flows is None:
         flows = applicable_flows(graph, partitioning)
     report = OracleReport()
-    for flow in flows:
+    for flow, sched in _participants(flows, schedulers):
         budget = (None if timeout_ms is None
                   else SolveBudget(deadline_ms=timeout_ms))
+        extra = {} if sched is None else {"scheduler": sched}
         try:
             result = synthesize(graph, partitioning, timing,
                                 initiation_rate, flow=flow,
-                                budget=budget, resources=resources)
+                                budget=budget, resources=resources,
+                                **extra)
         except InfeasibleError as exc:
             report.outcomes.append(FlowOutcome(
-                flow, INFEASIBLE, error=str(exc)))
+                flow, INFEASIBLE, error=str(exc), scheduler=sched))
             continue
         except BudgetExhausted as exc:
             report.outcomes.append(FlowOutcome(
-                flow, BUDGET, error=str(exc)))
+                flow, BUDGET, error=str(exc), scheduler=sched))
             continue
         except ReproError as exc:
             report.outcomes.append(FlowOutcome(
-                flow, GAVE_UP, error=str(exc)))
+                flow, GAVE_UP, error=str(exc), scheduler=sched))
             continue
         outcome = FlowOutcome(
             flow, OK,
@@ -201,7 +254,8 @@ def run_differential(graph, partitioning, timing, initiation_rate,
             report=check_result(result),
             declared_overruns=bool(
                 result.stats.get("budget_overruns")),
-            result=result if keep_results else None)
+            result=result if keep_results else None,
+            scheduler=sched)
         report.outcomes.append(outcome)
 
     _cross_compare(report)
@@ -217,8 +271,8 @@ def _cross_compare(report: OracleReport) -> None:
             if not proof_refutes(loser.flow, winner.flow):
                 continue
             report.disagreements.append(
-                f"{loser.flow} proved the design infeasible but "
-                f"{winner.flow} produced a result the unified "
+                f"{loser.label} proved the design infeasible but "
+                f"{winner.label} produced a result the unified "
                 f"checker accepts")
     for outcome in report.outcomes:
         if outcome.outcome != OK or outcome.report is None:
@@ -228,10 +282,10 @@ def _cross_compare(report: OracleReport) -> None:
         if own_clean and not unified_clean:
             rules = sorted(outcome.report.by_rule())
             report.checker_gaps.append(
-                f"{outcome.flow}: clean under its own verify() but "
+                f"{outcome.label}: clean under its own verify() but "
                 f"the unified checker flags {rules}")
         elif unified_clean and not own_clean:
             report.checker_gaps.append(
-                f"{outcome.flow}: clean under the unified checker "
+                f"{outcome.label}: clean under the unified checker "
                 f"but its own verify() reports "
                 f"{outcome.own_problems}")

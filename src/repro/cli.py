@@ -29,6 +29,9 @@ result object; exit code 2 means the answer is valid but degraded (a
 budget fallback fired — see the ``diagnostics`` trail).  ``explore``
 exits 0 when every point completed cleanly and 2 when the sweep
 finished but some points were degraded, pruned, skipped, or failed.
+``check`` and ``fuzz`` exit 1 when they find enforceable violations,
+a cross-flow disagreement, or a checker gap — the same contract the
+CI jobs key off.
 """
 
 from __future__ import annotations
@@ -119,6 +122,7 @@ def _synthesize(args) -> object:
         subbus_sharing=args.subbus,
         slot_reserve=args.slot_reserve,
         branching_factor=args.branching,
+        scheduler=args.scheduler,
         pipe_length=args.pipe_length)
 
 
@@ -131,8 +135,10 @@ def cmd_designs(_args) -> int:
 
 def _result_json(args, result) -> dict:
     """The machine-readable ``synthesize --json`` payload."""
+    from repro.io_json import SCHEMA_VERSION
     problems = result.verify()
     return {
+        "schema_version": SCHEMA_VERSION,
         "design": args.design,
         "flow": args.flow,
         "rate": args.rate,
@@ -234,6 +240,8 @@ def cmd_explore(args) -> int:
         axes["branching_factor"] = _csv(args.branchings, int)
     if args.slot_reserves != "0":
         axes["slot_reserve"] = _csv(args.slot_reserves, int)
+    if args.schedulers != "list":
+        axes["scheduler"] = _csv(args.schedulers, str)
     spec = SweepSpec(axes=axes)
 
     cache = ResultCache(args.cache)
@@ -310,17 +318,24 @@ def cmd_check(args) -> int:
     from repro.check.rules import enforceable_violations
 
     if args.oracle:
+        from repro.pipeline.registry import resolve_scheduler
         graph, pins, timing, resources = _load(args.design, args.rate)
+        # A non-default --scheduler widens the oracle along the
+        # backend axis: the chosen backend runs against the list
+        # baseline (and, through the flow axis, against FDS).
+        chosen = resolve_scheduler(args.scheduler)
+        schedulers = None if chosen == "list" else ("list", chosen)
         oracle = run_differential(graph, pins, timing, args.rate,
                                   timeout_ms=args.timeout_ms,
-                                  resources=resources)
+                                  resources=resources,
+                                  schedulers=schedulers)
         if args.json:
             print(json.dumps(oracle.to_dict(), indent=1,
                              sort_keys=True))
         else:
             for outcome in oracle.outcomes:
                 extra = f" ({outcome.error})" if outcome.error else ""
-                print(f"{outcome.flow:18s} {outcome.outcome}{extra}")
+                print(f"{outcome.label:24s} {outcome.outcome}{extra}")
             for message in (oracle.violations()
                             + oracle.disagreements
                             + oracle.checker_gaps):
@@ -412,6 +427,11 @@ def _add_flow_options(parser: argparse.ArgumentParser) -> None:
                              "synthesis (more buses, more bandwidth)")
     parser.add_argument("--branching", type=int, default=2,
                         help="heuristic search branching factor")
+    parser.add_argument("--scheduler", default="list",
+                        help="scheduler backend for the simple and "
+                             "connection-first flows: any name in the "
+                             "backend registry (built-ins: list, heap, "
+                             "postpone, modulo; default list)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -419,7 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pin-constrained multi-chip high-level synthesis "
-                    "(Hung 1992 reproduction)")
+                    "(Hung 1992 reproduction)",
+        epilog="exit codes: 0 success; 1 failure (bad arguments, "
+               "unloadable design, a budget exhausted with no "
+               "fallback left, or a `check`/`fuzz` run that found "
+               "violations, a cross-flow mismatch, or a checker "
+               "gap); 2 valid but degraded (a budget fallback "
+               "fired, or an `explore` sweep finished with "
+               "degraded/pruned/skipped/failed points).")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_designs = sub.add_parser("designs",
@@ -475,6 +502,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--branchings", default="2",
                        help="comma-separated search branching factors "
                             "(default: 2)")
+    p_exp.add_argument("--schedulers", default="list",
+                       help="scheduler axis: comma-separated backend "
+                            "registry names (e.g. list,heap,modulo)")
     p_exp.add_argument("--slot-reserves", default="0",
                        help="comma-separated bus-slot reserves "
                             "(default: 0)")
@@ -513,7 +543,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk = sub.add_parser(
         "check",
         help="synthesize and run the unified design-rule checker "
-             "(or the cross-flow differential oracle)")
+             "(or the cross-flow differential oracle); exit 1 on "
+             "enforceable violations or an oracle failure")
     _add_flow_options(p_chk)
     p_chk.add_argument("--oracle", action="store_true",
                        help="run every applicable flow and cross-"
@@ -529,7 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz = sub.add_parser(
         "fuzz",
         help="run the seeded differential fuzzer over random "
-             "partitioned designs")
+             "partitioned designs; exit 1 on any recorded failure")
     p_fuzz.add_argument("--seed", default="repro",
                         help="string seed for the case stream "
                              "(default: repro)")

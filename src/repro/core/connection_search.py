@@ -30,6 +30,7 @@ from repro.core.interconnect import Bus, BusAssignment, Interconnect
 from repro.errors import ConnectionError_
 from repro.partition.model import Partitioning
 from repro.perf import PERF
+from repro.pipeline.resource_table import PinLedger
 from repro.robustness.budget import as_token
 
 #: Priority weights of the gain factors (values from Section 4.1.2,
@@ -94,14 +95,10 @@ class ConnectionSearch:
         self._ops = sorted(graph.io_nodes(),
                            key=lambda n: (-n.bit_width, n.name))
         self._buses: List[_BusState] = []
-        self._pins_used: Dict[int, int] = {
-            index: 0 for index in partitioning.indices()}
-        # Direction-split usage, needed to honour fixed input/output
-        # pin splits (ChipSpec.input_pins / output_pins).
-        self._pins_out: Dict[int, int] = {
-            index: 0 for index in partitioning.indices()}
-        self._pins_in: Dict[int, int] = {
-            index: 0 for index in partitioning.indices()}
+        #: Booked pins per chip — the unified direction-split ledger
+        #: (honours fixed input/output splits) shared with the rest of
+        #: the pipeline's pin accounting.
+        self.pins = PinLedger(partitioning)
         self._unassigned_bits: Dict[int, int] = {
             index: 0 for index in partitioning.indices()}
         for node in self._ops:
@@ -109,12 +106,26 @@ class ConnectionSearch:
             self._unassigned_bits[node.dest_partition] += node.bit_width
 
     # ------------------------------------------------------------------
+    # The historical attribute names, kept as views of the ledger (the
+    # gain tests poke them directly).
+    @property
+    def _pins_used(self) -> Dict[int, int]:
+        return self.pins.used
+
+    @property
+    def _pins_out(self) -> Dict[int, int]:
+        return self.pins.out_used
+
+    @property
+    def _pins_in(self) -> Dict[int, int]:
+        return self.pins.in_used
+
+    # ------------------------------------------------------------------
     def value_key(self, node: Node) -> str:
         return self.share_groups.get(node.name, node.value or node.name)
 
     def _wf(self, partition: int) -> float:
-        free = (self.partitioning.total_pins(partition)
-                - self._pins_used[partition])
+        free = self.pins.free_pins(partition)
         bits = self._unassigned_bits[partition]
         base = bits / free if free > 0 else bits * 1e6 + 1.0
         return base * self.weighting.get(partition, 1.0)
@@ -209,20 +220,9 @@ class ConnectionSearch:
 
     def _budget_ok(self, delta: Mapping[int, Tuple[int, int]]) -> bool:
         """Whether the extra pins fit every touched chip's budget —
-        the total pool, and the fixed split when one is declared."""
-        for partition, (extra_out, extra_in) in delta.items():
-            spec = self.partitioning.chip(partition)
-            used = self._pins_used[partition]
-            if used + extra_out + extra_in > spec.total_pins:
-                return False
-            if spec.split_fixed:
-                if self._pins_out[partition] + extra_out \
-                        > spec.output_pins:
-                    return False
-                if self._pins_in[partition] + extra_in \
-                        > spec.input_pins:
-                    return False
-        return True
+        the total pool, and the fixed split when one is declared
+        (delegated to the unified :class:`PinLedger`)."""
+        return self.pins.delta_fits(delta)
 
     def _gain(self, state: _BusState, node: Node) -> float:
         src, dst = node.source_partition, node.dest_partition
@@ -283,9 +283,7 @@ class ConnectionSearch:
             "out": dict(state.out_w), "in": dict(state.in_w),
             "bi": dict(state.bi_w),
             "had_value": self.value_key(node) in state.values,
-            "pins": dict(self._pins_used),
-            "pins_out": dict(self._pins_out),
-            "pins_in": dict(self._pins_in),
+            "pins": self.pins.snapshot(),
         }
         delta = self._pin_delta(state, node)
         assert delta is not None
@@ -311,19 +309,14 @@ class ConnectionSearch:
         state.out_w = record["out"]
         state.in_w = record["in"]
         state.bi_w = record["bi"]
-        self._pins_used = record["pins"]
-        self._pins_out = record["pins_out"]
-        self._pins_in = record["pins_in"]
+        self.pins.restore(record["pins"])
         self._unassigned_bits[src] += width
         self._unassigned_bits[dst] += width
         if record["new"]:
             self._buses.pop()
 
     def _book_pins(self, delta: Mapping[int, Tuple[int, int]]) -> None:
-        for partition, (extra_out, extra_in) in delta.items():
-            self._pins_used[partition] += extra_out + extra_in
-            self._pins_out[partition] += extra_out
-            self._pins_in[partition] += extra_in
+        self.pins.book(delta)
 
 
 def synthesize_connection(graph: Cdfg, partitioning: Partitioning,

@@ -13,6 +13,15 @@
 * :func:`synthesize_schedule_first` — Chapter 5: force-directed
   scheduling, then connection synthesis by clique partitioning.
 
+Every flow is a declarative pass list in the pass-pipeline registry
+(:mod:`repro.pipeline.registry`): this module owns the options/result
+types and the dispatch/degradation policy, while the flow *bodies*
+live as passes in :mod:`repro.pipeline.passes` running over a typed
+:class:`repro.pipeline.context.FlowContext`.  Scheduler backends
+(``list``, ``heap``, ``postpone``, ``modulo``, ``fds``) are registry
+entries too — :func:`repro.pipeline.register_scheduler` plugs new ones
+into the flows, the CLI, the explorer, and the differential oracle.
+
 Every flow returns a :class:`SynthesisResult` whose :meth:`verify`
 re-checks all invariants end to end — precedence, chaining, recursion,
 functional units, pin budgets, and bus conflict freedom.  Budgeted runs
@@ -36,29 +45,22 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional
 
 from repro.cdfg.graph import Cdfg
-from repro.cdfg.validate import validate_cdfg
-from repro.core.bus_assignment import BusAllocator
-from repro.core.connection_search import ConnectionSearch
 from repro.core.interconnect import (BusAssignment, Interconnect,
                                      verify_bus_allocation)
-from repro.core.pin_allocation import PinAllocationChecker
-from repro.core.post_sched import PostScheduleConnector
 from repro.core.simple_connection import (SimpleConnectionResult,
-                                          build_simple_connection,
                                           verify_simple_allocation)
-from repro.core.subbus import SubBusConnectionSearch
-from repro.errors import ConnectionError_, ReproError, SchedulingError
-from repro.modules.allocation import ResourceVector, min_module_counts
+from repro.errors import ReproError, SchedulingError
+from repro.modules.allocation import ResourceVector
 from repro.modules.library import DesignTiming
 from repro.partition.model import Partitioning
 from repro.partition.simple import is_simple_partitioning
-from repro.perf import PERF
+from repro.pipeline.context import (STAT_COUNTERS as _STAT_COUNTERS,
+                                    normalized_stats as
+                                    _normalized_stats)
 from repro.robustness.budget import (BudgetExhausted, BudgetToken,
                                      as_token)
 from repro.robustness.diagnostics import Diagnostics
-from repro.scheduling.base import Schedule, measured_resources
-from repro.scheduling.fds import ForceDirectedScheduler
-from repro.scheduling.list_scheduler import ListScheduler
+from repro.scheduling.base import Schedule
 
 #: Flow names accepted by :func:`synthesize`.
 FLOWS = ("auto", "simple", "connection-first", "schedule-first")
@@ -190,40 +192,6 @@ class SynthesisResult:
         return self
 
 
-# ---------------------------------------------------------------------
-#: PERF counter deltas reported under the same stats key by ALL flows,
-#: so callers can diff effort across flows without key juggling.
-_STAT_COUNTERS = {
-    "pin_checks": "pin.checks",
-    "pin_cache_hits": "pin.cache_hits",
-    "pin_cache_misses": "pin.cache_misses",
-    "pin_store_hits": "pin.store_hits",
-    "tableau_pivots": "tableau.pivots",
-    "gomory_cuts": "gomory.cuts",
-    "simplex_solves": "simplex.solves",
-    "bnb_nodes": "bnb.nodes",
-    "search_steps": "search.steps",
-    "reassignments": "bus.reassignments",
-}
-
-
-def _normalized_stats(before, **extra) -> Dict[str, float]:
-    """The cross-flow stats contract: counter deltas + flow extras.
-
-    Every flow reports the solver-effort counters (zero when a solver
-    was not exercised) — including ``search_steps``/``reassignments``,
-    which the chapter-4/5 engines now tick as PERF counters — so the
-    key set is identical across flows; flow-specific extras ride along.
-    """
-    counters = PERF.delta_since(before)["counters"]
-    stats: Dict[str, float] = {
-        key: counters.get(counter, 0)
-        for key, counter in _STAT_COUNTERS.items()
-    }
-    stats.update(extra)
-    return stats
-
-
 def _default_pipe_length(graph: Cdfg, timing: DesignTiming,
                          initiation_rate: int) -> int:
     """Pipe budget for schedule-first runs that did not specify one.
@@ -237,172 +205,28 @@ def _default_pipe_length(graph: Cdfg, timing: DesignTiming,
 
 
 # ---------------------------------------------------------------------
-def _run_simple(graph: Cdfg, partitioning: Partitioning,
-                timing: DesignTiming, initiation_rate: int,
-                opts: SynthesisOptions,
-                token: Optional[BudgetToken],
-                diag: Diagnostics,
-                warm_basis=None) -> SynthesisResult:
-    """Chapter 3 flow body (budget- and diagnostics-aware)."""
-    validate_cdfg(graph, require_partitions=False)
-    if not is_simple_partitioning(graph):
-        raise ConnectionError_(
-            "synthesize_simple requires a simple partitioning "
-            "(Definition 3.2); use synthesize_connection_first instead")
-    resources = opts.resources
-    if resources is None:
-        resources = min_module_counts(graph, timing, initiation_rate)
-    before = PERF.snapshot()
-    with PERF.phase("flow.simple"):
-        checker = PinAllocationChecker(graph, partitioning,
-                                       initiation_rate,
-                                       method=opts.pin_method,
-                                       budget=token, diagnostics=diag,
-                                       warm_basis=warm_basis)
-        scheduler = ListScheduler(graph, timing, initiation_rate,
-                                  resources, io_hooks=checker,
-                                  budget=token)
-        schedule = scheduler.run()
-        checker.finalize()
-        allocation = build_simple_connection(graph, schedule)
-    result = SynthesisResult(
-        graph=graph,
-        partitioning=partitioning,
-        initiation_rate=initiation_rate,
-        schedule=schedule,
-        resources=resources,
-        simple_allocation=allocation,
-        stats=_normalized_stats(before,
-                                pin_checks=checker.checks,
-                                pin_cache_hits=checker.cache_hits,
-                                pin_store_hits=checker.store_hits),
-        diagnostics=diag,
-        warm_basis=checker.export_warm_basis(),
-    )
-    return result.require_valid()
-
-
-def _run_connection_first(graph: Cdfg, partitioning: Partitioning,
-                          timing: DesignTiming, initiation_rate: int,
-                          opts: SynthesisOptions,
-                          token: Optional[BudgetToken],
-                          diag: Diagnostics) -> SynthesisResult:
-    """Chapter 4/6 flow body (budget- and diagnostics-aware)."""
-    validate_cdfg(graph, require_partitions=False)
-    resources = opts.resources
-    if resources is None:
-        resources = min_module_counts(graph, timing, initiation_rate)
-    share_groups = opts.share_groups
-    if opts.conditional_sharing:
-        if share_groups is not None:
-            raise ConnectionError_(
-                "give either explicit share_groups or "
-                "conditional_sharing=True, not both")
-        from repro.cdfg.analysis import critical_path_length
-        from repro.core.conditional import share_conditionally
-        pipe_budget = critical_path_length(graph, timing) \
-            + 2 * initiation_rate
-        sharing = share_conditionally(graph, timing, pipe_budget,
-                                      initiation_rate=initiation_rate)
-        share_groups = sharing.share_groups()
-    if opts.scheduler not in ("list", "postpone"):
-        raise SchedulingError(f"unknown scheduler {opts.scheduler!r}")
-    before = PERF.snapshot()
-    with PERF.phase("flow.connection_first"):
-        search_cls = SubBusConnectionSearch if opts.subbus_sharing \
-            else ConnectionSearch
-        search = search_cls(graph, partitioning, initiation_rate,
-                            branching_factor=opts.branching_factor,
-                            share_groups=share_groups,
-                            slot_reserve=opts.slot_reserve,
-                            budget=token)
-        interconnect, initial = search.run()
-        if opts.scheduler == "postpone":
-            from repro.scheduling.postpone import \
-                schedule_with_postponement
-
-            last_allocator = []
-
-            def hooks_factory():
-                allocator = BusAllocator(graph, interconnect,
-                                         initial.copy(), initiation_rate,
-                                         reassignment=opts.reassignment)
-                last_allocator.append(allocator)
-                return allocator
-
-            schedule = schedule_with_postponement(
-                graph, timing, initiation_rate, resources,
-                hooks_factory=hooks_factory, budget=token)
-            allocator = last_allocator[-1]
-        else:
-            allocator = BusAllocator(graph, interconnect, initial,
-                                     initiation_rate,
-                                     reassignment=opts.reassignment)
-            schedule = ListScheduler(graph, timing, initiation_rate,
-                                     resources, io_hooks=allocator,
-                                     budget=token).run()
-    result = SynthesisResult(
-        graph=graph,
-        partitioning=partitioning,
-        initiation_rate=initiation_rate,
-        schedule=schedule,
-        resources=resources,
-        interconnect=interconnect,
-        assignment=allocator.final_assignment(),
-        stats=_normalized_stats(before,
-                                initial_assignment=initial),
-        diagnostics=diag,
-    )
-    return result.require_valid()
-
-
-def _run_schedule_first(graph: Cdfg, partitioning: Partitioning,
-                        timing: DesignTiming, initiation_rate: int,
-                        pipe_length: int,
-                        opts: SynthesisOptions,
-                        token: Optional[BudgetToken],
-                        diag: Diagnostics) -> SynthesisResult:
-    """Chapter 5 flow body (budget- and diagnostics-aware)."""
-    validate_cdfg(graph, require_partitions=False)
-    bidirectional = opts.bidirectional
-    if bidirectional is None:
-        bidirectional = partitioning.any_bidirectional()
-    before = PERF.snapshot()
-    with PERF.phase("flow.schedule_first"):
-        scheduler = ForceDirectedScheduler(graph, timing,
-                                           initiation_rate, pipe_length,
-                                           budget=token)
-        schedule = scheduler.run()
-        connector = PostScheduleConnector(graph, schedule,
-                                          partitioning=None,
-                                          bidirectional=bidirectional)
-        interconnect, assignment = connector.run()
-    resources = measured_resources(schedule)
-    result = SynthesisResult(
-        graph=graph,
-        partitioning=partitioning,
-        initiation_rate=initiation_rate,
-        schedule=schedule,
-        resources=resources,
-        interconnect=interconnect,
-        assignment=assignment,
-        stats=_normalized_stats(before),
-        diagnostics=diag,
-    )
-    problems = result.verify()
-    # The Chapter 5 flow minimizes pins rather than respecting a fixed
-    # budget; report overruns through stats instead of failing.
-    hard = [p for p in problems if "budget" not in p]
-    if hard:
-        raise SchedulingError(
-            "schedule-first synthesis failed verification:\n  "
-            + "\n  ".join(hard))
-    overruns = [p for p in problems if "budget" in p]
-    result.stats["budget_overruns"] = overruns
-    if overruns:
-        diag.record("schedule_first", "pin_budget_overruns",
-                    count=len(overruns))
-    return result
+def _run_flow(flow: str, graph: Cdfg, partitioning: Partitioning,
+              timing: DesignTiming, initiation_rate: int,
+              opts: SynthesisOptions,
+              token: Optional[BudgetToken],
+              diag: Diagnostics, *,
+              warm_basis=None,
+              check: bool = False,
+              strict_verify: bool = False,
+              pipe_length: Optional[int] = None) -> SynthesisResult:
+    """Run one registered flow's pass list (see
+    :mod:`repro.pipeline.registry`) over a fresh context."""
+    # Imported here, not at module top: the registry's pass modules
+    # import the solver layers this module sits below.
+    from repro.pipeline.context import FlowContext
+    from repro.pipeline.registry import run_flow
+    ctx = FlowContext(graph=graph, partitioning=partitioning,
+                      timing=timing, initiation_rate=initiation_rate,
+                      options=opts, token=token, diag=diag,
+                      warm_basis=warm_basis, check=check,
+                      strict_verify=strict_verify,
+                      pipe_length=pipe_length)
+    return run_flow(flow, ctx)
 
 
 # ---------------------------------------------------------------------
@@ -418,9 +242,9 @@ def synthesize_simple(graph: Cdfg,
     """Chapter 3 flow for designs with a simple partitioning."""
     opts = SynthesisOptions(flow="simple", resources=resources,
                             pin_method=pin_method)
-    return _run_simple(graph, partitioning, timing, initiation_rate,
-                       opts, as_token(budget), Diagnostics(),
-                       warm_basis=warm_basis)
+    return _run_flow("simple", graph, partitioning, timing,
+                     initiation_rate, opts, as_token(budget),
+                     Diagnostics(), warm_basis=warm_basis)
 
 
 def synthesize_connection_first(graph: Cdfg,
@@ -456,9 +280,9 @@ def synthesize_connection_first(graph: Cdfg,
                             slot_reserve=slot_reserve,
                             conditional_sharing=conditional_sharing,
                             scheduler=scheduler)
-    return _run_connection_first(graph, partitioning, timing,
-                                 initiation_rate, opts,
-                                 as_token(budget), Diagnostics())
+    return _run_flow("connection-first", graph, partitioning, timing,
+                     initiation_rate, opts, as_token(budget),
+                     Diagnostics())
 
 
 def synthesize_schedule_first(graph: Cdfg,
@@ -473,9 +297,9 @@ def synthesize_schedule_first(graph: Cdfg,
     opts = SynthesisOptions(flow="schedule-first",
                             pipe_length=pipe_length,
                             bidirectional=bidirectional)
-    return _run_schedule_first(graph, partitioning, timing,
-                               initiation_rate, pipe_length, opts,
-                               as_token(budget), Diagnostics())
+    return _run_flow("schedule-first", graph, partitioning, timing,
+                     initiation_rate, opts, as_token(budget),
+                     Diagnostics(), pipe_length=pipe_length)
 
 
 # ---------------------------------------------------------------------
@@ -522,18 +346,13 @@ def synthesize(graph: Cdfg,
     token = as_token(budget)
     diag = Diagnostics()
     try:
-        result = _dispatch(graph, partitioning, timing,
-                           initiation_rate, options, token, diag,
-                           warm_basis=pin_warm_basis)
+        return _dispatch(graph, partitioning, timing,
+                         initiation_rate, options, token, diag,
+                         warm_basis=pin_warm_basis, check=check)
     except BudgetExhausted as exc:
         if exc.diagnostics is None:
             exc.diagnostics = diag
         raise
-    if check:
-        # Imported here: repro.check is a layer above the flows.
-        from repro.check.rules import check_result
-        check_result(result).raise_if_violations()
-    return result
 
 
 def _dispatch(graph: Cdfg, partitioning: Partitioning,
@@ -541,7 +360,8 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
               options: SynthesisOptions,
               token: Optional[BudgetToken],
               diag: Diagnostics,
-              warm_basis=None) -> SynthesisResult:
+              warm_basis=None,
+              check: bool = False) -> SynthesisResult:
     chosen = options.flow
     auto = chosen == "auto"
     if auto:
@@ -556,10 +376,10 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
 
     if chosen == "simple":
         try:
-            return _run_simple(graph, partitioning, timing,
-                               initiation_rate, options,
-                               token.child() if token else None, diag,
-                               warm_basis=warm_basis)
+            return _run_flow("simple", graph, partitioning, timing,
+                             initiation_rate, options,
+                             token.child() if token else None, diag,
+                             warm_basis=warm_basis, check=check)
         except BudgetExhausted as exc:
             # Auto-dispatch may retreat to the general flow (and its
             # own fallback chain); an explicit flow="simple" must not.
@@ -569,11 +389,9 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
             diag.record_fallback("flow", frm="simple",
                                  to="connection-first")
     if chosen == "schedule-first":
-        pipe = options.pipe_length or _default_pipe_length(
-            graph, timing, initiation_rate)
-        return _run_schedule_first(graph, partitioning, timing,
-                                   initiation_rate, pipe, options,
-                                   token, diag)
+        return _run_flow("schedule-first", graph, partitioning,
+                         timing, initiation_rate, options, token,
+                         diag, check=check)
 
     # connection-first, with the graceful-degradation chain when a
     # budget is in force (without one, BudgetExhausted cannot occur).
@@ -581,9 +399,9 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
         return token.child() if token is not None else None
 
     try:
-        return _run_connection_first(graph, partitioning, timing,
-                                     initiation_rate, options, child(),
-                                     diag)
+        return _run_flow("connection-first", graph, partitioning,
+                         timing, initiation_rate, options, child(),
+                         diag, check=check)
     except BudgetExhausted as exc:
         diag.record_exhaustion(exc)
         if options.branching_factor > 1:
@@ -593,19 +411,17 @@ def _dispatch(graph: Cdfg, partitioning: Partitioning,
                 to="connection-first(greedy)")
             greedy = replace(options, branching_factor=1)
             try:
-                return _run_connection_first(graph, partitioning, timing,
-                                             initiation_rate, greedy,
-                                             child(), diag)
+                return _run_flow("connection-first", graph,
+                                 partitioning, timing,
+                                 initiation_rate, greedy, child(),
+                                 diag, check=check)
             except BudgetExhausted as exc2:
                 diag.record_exhaustion(exc2)
     diag.record_fallback("flow", frm="connection-first",
                          to="schedule-first")
-    pipe = options.pipe_length or _default_pipe_length(
-        graph, timing, initiation_rate)
-    result = _run_schedule_first(graph, partitioning, timing,
-                                 initiation_rate, pipe, options,
-                                 child(), diag)
     # A degraded answer must verify exactly like a full-effort one —
     # including pin budgets, which the standalone schedule-first flow
-    # merely reports on.
-    return result.require_valid()
+    # merely reports on (strict_verify).
+    return _run_flow("schedule-first", graph, partitioning, timing,
+                     initiation_rate, options, child(), diag,
+                     check=check, strict_verify=True)

@@ -188,27 +188,12 @@ class Interconnect:
         return out_used, in_used
 
     def check_budget(self, partitioning: Partitioning) -> List[str]:
-        problems = []
-        for index in partitioning.indices():
-            used = self.pins_used(index)
-            budget = partitioning.total_pins(index)
-            if used > budget:
-                problems.append(
-                    f"partition {index} uses {used} pins "
-                    f"(> budget {budget})")
-            spec = partitioning.chip(index)
-            if spec.split_fixed:
-                out_used, in_used = self.pins_used_split(index)
-                if out_used > spec.output_pins:
-                    problems.append(
-                        f"partition {index} uses {out_used} output "
-                        f"pins (> output-pin budget "
-                        f"{spec.output_pins})")
-                if in_used > spec.input_pins:
-                    problems.append(
-                        f"partition {index} uses {in_used} input "
-                        f"pins (> input-pin budget {spec.input_pins})")
-        return problems
+        """Pin-budget violation report (delegated to the unified
+        :class:`repro.pipeline.resource_table.PinLedger`, whose
+        message strings are the stable contract here)."""
+        # Imported here: the pipeline layer sits above the bus model.
+        from repro.pipeline.resource_table import PinLedger
+        return PinLedger.from_interconnect(self, partitioning).violations()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Interconnect({len(self.buses)} buses)"

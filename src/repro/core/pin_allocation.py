@@ -165,6 +165,10 @@ def _usage_from_assignment(ios, values_map, partitioning: Partitioning,
                     for k in range(L))
         return in_use, out_use
 
+    # The per-chip 3-slot encoding lives with the unified pin
+    # accounting so the ILP rows and the witness vectors can't drift.
+    from repro.pipeline.resource_table import usage_row
+
     out: List[int] = []
     for index in partitioning.indices():
         spec = partitioning.chip(index)
@@ -172,14 +176,7 @@ def _usage_from_assignment(ios, values_map, partitioning: Partitioning,
             in_use, out_use = world_usage()
         else:
             in_use, out_use = chip_usage(index)
-        if spec.split_fixed:
-            # The split-fixed rows bound each side separately and never
-            # reference total_pins.
-            out.extend([0, in_use, out_use])
-        else:
-            # Pooled pins: feasible iff in + out <= total (the ``o``
-            # split variable absorbs the rest).
-            out.extend([in_use + out_use, -1, -1])
+        out.extend(usage_row(spec, in_use, out_use))
     return tuple(out)
 
 

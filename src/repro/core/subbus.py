@@ -211,9 +211,7 @@ class SubBusConnectionSearch(ConnectionSearch):
             "out": dict(state.out_w), "in": dict(state.in_w),
             "bi": dict(state.bi_w),
             "had_value": self.value_key(node) in state.values,
-            "pins": dict(self._pins_used),
-            "pins_out": dict(self._pins_out),
-            "pins_in": dict(self._pins_in),
+            "pins": self.pins.snapshot(),
             "segments": (list(self._segments[state.index])
                          if state.index in self._segments else None),
             "op_segment": dict(self._op_segment.get(state.index, {})),
@@ -251,9 +249,7 @@ class SubBusConnectionSearch(ConnectionSearch):
         state.out_w = record["out"]
         state.in_w = record["in"]
         state.bi_w = record["bi"]
-        self._pins_used = record["pins"]
-        self._pins_out = record["pins_out"]
-        self._pins_in = record["pins_in"]
+        self.pins.restore(record["pins"])
         if record["segments"] is None:
             self._segments.pop(state.index, None)
         else:

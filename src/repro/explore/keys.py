@@ -30,7 +30,7 @@ from repro.io_json import (canonical_dumps, graph_to_dict,
 #: cache entries.  ``auto`` keeps every field (its dispatch outcome
 #: depends on the design, so nothing is provably irrelevant).
 _FLOW_FIELDS = {
-    "simple": ("pin_method",),
+    "simple": ("pin_method", "scheduler"),
     "connection-first": ("branching_factor", "reassignment",
                          "subbus_sharing", "share_groups",
                          "slot_reserve", "conditional_sharing",
@@ -40,8 +40,15 @@ _FLOW_FIELDS = {
 
 
 def options_fingerprint(options: SynthesisOptions) -> Dict[str, Any]:
-    """The flow-relevant subset of the options, as plain data."""
+    """The flow-relevant subset of the options, as plain data.
+
+    Scheduler spellings are canonicalized against the backend registry
+    first, so a point swept under a deprecated alias shares its cache
+    entry with the canonical name.
+    """
+    from repro.pipeline.registry import resolve_scheduler
     data = options.to_dict()
+    data["scheduler"] = resolve_scheduler(data["scheduler"])
     fields = _FLOW_FIELDS.get(options.flow)
     if fields is None:
         return data

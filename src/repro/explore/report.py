@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 from repro.explore.executor import COMPLETED_STATUSES, ExploreResult
 from repro.explore.pareto import OBJECTIVES, front_summary
 from repro.explore.spec import SweepSpec
+from repro.io_json import SCHEMA_VERSION
 
 REPORT_SCHEMA = "repro-explore-report/1"
 
@@ -44,6 +45,7 @@ def build_report(design: str, spec: SweepSpec,
     seconds = result.wall_ms / 1000.0
     return {
         "schema": REPORT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "design": design,
         "workers": result.workers,
         "spec": spec.to_dict(),

@@ -23,7 +23,10 @@ Recognized axes
 ``subbus_sharing``    Chapter 6 sub-bus segments on/off;
 ``slot_reserve``      bus slots held back during connection synthesis;
 ``branching_factor``  connection-search beam width;
-``scheduler``         ``list`` / ``postpone``;
+``scheduler``         any registered backend name (``list`` / ``heap``
+                      / ``postpone`` / ``modulo`` plus third-party
+                      registrations — see
+                      :func:`repro.pipeline.scheduler_names`);
 ``pipe_length``       schedule-first pipe budget;
 ``auto_partition``    ``{"n_chips": k, "seed": s, ["pins": p,
                       "world_pins": w]}`` — run the

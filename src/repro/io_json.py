@@ -20,9 +20,35 @@ from repro.robustness.diagnostics import Diagnostics
 
 FORMAT_VERSION = 1
 
+#: Version of the machine-readable payload *schemas* (synthesize
+#: result archives and ``--json`` output, explore reports, service
+#: responses).  Producers stamp it as ``schema_version``; consumers
+#: tolerate its absence (payloads written before versioning) and
+#: reject versions newer than they understand.
+SCHEMA_VERSION = 1
+
 
 class FormatError(ReproError):
     """Malformed or incompatible JSON input."""
+
+
+def check_schema_version(data: Dict[str, Any], what: str) -> None:
+    """Validate a payload's optional ``schema_version`` stamp.
+
+    Missing means the pre-versioning form of the same schema — always
+    accepted.  A newer version than this build understands is refused
+    with a clear error instead of a downstream KeyError.
+    """
+    version = data.get("schema_version")
+    if version is None:
+        return
+    if not isinstance(version, int) or version < 1:
+        raise FormatError(
+            f"{what} has malformed schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise FormatError(
+            f"{what} uses schema_version {version}, newer than the "
+            f"supported {SCHEMA_VERSION}; upgrade the tool to read it")
 
 
 def canonical_dumps(data: Any) -> str:
@@ -203,6 +229,7 @@ def result_to_dict(result) -> Dict[str, Any]:
     """Serialize a SynthesisResult (schedule, structure, stats, trail)."""
     out: Dict[str, Any] = {
         "version": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "initiation_rate": result.initiation_rate,
         "graph": graph_to_dict(result.graph),
         "partitioning": partitioning_to_dict(result.partitioning),
@@ -240,6 +267,7 @@ def result_from_dict(data: Dict[str, Any], timing) -> "object":
     if data.get("version") != FORMAT_VERSION:
         raise FormatError(
             f"unsupported result format version {data.get('version')!r}")
+    check_schema_version(data, "result archive")
     for key in ("graph", "partitioning", "schedule", "initiation_rate"):
         if key not in data:
             raise FormatError(f"result archive needs {key!r}")

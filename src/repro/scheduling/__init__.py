@@ -11,6 +11,11 @@ transfer must land in the same control step.
   recursive-edge deadline checks.
 * :mod:`repro.scheduling.fds` — force-directed scheduling (Chapter 5)
   minimizing resource concurrency under a pipe-length constraint.
+* :mod:`repro.scheduling.heap_list` — heap-driven priority list
+  scheduling (the ``heap`` backend).
+* :mod:`repro.scheduling.modulo` — pipeline/modulo scheduling at
+  ``II = L`` with MII fail-fast and list-scheduler legalization (the
+  ``modulo`` backend).
 """
 
 from repro.scheduling.base import Schedule, ResourcePool, measured_resources
@@ -26,6 +31,8 @@ from repro.scheduling.list_scheduler import (
 )
 from repro.scheduling.postpone import schedule_with_postponement
 from repro.scheduling.fds import ForceDirectedScheduler
+from repro.scheduling.heap_list import HeapListScheduler
+from repro.scheduling.modulo import ModuloScheduler, resource_mii
 
 __all__ = [
     "Schedule",
@@ -39,4 +46,7 @@ __all__ = [
     "DeadlineMissed",
     "schedule_with_postponement",
     "ForceDirectedScheduler",
+    "HeapListScheduler",
+    "ModuloScheduler",
+    "resource_mii",
 ]

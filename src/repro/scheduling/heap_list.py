@@ -1,0 +1,138 @@
+"""Heap-driven priority list scheduling.
+
+A variant of :class:`repro.scheduling.list_scheduler.ListScheduler`
+that replaces the per-step re-sort of the ready list with a single
+priority heap over *all* released operations, keyed
+
+    ``(candidate step, deadline, -criticality, name)``
+
+in the style of event-driven HLS list schedulers.  An operation enters
+the heap the moment its last (non-recursive, non-free) predecessor is
+scheduled, with its data-ready step as the candidate; a failed
+placement re-enters one step later.  Because a successor's candidate
+step is never below the step its producers were placed in, pops leave
+the heap in nondecreasing step order — which is exactly the contract
+the stateful :class:`IoHooks` (pin checker, bus allocator) rely on for
+their commits.
+
+Placement feasibility (chaining windows, recursion deadlines, I/O
+hooks, allocation-wheel safety) is inherited unchanged from the base
+class; only the *order* in which candidates are tried differs.  The
+heap never rescans unready work, so steps with nothing eligible cost
+nothing — on wide designs the heap backend visits far fewer
+(operation, step) pairs than the per-step rescan.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Set, Tuple
+
+from repro.cdfg.analysis import _EPS
+from repro.errors import SchedulingError
+from repro.scheduling.base import ResourcePool, Schedule
+from repro.scheduling.list_scheduler import ListScheduler
+
+
+class HeapListScheduler(ListScheduler):
+    """One-shot scheduler; construct, then call :meth:`run`."""
+
+    # ------------------------------------------------------------------
+    def _effective_preds(self, name: str) -> Set[str]:
+        """Non-free predecessors reached through free nodes.
+
+        Free nodes (constants, split/merge) are never scheduled; a
+        node is released when every *effective* predecessor — the
+        non-free frontier behind any free chain — is scheduled.
+        """
+        out: Set[str] = set()
+        for edge in self.graph.in_edges(name):
+            if edge.is_recursive():
+                continue
+            src = self.graph.node(edge.src)
+            if src.is_free():
+                out |= self._effective_preds(edge.src)
+            else:
+                out.add(edge.src)
+        return out
+
+    def _candidate_step(self, name: str, schedule: Schedule) -> int:
+        """Earliest step worth trying: data-ready step, floor-aligned,
+        clamped by any caller-imposed ``min_steps``."""
+        period = self.timing.clock_period
+        ready = self._data_ready_ns(name, schedule)
+        step = int(math.floor(ready / period + _EPS))
+        return max(step, self.min_steps.get(name, 0))
+
+    # ------------------------------------------------------------------
+    def run(self) -> Schedule:
+        graph = self.graph
+        schedule = Schedule(graph, self.timing, self.L)
+        pool = ResourcePool(self.resources, self.timing, self.L)
+
+        remaining_by_type: Dict[Tuple[int, str], int] = {}
+        for node in graph.functional_nodes():
+            key = (node.partition, node.op_type)
+            remaining_by_type[key] = remaining_by_type.get(key, 0) + 1
+
+        pending: Set[str] = {n.name for n in graph.nodes()
+                             if not n.is_free()}
+        preds: Dict[str, Set[str]] = {
+            name: self._effective_preds(name) for name in pending}
+        succs: Dict[str, List[str]] = {name: [] for name in pending}
+        for name in pending:
+            for pred in preds[name]:
+                succs.setdefault(pred, []).append(name)
+
+        heap: List[Tuple[int, float, float, str]] = []
+        for name in sorted(pending):
+            if not preds[name]:
+                heapq.heappush(heap, (self._candidate_step(
+                    name, schedule), self._deadline[name],
+                    -self._priority[name], name))
+
+        total_ops = len(pending)
+        current_step = 0
+        while heap:
+            step, deadline, neg_priority, name = heapq.heappop(heap)
+            if step > self.max_steps:
+                raise SchedulingError(
+                    f"could not schedule within {self.max_steps} "
+                    f"steps; {len(pending)} operations left "
+                    f"(e.g. {sorted(pending)[:4]})")
+            # Crossing into a later step finalizes every earlier one:
+            # account the budget and fail fast on missed recursion
+            # deadlines, exactly as the per-step scheduler does.
+            while current_step < step:
+                self._check_recursive_deadlines(pending, schedule,
+                                                current_step)
+                current_step += 1
+                if self.budget is not None:
+                    self.budget.note_incumbent(
+                        solver="list_scheduler", step=current_step,
+                        scheduled=total_ops - len(pending),
+                        total=total_ops)
+                    self.budget.tick("list_scheduler")
+            node = graph.node(name)
+            if self._try_place(node, step, schedule, pool,
+                               remaining_by_type):
+                pending.discard(name)
+                for succ in succs.get(name, ()):
+                    preds[succ].discard(name)
+                    if not preds[succ] and succ in pending:
+                        heapq.heappush(heap, (
+                            max(self._candidate_step(succ, schedule),
+                                current_step),
+                            self._deadline[succ],
+                            -self._priority[succ], succ))
+            else:
+                heapq.heappush(heap, (step + 1, deadline,
+                                      neg_priority, name))
+        self._check_recursive_deadlines(pending, schedule, current_step)
+        if pending:
+            raise SchedulingError(
+                f"heap list scheduler left {len(pending)} operations "
+                f"unreleased (dependency cycle through "
+                f"{sorted(pending)[:4]})")
+        return schedule

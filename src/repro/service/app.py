@@ -38,6 +38,7 @@ from repro.errors import ReproError
 from repro.explore.cache import ResultCache
 from repro.explore.pareto import OBJECTIVES, pareto_front
 from repro.explore.spec import SweepJob, SweepSpec
+from repro.io_json import SCHEMA_VERSION
 from repro.perf import PERF, PerfRegistry
 from repro.robustness.budget import carve_deadline_ms
 from repro.service import catalog
@@ -266,6 +267,7 @@ def job_response(job: Job) -> Dict[str, Any]:
     """The schema-governed JSON object for a job's current state."""
     out: Dict[str, Any] = {
         "schema": RESPONSE_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
         "job_id": job.id,
         "kind": job.kind,
         "status": job.status,

@@ -98,9 +98,22 @@ class ServiceClient:
                     payload.get("error",
                                 f"HTTP {response.status}"),
                     status=response.status, payload=payload)
+            self._check_schema(payload)
             return response.status, payload
         finally:
             conn.close()
+
+    @staticmethod
+    def _check_schema(payload: Dict[str, Any]) -> None:
+        """Tolerant response-version gate: unversioned payloads (from
+        servers predating ``schema_version``) pass unchanged; payloads
+        stamped with a newer version than this client understands fail
+        loudly instead of surfacing as missing keys later."""
+        from repro.io_json import FormatError, check_schema_version
+        try:
+            check_schema_version(payload, "service response")
+        except FormatError as exc:
+            raise ServiceError(str(exc), payload=payload) from None
 
     # ------------------------------------------------------------------
     def synthesize(self, design: Union[str, Mapping[str, Any]],
