@@ -105,6 +105,23 @@ def metrics_service(doc: Dict[str, Any]) -> List[Metric]:
     if "speedup" in service:
         out.append(Metric("service.speedup", "speedup",
                           service["speedup"]))
+    cluster = doc.get("cluster", {})
+    for label, run in sorted(cluster.get("scaling", {}).items()):
+        rps = run.get("requests_per_sec")
+        if rps is not None:
+            out.append(Metric(f"cluster.{label}.requests_per_sec",
+                              "rate", rps))
+    if "speedup" in cluster:
+        # Shard-count scaling is a same-run ratio, but both legs are
+        # sleep-paced storms, so it is wall-noise-sensitive enough to
+        # treat as a rate (skipped under --skip-wall).
+        out.append(Metric("cluster.scaling_speedup", "rate",
+                          cluster["speedup"]))
+    ratio = cluster.get("batching", {}).get("ratio")
+    if ratio is not None:
+        # Deterministic for a fixed workload: content-derived keys
+        # make the per-owner batch grouping reproducible.
+        out.append(Metric("cluster.batching.ratio", "speedup", ratio))
     return out
 
 

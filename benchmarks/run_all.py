@@ -1,6 +1,7 @@
 #!/usr/bin/env python
 """Solver benchmark runner — emits machine-readable ``BENCH_ilp.json``,
-``BENCH_explore.json``, and ``BENCH_service.json``.
+``BENCH_explore.json``, ``BENCH_schedulers.json``, and
+``BENCH_service.json`` (service + cluster sections).
 
 Runs the ILP-heavy synthesis flows plus a pin-allocation checker
 microbenchmark, recording wall time and the :mod:`repro.perf` counter
@@ -10,8 +11,10 @@ warm (second identical run), recording points/sec and the cache hit
 rate, then a synthesis-service storm (concurrent clients, repeated
 design points) against a live ``repro serve`` instance, recording the
 throughput gain coalescing buys over sequential ``synthesize()``
-calls.  The JSON lands at the repo root by default so successive PRs
-accumulate a perf trajectory that CI can archive.
+calls, then the cluster tier (shard-count scaling, batched
+admission, rolling drain) against in-process fleets.  The JSON lands
+at the repo root by default so successive PRs accumulate a perf
+trajectory that CI can archive.
 
 Usage::
 
@@ -397,6 +400,257 @@ def bench_service(smoke: bool, workers: int):
 
 
 # ---------------------------------------------------------------------
+class _SleepSolve:
+    """Synthetic job runner for the cluster scaling benchmark.
+
+    Sleeping instead of solving makes shard-count scaling measurable
+    on any machine: ``time.sleep`` releases the GIL, so N shards'
+    worker threads genuinely overlap even on one core, while a real
+    ILP solve would serialize on the interpreter lock and measure the
+    CPU, not the cluster.  The sleep length is recorded in the output
+    (``synthetic_solve_ms``) so nobody mistakes the req/s figures for
+    solver throughput; what IS real is every other hop — HTTP framing,
+    ring routing, batching, coalescing, and the shared-cache frames.
+    """
+
+    def __init__(self, solve_s: float) -> None:
+        import threading
+        self.solve_s = solve_s
+        self.keys = []
+        self._lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self._lock:
+            self.keys.append(payload.get("key", ""))
+        time.sleep(self.solve_s)
+        return {"status": "ok", "key": payload.get("key", ""),
+                "metrics": {"chips": 2, "buses": 3, "total_pins": 100,
+                            "latency": 6,
+                            "wall_ms": self.solve_s * 1000.0},
+                "stats": {}, "wall_ms": self.solve_s * 1000.0,
+                "diagnostics": {"degraded": False, "events": []}}
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return len(self.keys)
+
+
+def bench_cluster(smoke: bool):
+    """Shard-count scaling, batched admission, and rolling drain.
+
+    Spins a complete in-process cluster per shard count — one shared
+    cache server, N single-worker thread-pool shards mounting it
+    ``remote://``, one front tier — and storms it with a 50-request
+    mixed workload (20 distinct design points) from 16 client
+    threads.  Fleet-wide coalescing means each distinct point solves
+    exactly once no matter the shard count, so aggregate req/s scales
+    with how evenly the ring spreads the 20 keys.  Two more sections
+    exercise the admission batcher (distinct-rate requests folded into
+    per-owner sweeps) and a rolling drain (one shard stopped
+    mid-storm; the front's failover must lose zero requests).
+    """
+    import threading
+
+    from repro.cluster import (ClusterConfig, ShardAddress,
+                               ThreadedCacheServer, ThreadedFrontTier)
+    from repro.service import (ServiceClient, ServiceConfig,
+                               ShardIdentity, ThreadedServer)
+
+    solve_s = 0.15 if smoke else 0.3
+    designs = ["ar-simple", "ar-general", "ar-general-bidir",
+               "elliptic", "elliptic-bidir"]
+    rates = [3, 4, 5, 6]
+    keys = [(design, rate) for design in designs for rate in rates]
+    requests = (keys * 3)[:50]
+    client_threads = 16
+    shard_counts = [1, 2] if smoke else [1, 2, 4]
+
+    def build(n_shards, runner, batch_window_ms=0.0,
+              probe_interval_s=0.5):
+        cache = ThreadedCacheServer().start()
+        shards = []
+        for index in range(n_shards):
+            shard = ThreadedServer(ServiceConfig(
+                port=0, workers=1, pool_mode="thread",
+                cache_sync=False,
+                cache_path=f"remote://{cache.address}",
+                job_runner=runner,
+                shard=ShardIdentity(f"shard-{index}", index, n_shards)))
+            shard.start()
+            shards.append(shard)
+        front = ThreadedFrontTier(ClusterConfig(
+            shards=tuple(ShardAddress(f"shard-{i}", "127.0.0.1",
+                                      s.port)
+                         for i, s in enumerate(shards)),
+            port=0, cache_address=cache.address,
+            batch_window_ms=batch_window_ms,
+            probe_interval_s=probe_interval_s)).start()
+        return cache, shards, front
+
+    def teardown(cache, shards, front):
+        front.stop()
+        for shard in shards:
+            shard.stop()
+        cache.stop()
+
+    def storm(port, work, retries=0, failures=None, threads=None):
+        client = ServiceClient(port=port, timeout_s=120.0,
+                               retries=retries)
+        lock = threading.Lock()
+        statuses = {}
+
+        def pump():
+            while True:
+                with lock:
+                    if not work:
+                        return
+                    design, rate = work.pop()
+                try:
+                    response = client.synthesize(
+                        design, rate=rate, timeout_ms=60000)
+                    outcome = response["status"]
+                except Exception as exc:
+                    outcome = f"lost:{type(exc).__name__}"
+                    if failures is not None:
+                        failures.append(exc)
+                with lock:
+                    statuses[outcome] = statuses.get(outcome, 0) + 1
+
+        pumps = [threading.Thread(target=pump)
+                 for _ in range(threads or client_threads)]
+        start = time.perf_counter()
+        for thread in pumps:
+            thread.start()
+        for thread in pumps:
+            thread.join()
+        return time.perf_counter() - start, statuses
+
+    # -- shard-count scaling -------------------------------------------
+    scaling = {}
+    for n_shards in shard_counts:
+        runner = _SleepSolve(solve_s)
+        cache, shards, front = build(n_shards, runner)
+        try:
+            seconds, statuses = storm(front.port, list(requests))
+            counters = front.front.metrics.snapshot()["counters"]
+        finally:
+            teardown(cache, shards, front)
+        label = f"shards-{n_shards}"
+        scaling[label] = {
+            "shards": n_shards,
+            "seconds": round(seconds, 4),
+            "requests_per_sec": round(len(requests) / seconds, 2),
+            "statuses": statuses,
+            "executed": runner.calls,
+            "exactly_once": runner.calls <= len(keys),
+            "front_counters": counters,
+        }
+        print(f"  cluster[{label}]  {seconds:8.3f}s  "
+              f"{scaling[label]['requests_per_sec']:8.1f} req/s  "
+              f"executed={runner.calls}/{len(keys)} distinct")
+
+    base = scaling[f"shards-{shard_counts[0]}"]["requests_per_sec"]
+    peak_label = f"shards-{shard_counts[-1]}"
+    peak = scaling[peak_label]["requests_per_sec"]
+    speedup = round(peak / base, 2) if base else 0.0
+    print(f"  cluster scaling {speedup}x "
+          f"({peak_label} vs shards-{shard_counts[0]})")
+
+    # -- batched admission ---------------------------------------------
+    # One design, 8 distinct rates, all admitted inside one batching
+    # window (a barrier lines the clients up): the front folds them
+    # into one sweep per owner shard.  The keys are content-derived,
+    # so the per-owner grouping — and with it the batched/requests
+    # ratio — is deterministic for a fixed shard count.
+    runner = _SleepSolve(0.05)
+    cache, shards, front = build(2, runner, batch_window_ms=120.0)
+    try:
+        client = ServiceClient(port=front.port, timeout_s=120.0)
+        barrier = threading.Barrier(8)
+        outcomes = []
+        lock = threading.Lock()
+
+        def batched_call(rate):
+            barrier.wait()
+            response = client.synthesize("ar-general", rate=rate,
+                                         timeout_ms=60000)
+            with lock:
+                outcomes.append(response["status"])
+
+        callers = [threading.Thread(target=batched_call, args=(rate,))
+                   for rate in range(2, 10)]
+        for thread in callers:
+            thread.start()
+        for thread in callers:
+            thread.join()
+        counters = front.front.metrics.snapshot()["counters"]
+    finally:
+        teardown(cache, shards, front)
+    batching = {
+        "requests": len(callers),
+        "batched": counters.get("batched", 0),
+        "batch_windows": counters.get("batch_windows", 0),
+        "ratio": round(counters.get("batched", 0) / len(callers), 4),
+        "statuses": {s: outcomes.count(s) for s in set(outcomes)},
+    }
+    print(f"  cluster[batching]  batched={batching['batched']}"
+          f"/{batching['requests']}  "
+          f"windows={batching['batch_windows']}  "
+          f"ratio={batching['ratio']}")
+
+    # -- rolling drain -------------------------------------------------
+    # Stop one of two shards mid-storm.  The front's failover re-aims
+    # that shard's keys at the survivor; with client retries as a
+    # backstop for any 503 caught in the closing door, zero requests
+    # may be lost.
+    # A slow prober forces the REACTIVE path: the front discovers the
+    # dead shard by tripping over it mid-request, not by probing.
+    runner = _SleepSolve(0.15)
+    cache, shards, front = build(2, runner, probe_interval_s=60.0)
+    try:
+        failures = []
+        work = list((keys * 2)[:40])
+        stopper = threading.Timer(0.4, shards[0].stop)
+        stopper.start()
+        # Only 4 pumps, so the tail of the storm arrives after the
+        # shard dies and must be re-routed, not just drained.
+        seconds, statuses = storm(front.port, work, retries=5,
+                                  failures=failures, threads=4)
+        stopper.join()
+        counters = front.front.metrics.snapshot()["counters"]
+    finally:
+        teardown(cache, shards, front)
+    lost = sum(count for status, count in statuses.items()
+               if status.startswith("lost:"))
+    drain = {
+        "requests": 40,
+        "seconds": round(seconds, 4),
+        "statuses": statuses,
+        "lost": lost,
+        "failovers": counters.get("failovers", 0),
+    }
+    print(f"  cluster[rolling-drain]  {seconds:8.3f}s  lost={lost}  "
+          f"failovers={drain['failovers']}")
+
+    return {
+        "workload": {
+            "requests": len(requests),
+            "distinct_jobs": len(keys),
+            "designs": designs,
+            "rates": rates,
+            "client_threads": client_threads,
+            "workers_per_shard": 1,
+            "synthetic_solve_ms": solve_s * 1000.0,
+        },
+        "scaling": scaling,
+        "speedup": speedup,
+        "batching": batching,
+        "rolling_drain": drain,
+    }
+
+
+# ---------------------------------------------------------------------
 def run(benches, cross_check: bool):
     results = {}
     for fn in benches:
@@ -512,6 +766,9 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "service": bench_service(args.smoke, args.service_workers),
         }
+        print("running cluster benchmark "
+              "(shard scaling + batching + drain) ...")
+        service_doc["cluster"] = bench_cluster(args.smoke)
         with open(args.service_out, "w", encoding="utf-8") as fh:
             json.dump(service_doc, fh, indent=2, sort_keys=True)
             fh.write("\n")

@@ -14,7 +14,14 @@ Commands
 ``serve``       run the long-running synthesis service: an asyncio
                 HTTP job server with request coalescing, a warm worker
                 pool, deadline-aware load shedding, and a graceful
-                SIGTERM drain;
+                SIGTERM drain (``--shard-*`` flags seat it on a
+                cluster ring);
+``cluster``     supervise a local multi-shard cluster: a shared
+                result-cache server, N ring-sharded ``serve``
+                processes, and a routing front tier with batched
+                admission and fleet-wide exactly-once coalescing;
+``cache-server``run the cluster's shared result-cache server
+                standalone;
 ``check``       synthesize and run the unified design-rule checker
                 (optionally the cross-flow differential oracle) on the
                 result, printing structured violations;
@@ -213,8 +220,9 @@ def _bool_axis(text: str):
 def cmd_explore(args) -> int:
     """Sweep the design space and emit a Pareto report."""
     from repro.designs import elliptic_resources
-    from repro.explore import (DesignSpace, Executor, ResultCache,
-                               SweepSpec, build_report, write_report)
+    from repro.explore import (DesignSpace, Executor, SweepSpec,
+                               build_report, write_report)
+    from repro.explore.cache import open_result_cache
 
     rates = _csv(args.rates, int)
     if not rates:
@@ -244,7 +252,7 @@ def cmd_explore(args) -> int:
         axes["scheduler"] = _csv(args.schedulers, str)
     spec = SweepSpec(axes=axes)
 
-    cache = ResultCache(args.cache)
+    cache = open_result_cache(args.cache)
     oracle = None
     if args.warm or args.oracle_cache:
         from repro.core.oracle_store import OracleStore
@@ -301,15 +309,41 @@ def cmd_explore(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the long-running synthesis service until SIGTERM/SIGINT."""
-    from repro.service import ServiceConfig, serve
+    from repro.service import ServiceConfig, ShardIdentity, serve
+    shard = None
+    if args.shard_count > 0:
+        shard = ShardIdentity(
+            name=args.shard_name or f"shard-{args.shard_index}",
+            index=args.shard_index, count=args.shard_count)
     config = ServiceConfig(host=args.host, port=args.port,
                            workers=args.workers,
                            max_queue=args.max_queue,
                            cache_path=args.cache,
                            oracle_path=args.oracle_cache,
                            default_timeout_ms=args.timeout_ms,
-                           pool_mode=args.pool)
+                           pool_mode=args.pool,
+                           shard=shard)
     return serve(config)
+
+
+def cmd_cache_server(args) -> int:
+    """Run the cluster's shared result-cache server."""
+    from repro.cluster import serve_cache
+    return serve_cache(args.path, host=args.host, port=args.port,
+                       sync=not args.no_sync)
+
+
+def cmd_cluster(args) -> int:
+    """Supervise a local cluster: cache server + shards + front."""
+    from repro.cluster import serve_cluster
+    return serve_cluster(shards=args.shards, host=args.host,
+                         port=args.port,
+                         workers_per_shard=args.workers_per_shard,
+                         max_queue=args.max_queue, pool=args.pool,
+                         timeout_ms=args.timeout_ms,
+                         cache_path=args.cache,
+                         oracle_path=args.oracle_cache,
+                         batch_window_ms=args.batch_window_ms)
 
 
 def cmd_check(args) -> int:
@@ -516,8 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="global sweep deadline, carved into "
                             "per-point solve budgets")
     p_exp.add_argument("--cache", default=None,
-                       help="JSON-lines result cache file; solved "
-                            "points are skipped on re-runs")
+                       help="JSON-lines result cache file (or "
+                            "remote://host:port for a cluster cache "
+                            "server); solved points are skipped on "
+                            "re-runs")
     p_exp.add_argument("--no-prune", action="store_true",
                        help="disable cancellation of queued points "
                             "whose optimistic metrics are dominated")
@@ -609,7 +645,73 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the shared pin-oracle store as "
                             "JSONL at this path (workers inherit it "
                             "warm; deltas merge back on completion)")
+    p_srv.add_argument("--shard-name", default=None,
+                       help="this server's name on the cluster ring "
+                            "(default: shard-<index> when --shard-count "
+                            "is set)")
+    p_srv.add_argument("--shard-index", type=int, default=0,
+                       help="this server's seat index on the ring")
+    p_srv.add_argument("--shard-count", type=int, default=0,
+                       help="fleet size; 0 (default) runs standalone, "
+                            ">0 enables shard mode (readiness also "
+                            "requires a coherent ring seat)")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache-server",
+        help="run the cluster's shared result-cache server "
+             "(length-prefixed JSON over TCP, backed by the JSONL "
+             "result cache)")
+    p_cache.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_cache.add_argument("--port", type=int, default=8769,
+                         help="TCP port (default: 8769; 0 picks a "
+                              "free port)")
+    p_cache.add_argument("--path", default=None,
+                         help="JSONL cache file (default: in-memory, "
+                              "still shared across connected shards)")
+    p_cache.add_argument("--no-sync", action="store_true",
+                         help="skip fsync on appends (faster, less "
+                              "durable)")
+    p_cache.set_defaults(func=cmd_cache_server)
+
+    p_clu = sub.add_parser(
+        "cluster",
+        help="run a supervised local cluster: shared cache server, N "
+             "ring-sharded `serve` processes, and a routing front "
+             "tier with batched admission")
+    p_clu.add_argument("--shards", type=int, default=2,
+                       help="solver shard count (default: 2)")
+    p_clu.add_argument("--host", default="127.0.0.1",
+                       help="bind address for every tier "
+                            "(default: 127.0.0.1)")
+    p_clu.add_argument("--port", type=int, default=8770,
+                       help="front-tier TCP port (default: 8770; 0 "
+                            "picks a free port); shard and cache "
+                            "ports are always OS-assigned")
+    p_clu.add_argument("--workers-per-shard", type=int, default=1,
+                       help="warm worker processes per shard "
+                            "(default: 1)")
+    p_clu.add_argument("--max-queue", type=int, default=64,
+                       help="per-shard admission limit (default: 64)")
+    p_clu.add_argument("--pool", choices=["process", "thread"],
+                       default="process",
+                       help="per-shard worker pool mode "
+                            "(default: process)")
+    p_clu.add_argument("--timeout-ms", type=float, default=30000.0,
+                       help="default per-request deadline "
+                            "(default: 30000)")
+    p_clu.add_argument("--cache", default=None,
+                       help="JSONL file behind the shared cache "
+                            "server (default: in-memory)")
+    p_clu.add_argument("--oracle-cache", default=None,
+                       help="per-shard pin-oracle JSONL path prefix "
+                            "(each shard appends .<name>)")
+    p_clu.add_argument("--batch-window-ms", type=float, default=10.0,
+                       help="same-design requests arriving within "
+                            "this window fold into one sweep per "
+                            "owner shard; 0 disables (default: 10)")
+    p_clu.set_defaults(func=cmd_cluster)
     return parser
 
 

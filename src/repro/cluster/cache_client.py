@@ -1,0 +1,187 @@
+"""Client side of the shared-cache protocol, plus the read-through
+layer that makes a remote cache look like a local ResultCache.
+
+:class:`CacheClient` is a blocking framed-protocol client holding one
+persistent connection (re-dialed transparently after a drop), safe to
+share across threads behind its lock.
+
+:class:`ReadThroughCache` is what a solver shard actually mounts: it
+*is* a :class:`repro.explore.cache.ResultCache` (file-less), so the
+service and explorer use it unchanged — local in-memory index first,
+remote lookup on miss, writes propagated to both.  Remote failures
+degrade to local-only behavior and are counted, never raised: a shard
+must keep serving when the cache server restarts.
+"""
+
+from __future__ import annotations
+
+import copy
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.explore.cache import ResultCache
+from repro.io_json import SCHEMA_VERSION
+from repro.cluster.protocol import (ProtocolError, recv_frame,
+                                    send_frame)
+
+
+class CacheClientError(ReproError):
+    """Cache server unreachable or answered with an error."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``host:port`` -> (host, port), tolerating a ``remote://`` prefix."""
+    spec = address
+    if spec.startswith("remote://"):
+        spec = spec[len("remote://"):]
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"cache address must be host:port, got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ReproError(
+            f"cache address port must be an integer, "
+            f"got {address!r}") from None
+
+
+class CacheClient:
+    """One persistent framed-protocol connection, thread-safe."""
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: float = 5.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close()
+
+    def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response exchange; reconnects once on failure."""
+        request = dict(request)
+        request.setdefault("schema_version", SCHEMA_VERSION)
+        with self._lock:
+            response: Optional[Dict[str, Any]] = None
+            for attempt in (0, 1):
+                try:
+                    if self._sock is None:
+                        self._sock = socket.create_connection(
+                            (self.host, self.port),
+                            timeout=self.timeout_s)
+                    send_frame(self._sock, request)
+                    response = recv_frame(self._sock)
+                    if response is None:
+                        raise ProtocolError(
+                            "server closed the connection")
+                    break
+                except (OSError, ProtocolError) as exc:
+                    self._close()
+                    if attempt:
+                        raise CacheClientError(
+                            f"cache server at {self.host}:{self.port} "
+                            f"unreachable: {exc}") from None
+        assert response is not None
+        if not response.get("ok", False):
+            raise CacheClientError(
+                str(response.get("error", "cache server error")))
+        return response
+
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call({"op": "ping"})
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        response = self.call({"op": "get", "key": key})
+        return response.get("record") if response.get("found") else None
+
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        return bool(self.call({"op": "put", "key": key,
+                               "record": record}).get("stored"))
+
+    def compact(self) -> Dict[str, Any]:
+        return dict(self.call({"op": "compact"}).get("summary") or {})
+
+    def stats(self) -> Dict[str, Any]:
+        response = self.call({"op": "stats"})
+        return {"stats": response.get("stats") or {},
+                "server": response.get("server") or {}}
+
+
+# ---------------------------------------------------------------------
+class ReadThroughCache(ResultCache):
+    """A ResultCache whose misses fall through to the cache server."""
+
+    def __init__(self, address: str, timeout_s: float = 5.0) -> None:
+        super().__init__(path=None)
+        host, port = parse_address(address)
+        self.address = f"{host}:{port}"
+        self.client = CacheClient(host, port, timeout_s=timeout_s)
+        self.remote_hits = 0
+        self.remote_errors = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        record = self._index.get(key)
+        if record is None:
+            remote = self._remote_get(key)
+            if remote is not None:
+                with self._lock:
+                    self._index.setdefault(key, remote)
+                self.remote_hits += 1
+                record = remote
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return copy.deepcopy(record)
+
+    def _remote_get(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            record = self.client.get(key)
+        except (OSError, ReproError):
+            self.remote_errors += 1
+            return None
+        return record if isinstance(record, dict) else None
+
+    def put(self, key: str, record: Dict[str, Any]) -> bool:
+        stored = super().put(key, record)
+        if stored:
+            # Ship the same stripped form the local index keeps, so
+            # every shard's view of the record is byte-identical.
+            try:
+                self.client.put(key, self._index[key])
+            except (OSError, ReproError):
+                self.remote_errors += 1
+        return stored
+
+    def compact(self) -> Dict[str, Any]:
+        try:
+            return self.client.compact()
+        except (OSError, ReproError):
+            self.remote_errors += 1
+            return {"path": f"remote://{self.address}",
+                    "lines_before": 0, "entries": len(self._index),
+                    "removed": 0, "compacted": False}
+
+    def stats(self) -> Dict[str, Any]:
+        out = super().stats()
+        out["remote"] = {"address": self.address,
+                         "hits": self.remote_hits,
+                         "errors": self.remote_errors}
+        return out

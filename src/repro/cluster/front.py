@@ -1,0 +1,806 @@
+"""The cluster front tier: ring-routed proxy with batched admission.
+
+One front process owns the fleet's request routing:
+
+* **ring routing** — every ``/v1/synthesize`` request and every sweep
+  point is materialized through :mod:`repro.service.catalog` into a
+  content-addressed :class:`~repro.explore.spec.SweepJob`, and its key
+  is routed to the owner shard on the :class:`HashRing`.  Each shard's
+  in-process coalescing therefore composes to *fleet-wide* exactly-once
+  solving: two identical requests always land on the same shard, which
+  runs the solve once.
+* **failover** — a dead or draining owner is marked down and the key
+  re-routed on the reduced ring (only the down shard's keys move).
+  Re-sending after a connection drop is safe because jobs are
+  idempotent by content key: the retry coalesces or hits cache on
+  whichever shard owns the key now.  429s are *not* failed over — the
+  owner shed deliberately — but are relayed with the ``Retry-After``
+  header plus a ``redirect`` hint naming the owner, which
+  :class:`repro.service.ServiceClient` retries honor.
+* **batched admission** — synthesize requests for the same design
+  arriving within ``batch_window_ms`` are folded into one ``/v1/sweep``
+  per owner shard (one admission, one deadline carve, one warm-start
+  chain) instead of N independent jobs; each caller is answered from
+  its sweep point's child job.  Identical keys inside a window collapse
+  to one future before any shard sees them (``front_coalesced``).
+* **observability** — ``/metrics`` aggregates per-shard counters with
+  the front's own, and ``/cluster/ring`` reports ring shares and
+  shard health.
+
+Shard-proxied job ids are rewritten to ``<shard>.<job id>`` so
+``GET /v1/jobs/<id>`` on the front can route polls back to the shard
+that owns the job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.explore.pareto import OBJECTIVES, pareto_front
+from repro.explore.spec import SweepJob
+from repro.io_json import SCHEMA_VERSION, canonical_dumps
+from repro.service import catalog
+from repro.service.app import COMPLETED_STATUSES, Handled, job_response
+from repro.service.jobs import Job, JobStore
+from repro.service.metrics import ServiceMetrics
+from repro.cluster.cache_client import ReadThroughCache
+from repro.cluster.http import request_json
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+
+#: Front-tier counters (shard counters are aggregated separately).
+FRONT_COUNTERS = (
+    "requests",          # /v1/* requests received
+    "proxied",           # forwarded to a shard (non-error answer)
+    "batched",           # callers answered via a folded sweep
+    "batch_windows",     # batching windows opened
+    "front_coalesced",   # identical keys collapsed inside a window
+    "front_cache_hits",  # answered from the shared cache at tier 0
+    "failovers",         # re-routes after a dead/draining owner
+    "shard_errors",      # shard connections that failed outright
+    "shed_relayed",      # shard 429s relayed to the caller
+    "errors",            # front-level 5xx answers
+)
+
+
+class ShardDown(ReproError):
+    """A shard connection failed; the caller should fail over."""
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    name: str
+    host: str
+    port: int
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Frozen knobs for one front-tier instance."""
+
+    shards: Tuple[ShardAddress, ...]
+    host: str = "127.0.0.1"
+    port: int = 8770
+    replicas: int = DEFAULT_REPLICAS
+    #: ``host:port`` of the shared cache server; None disables the
+    #: front's own read-through tier (shards still share the cache).
+    cache_address: Optional[str] = None
+    #: Same-design synthesize requests arriving within this window are
+    #: folded into one sweep per owner shard; 0 disables batching.
+    batch_window_ms: float = 10.0
+    batch_limit: int = 32
+    default_timeout_ms: float = 30000.0
+    proxy_timeout_s: float = 300.0
+    probe_interval_s: float = 2.0
+    max_body_bytes: int = 8 << 20
+    retained_jobs: int = 1024
+
+
+class ShardState:
+    """Mutable health the front tracks per shard."""
+
+    def __init__(self, address: ShardAddress) -> None:
+        self.address = address
+        self.healthy: Optional[bool] = None   # None = never probed
+        self.draining = False
+        self.last_error: Optional[str] = None
+
+    @property
+    def up(self) -> bool:
+        return bool(self.healthy) and not self.draining
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"host": self.address.host, "port": self.address.port,
+                "healthy": bool(self.healthy),
+                "draining": self.draining,
+                "last_error": self.last_error}
+
+
+class _Batch:
+    """One open batching window for a (design, deadline) group."""
+
+    __slots__ = ("body", "deadline_ms", "points", "futures")
+
+    def __init__(self, body: Dict[str, Any],
+                 deadline_ms: Optional[float]) -> None:
+        self.body = body
+        self.deadline_ms = deadline_ms
+        self.points: Dict[str, SweepJob] = {}
+        self.futures: Dict[str, asyncio.Future] = {}
+
+
+def _error(status: int, message: str, **extra: Any) -> Handled:
+    payload: Dict[str, Any] = {"schema": "repro-service-error/1",
+                               "error": message}
+    payload.update(extra)
+    headers = ({"Retry-After": str(extra["retry_after_s"])}
+               if "retry_after_s" in extra else {})
+    return status, payload, headers
+
+
+# ---------------------------------------------------------------------
+class FrontTier:
+    """Routing, batching, and aggregation state for one cluster."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        if not config.shards:
+            raise ReproError("cluster needs at least one shard")
+        self.config = config
+        self.metrics = ServiceMetrics(names=FRONT_COUNTERS)
+        self.shards: Dict[str, ShardState] = {
+            a.name: ShardState(a) for a in config.shards}
+        if len(self.shards) != len(config.shards):
+            raise ReproError("duplicate shard names in cluster config")
+        self.ring = HashRing([a.name for a in config.shards],
+                             replicas=config.replicas)
+        self.cache = (ReadThroughCache(config.cache_address)
+                      if config.cache_address else None)
+        self.store = JobStore(config.retained_jobs)
+        self.batches: Dict[str, _Batch] = {}
+        self.draining = False
+        self._ring_cache: Dict[frozenset, HashRing] = {}
+        self._tasks: set = set()
+        self._prober: Optional[asyncio.Task] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        await self.probe_all()
+        self._prober = asyncio.get_running_loop().create_task(
+            self._probe_loop())
+
+    async def drain(self) -> None:
+        """Stop admitting, flush open windows, finish in-flight work."""
+        self.draining = True
+        if self._prober is not None:
+            self._prober.cancel()
+        for group_key in list(self.batches):
+            self._flush_now(group_key)
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)
+        if self.cache is not None:
+            self.cache.client.close()
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    # -- health probing ------------------------------------------------
+    async def probe(self, state: ShardState) -> bool:
+        try:
+            status, payload, _ = await request_json(
+                state.address.host, state.address.port, "GET",
+                "/healthz", timeout_s=5.0)
+        except (OSError, asyncio.TimeoutError) as exc:
+            state.healthy = False
+            state.last_error = str(exc)
+            return False
+        state.draining = payload.get("status") == "draining"
+        state.healthy = status == 200 and not state.draining
+        state.last_error = None if state.healthy else payload.get(
+            "status", f"HTTP {status}")
+        return state.up
+
+    async def probe_all(self) -> None:
+        await asyncio.gather(*(self.probe(s)
+                               for s in self.shards.values()))
+
+    async def _probe_loop(self) -> None:
+        # Background reinstatement: a shard marked down by a failed
+        # request comes back automatically once it answers /healthz
+        # again (rolling restarts need no front-tier restart).
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            await self.probe_all()
+
+    # -- ring routing --------------------------------------------------
+    def live_ring(self) -> HashRing:
+        down = frozenset(name for name, s in self.shards.items()
+                         if s.healthy is False or s.draining)
+        if not down:
+            return self.ring
+        cached = self._ring_cache.get(down)
+        if cached is None:
+            if len(down) >= len(self.shards):
+                raise ReproError("every shard is down or draining")
+            cached = self.ring.without(*down)
+            self._ring_cache[down] = cached
+        return cached
+
+    # -- shard RPC -----------------------------------------------------
+    async def call_shard(self, state: ShardState, method: str,
+                         path: str, body: Optional[Dict[str, Any]],
+                         timeout_s: Optional[float] = None
+                         ) -> Tuple[int, Dict[str, Any],
+                                    Dict[str, str]]:
+        try:
+            return await request_json(
+                state.address.host, state.address.port, method, path,
+                body, timeout_s or self.config.proxy_timeout_s)
+        except (OSError, asyncio.TimeoutError) as exc:
+            state.healthy = False
+            state.last_error = str(exc)
+            self.metrics.inc("shard_errors")
+            raise ShardDown(
+                f"shard {state.address.name} at {state.address.host}:"
+                f"{state.address.port} unreachable: {exc}") from None
+
+    def _proxy_timeout_s(self, deadline_ms: Optional[float]) -> float:
+        if deadline_ms is None:
+            return self.config.proxy_timeout_s
+        # The shard itself waits up to 2*deadline + slack; give the
+        # proxy hop headroom beyond that so the shard times out first.
+        return (2.0 * deadline_ms + 2000.0) / 1000.0 + 30.0
+
+    def _rewrite(self, payload: Dict[str, Any],
+                 shard_name: str) -> Dict[str, Any]:
+        out = dict(payload)
+        job_id = out.get("job_id")
+        if isinstance(job_id, str) and job_id:
+            out["job_id"] = f"{shard_name}.{job_id}"
+            if "location" in out:
+                out["location"] = f"/v1/jobs/{out['job_id']}"
+        points = out.get("points")
+        if isinstance(points, list):
+            rewritten = []
+            for point in points:
+                if isinstance(point, dict) and "job_id" in point:
+                    point = dict(point)
+                    point["job_id"] = f"{shard_name}.{point['job_id']}"
+                rewritten.append(point)
+            out["points"] = rewritten
+        out["shard"] = shard_name
+        return out
+
+    # -- single-point routing with failover ----------------------------
+    async def route_point(self, body: Dict[str, Any], point: SweepJob,
+                          deadline_ms: Optional[float]) -> Handled:
+        start = time.perf_counter()
+        tried: set = set()
+        while True:
+            try:
+                owner = self.live_ring().owner(point.key)
+            except ReproError as exc:
+                self.metrics.inc("errors")
+                return _error(503, str(exc), retry_after_s=1)
+            if owner in tried:
+                self.metrics.inc("errors")
+                return _error(503,
+                              f"every candidate shard failed for key "
+                              f"{point.key[:12]}...", retry_after_s=1)
+            state = self.shards[owner]
+            try:
+                status, payload, headers = await self.call_shard(
+                    state, "POST", "/v1/synthesize", body,
+                    self._proxy_timeout_s(deadline_ms))
+            except ShardDown:
+                tried.add(owner)
+                self.metrics.inc("failovers")
+                continue
+            if status == 503:
+                # Draining shard: take it off the ring and re-route.
+                state.draining = True
+                tried.add(owner)
+                self.metrics.inc("failovers")
+                continue
+            if status == 429:
+                # Deliberate shed by the owner — relay, don't reroute
+                # (another shard would break exactly-once ownership).
+                # The redirect hint lets retrying clients go straight
+                # to the owner.
+                self.metrics.inc("shed_relayed")
+                out = dict(payload)
+                out["redirect"] = {"host": state.address.host,
+                                   "port": state.address.port}
+                retry_after = headers.get("retry-after")
+                return status, out, (
+                    {"Retry-After": retry_after} if retry_after else {})
+            self.metrics.inc("proxied")
+            self.metrics.observe_job_ms(
+                (time.perf_counter() - start) * 1000.0)
+            return status, self._rewrite(payload, owner), {}
+
+    async def _cache_lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        if self.cache is None:
+            return None
+        # The read-through may do a blocking RPC on miss; keep it off
+        # the event loop.
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.cache.get, key)
+
+    # -- batched admission ---------------------------------------------
+    async def handle_synthesize(self, body: Dict[str, Any],
+                                point: SweepJob, wait: bool,
+                                deadline_ms: Optional[float]
+                                ) -> Handled:
+        record = await self._cache_lookup(point.key)
+        if record is not None:
+            self.metrics.inc("front_cache_hits")
+            job = Job(key=point.key, params=dict(point.params),
+                      cached=True)
+            job.finish(record)
+            self.store.add(job)
+            return 200, job_response(job), {}
+        if wait and self.config.batch_window_ms > 0 \
+                and not self.draining:
+            return await self._admit_batched(body, point, deadline_ms)
+        return await self.route_point(body, point, deadline_ms)
+
+    async def _admit_batched(self, body: Dict[str, Any],
+                             point: SweepJob,
+                             deadline_ms: Optional[float]) -> Handled:
+        loop = asyncio.get_running_loop()
+        group_key = canonical_dumps([body.get("design"), deadline_ms])
+        batch = self.batches.get(group_key)
+        if batch is None:
+            batch = _Batch(body, deadline_ms)
+            self.batches[group_key] = batch
+            self.metrics.inc("batch_windows")
+            self._spawn(self._window(group_key))
+        future = batch.futures.get(point.key)
+        if future is None:
+            future = loop.create_future()
+            batch.futures[point.key] = future
+            batch.points[point.key] = point
+            if len(batch.points) >= self.config.batch_limit:
+                self._flush_now(group_key)
+        else:
+            # Same content key inside the window: share the future —
+            # the shard never even sees a duplicate.
+            self.metrics.inc("front_coalesced")
+        return await future
+
+    async def _window(self, group_key: str) -> None:
+        await asyncio.sleep(self.config.batch_window_ms / 1000.0)
+        self._flush_now(group_key)
+
+    def _flush_now(self, group_key: str) -> None:
+        batch = self.batches.pop(group_key, None)
+        if batch is not None:
+            self._spawn(self._flush(batch))
+
+    async def _flush(self, batch: _Batch) -> None:
+        try:
+            groups: Dict[str, List[SweepJob]] = {}
+            for point in batch.points.values():
+                try:
+                    owner = self.live_ring().owner(point.key)
+                except ReproError:
+                    self._resolve(batch, point.key, _error(
+                        503, "every shard is down or draining",
+                        retry_after_s=1))
+                    continue
+                groups.setdefault(owner, []).append(point)
+            await asyncio.gather(*(
+                self._flush_group(batch, owner, points)
+                for owner, points in groups.items()))
+        except Exception as exc:  # never strand a caller
+            self.metrics.inc("errors")
+            for key in batch.points:
+                self._resolve(batch, key, _error(
+                    500, f"batch flush failed: {exc}"))
+
+    def _resolve(self, batch: _Batch, key: str,
+                 handled: Handled) -> None:
+        future = batch.futures.get(key)
+        if future is not None and not future.done():
+            future.set_result(handled)
+
+    def _point_body(self, batch: _Batch,
+                    point: SweepJob) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"design": batch.body["design"],
+                                "wait": True}
+        if "timeout_ms" in batch.body:
+            body["timeout_ms"] = batch.body["timeout_ms"]
+        body.update(point.params)
+        return body
+
+    async def _flush_group(self, batch: _Batch, owner: str,
+                           points: List[SweepJob]) -> None:
+        if len(points) == 1:
+            point = points[0]
+            self._resolve(batch, point.key, await self.route_point(
+                self._point_body(batch, point), point,
+                batch.deadline_ms))
+            return
+        # Fold the window's points for this owner into ONE sweep: one
+        # admission check, one deadline carve, one warm-start chain.
+        self.metrics.inc("batched", len(points))
+        state = self.shards[owner]
+        sweep_body: Dict[str, Any] = {
+            "design": batch.body["design"], "wait": True,
+            "points": [dict(p.params) for p in points]}
+        if "timeout_ms" in batch.body:
+            sweep_body["timeout_ms"] = batch.body["timeout_ms"]
+        try:
+            status, payload, _ = await self.call_shard(
+                state, "POST", "/v1/sweep", sweep_body,
+                self._proxy_timeout_s(batch.deadline_ms))
+            if status == 202 and payload.get("job_id"):
+                status, payload = await self._wait_shard_job(
+                    state, payload["job_id"], batch.deadline_ms)
+        except ShardDown:
+            self.metrics.inc("failovers")
+            await self._flush_fallback(batch, points)
+            return
+        sweep_points = payload.get("points")
+        if status != 200 or not isinstance(sweep_points, list):
+            # Shed, draining, or malformed: fall back to per-point
+            # routing, which shares the standard failover logic.
+            await self._flush_fallback(batch, points)
+            return
+        by_key = {p.get("key"): p for p in sweep_points
+                  if isinstance(p, dict)}
+        await asyncio.gather(*(
+            self._answer_from_point(batch, state, owner, point,
+                                    by_key.get(point.key))
+            for point in points))
+
+    async def _flush_fallback(self, batch: _Batch,
+                              points: List[SweepJob]) -> None:
+        await asyncio.gather(*(
+            self._route_and_resolve(batch, point) for point in points))
+
+    async def _route_and_resolve(self, batch: _Batch,
+                                 point: SweepJob) -> None:
+        self._resolve(batch, point.key, await self.route_point(
+            self._point_body(batch, point), point, batch.deadline_ms))
+
+    async def _answer_from_point(self, batch: _Batch,
+                                 state: ShardState, owner: str,
+                                 point: SweepJob,
+                                 sweep_point: Optional[Dict[str, Any]]
+                                 ) -> None:
+        """Answer one batched caller from its sweep point's child job
+        (the full record lives there, not in the point summary)."""
+        job_id = (sweep_point or {}).get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            self._resolve(batch, point.key, await self.route_point(
+                self._point_body(batch, point), point,
+                batch.deadline_ms))
+            return
+        try:
+            status, payload, _ = await self.call_shard(
+                state, "GET", f"/v1/jobs/{job_id}", None,
+                timeout_s=30.0)
+        except ShardDown:
+            self._resolve(batch, point.key, await self.route_point(
+                self._point_body(batch, point), point,
+                batch.deadline_ms))
+            return
+        self.metrics.inc("proxied")
+        self._resolve(batch, point.key,
+                      (status, self._rewrite(payload, owner), {}))
+
+    async def _wait_shard_job(self, state: ShardState, job_id: str,
+                              deadline_ms: Optional[float]
+                              ) -> Tuple[int, Dict[str, Any]]:
+        limit = time.monotonic() + (
+            300.0 if deadline_ms is None
+            else (2.0 * deadline_ms + 2000.0) / 1000.0)
+        while True:
+            status, payload, _ = await self.call_shard(
+                state, "GET", f"/v1/jobs/{job_id}", None,
+                timeout_s=30.0)
+            if status != 200 \
+                    or payload.get("status") not in ("queued",
+                                                     "running"):
+                return status, payload
+            if time.monotonic() >= limit:
+                return status, payload
+            await asyncio.sleep(0.05)
+
+    # -- split sweeps --------------------------------------------------
+    async def handle_sweep(self, body: Dict[str, Any],
+                           design_name: str, spec, points, wait: bool,
+                           deadline_ms: Optional[float]) -> Handled:
+        composite = Job(key="", kind="sweep",
+                        params={"design": design_name,
+                                "spec": spec.to_dict()})
+        self.store.add(composite)
+        self._spawn(self._run_split_sweep(composite, body, points,
+                                          deadline_ms))
+        if wait and not composite.done:
+            limit_s = (None if deadline_ms is None
+                       else (2.0 * deadline_ms + 2000.0) / 1000.0)
+            await composite.wait(limit_s)
+        return ((200 if composite.done else 202),
+                job_response(composite), {})
+
+    async def _run_split_sweep(self, composite: Job,
+                               body: Dict[str, Any], points,
+                               deadline_ms: Optional[float]) -> None:
+        indexed = list(enumerate(points))
+        groups: Dict[str, List[Tuple[int, SweepJob]]] = {}
+        orphans: List[Tuple[int, SweepJob]] = []
+        for index, point in indexed:
+            try:
+                owner = self.live_ring().owner(point.key)
+            except ReproError:
+                orphans.append((index, point))
+                continue
+            groups.setdefault(owner, []).append((index, point))
+        results: Dict[int, Dict[str, Any]] = {}
+        for index, point in orphans:
+            results[index] = self._point_failure(
+                index, point, "every shard is down or draining")
+        await asyncio.gather(*(
+            self._sweep_group(owner, body, group, results, deadline_ms)
+            for owner, group in groups.items()))
+        point_dicts = [results[i] for i, _ in indexed]
+        done = [p for p in point_dicts
+                if p.get("status") in COMPLETED_STATUSES
+                and "metrics" in p]
+        front = pareto_front([p["metrics"] for p in done], OBJECTIVES)
+        counts: Dict[str, int] = {}
+        for point in point_dicts:
+            counts[point["status"]] = counts.get(point["status"], 0) + 1
+        composite.finish({
+            "status": ("ok" if all(p["status"] == "ok"
+                                   for p in point_dicts)
+                       else "degraded"),
+            "points": point_dicts,
+            "pareto": [done[i]["index"] for i in front],
+            "status_counts": counts,
+            "wall_ms": round(sum(p.get("wall_ms", 0.0)
+                                 for p in point_dicts), 3),
+        })
+
+    def _point_failure(self, index: int, point: SweepJob,
+                       message: str) -> Dict[str, Any]:
+        return {"index": index, "key": point.key,
+                "params": dict(point.params), "status": "error",
+                "cached": False, "wall_ms": 0.0, "error": message}
+
+    async def _sweep_group(self, owner: str, body: Dict[str, Any],
+                           group: List[Tuple[int, SweepJob]],
+                           results: Dict[int, Dict[str, Any]],
+                           deadline_ms: Optional[float]) -> None:
+        state = self.shards[owner]
+        sweep_body: Dict[str, Any] = {
+            "design": body["design"], "wait": True,
+            "points": [dict(p.params) for _, p in group]}
+        if "timeout_ms" in body:
+            sweep_body["timeout_ms"] = body["timeout_ms"]
+        try:
+            status, payload, _ = await self.call_shard(
+                state, "POST", "/v1/sweep", sweep_body,
+                self._proxy_timeout_s(deadline_ms))
+            if status == 202 and payload.get("job_id"):
+                status, payload = await self._wait_shard_job(
+                    state, payload["job_id"], deadline_ms)
+        except ShardDown:
+            self.metrics.inc("failovers")
+            await self._sweep_group_fallback(body, group, results,
+                                             deadline_ms)
+            return
+        sweep_points = payload.get("points")
+        if status != 200 or not isinstance(sweep_points, list):
+            await self._sweep_group_fallback(body, group, results,
+                                             deadline_ms)
+            return
+        self.metrics.inc("proxied")
+        by_key = {p.get("key"): p for p in sweep_points
+                  if isinstance(p, dict)}
+        for index, point in group:
+            got = by_key.get(point.key)
+            if got is None:
+                results[index] = self._point_failure(
+                    index, point, "missing from shard sweep response")
+                continue
+            entry = dict(got)
+            entry["index"] = index
+            if isinstance(entry.get("job_id"), str):
+                entry["job_id"] = f"{owner}.{entry['job_id']}"
+            results[index] = entry
+
+    async def _sweep_group_fallback(self, body: Dict[str, Any],
+                                    group: List[Tuple[int, SweepJob]],
+                                    results: Dict[int, Dict[str, Any]],
+                                    deadline_ms: Optional[float]
+                                    ) -> None:
+        async def one(index: int, point: SweepJob) -> None:
+            point_body: Dict[str, Any] = {"design": body["design"],
+                                          "wait": True}
+            if "timeout_ms" in body:
+                point_body["timeout_ms"] = body["timeout_ms"]
+            point_body.update(point.params)
+            status, payload, _ = await self.route_point(
+                point_body, point, deadline_ms)
+            if status not in (200, 202):
+                results[index] = self._point_failure(
+                    index, point,
+                    str(payload.get("error", f"HTTP {status}")))
+                return
+            entry = {"index": index, "key": point.key,
+                     "params": dict(point.params),
+                     "status": payload.get("status", "error"),
+                     "cached": bool(payload.get("cached")),
+                     "wall_ms": payload.get("wall_ms", 0.0)}
+            if isinstance(payload.get("job_id"), str):
+                entry["job_id"] = payload["job_id"]
+            for name in ("metrics", "error"):
+                if name in payload:
+                    entry[name] = payload[name]
+            results[index] = entry
+
+        await asyncio.gather(*(one(i, p) for i, p in group))
+
+    # -- observability -------------------------------------------------
+    def ring_payload(self) -> Dict[str, Any]:
+        out = self.ring.to_dict()
+        for entry in out["shards"]:
+            entry.update(self.shards[entry["name"]].snapshot())
+        return {"schema": "repro-cluster-ring/1",
+                "schema_version": SCHEMA_VERSION,
+                "ring": out,
+                "down": sorted(name for name, s in self.shards.items()
+                               if not s.up)}
+
+    async def _scrape(self, state: ShardState
+                      ) -> Optional[Dict[str, Any]]:
+        try:
+            status, payload, _ = await self.call_shard(
+                state, "GET", "/metrics", None, timeout_s=10.0)
+        except ShardDown:
+            return None
+        return payload if status == 200 else None
+
+    async def build_metrics(self) -> Dict[str, Any]:
+        states = list(self.shards.values())
+        payloads = await asyncio.gather(*(self._scrape(s)
+                                          for s in states))
+        totals: Dict[str, int] = {}
+        queue_depth = 0
+        workers = 0
+        p95 = 0.0
+        shards: Dict[str, Any] = {}
+        healthy = 0
+        for state, payload in zip(states, payloads):
+            entry = state.snapshot()
+            if payload is not None:
+                healthy += 1
+                svc = payload.get("service", {})
+                counters = svc.get("counters", {})
+                for name, value in counters.items():
+                    if isinstance(value, int):
+                        totals[name] = totals.get(name, 0) + value
+                queue_depth += int(svc.get("queue_depth", 0))
+                workers += int(payload.get("workers", {})
+                               .get("count", 0))
+                latency = svc.get("latency", {})
+                p95 = max(p95, float(latency.get("p95_ms", 0.0)))
+                entry.update({
+                    "counters": counters,
+                    "queue_depth": svc.get("queue_depth", 0),
+                    "ema_job_ms": svc.get("ema_job_ms", 0.0),
+                })
+            shards[state.address.name] = entry
+        out: Dict[str, Any] = {
+            "schema": "repro-cluster-metrics/1",
+            "schema_version": SCHEMA_VERSION,
+            "front": self.metrics.snapshot(),
+            "cluster": {"counters": totals,
+                        "queue_depth": queue_depth,
+                        "workers": workers,
+                        "latency_p95_ms": round(p95, 3),
+                        "shards": len(states),
+                        "shards_healthy": healthy},
+            "shards": shards,
+            "ring": self.ring.to_dict(),
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+    def health(self) -> Handled:
+        ready = any(s.up for s in self.shards.values()) \
+            and not self.draining
+        payload = {
+            "schema": "repro-cluster-health/1",
+            "schema_version": SCHEMA_VERSION,
+            "status": ("draining" if self.draining
+                       else "ok" if ready else "starting"),
+            "ready": ready,
+            "live": True,
+            "shards": {name: s.snapshot()
+                       for name, s in self.shards.items()},
+        }
+        if ready:
+            return 200, payload, {}
+        return 503, payload, {"Retry-After": "1"}
+
+    # -- request routing -----------------------------------------------
+    async def handle(self, method: str, path: str,
+                     body: Optional[Dict[str, Any]]) -> Handled:
+        if path == "/healthz":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return self.health()
+        if path == "/metrics":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return 200, await self.build_metrics(), {}
+        if path == "/cluster/ring":
+            if method != "GET":
+                return _error(405, "method not allowed")
+            return 200, self.ring_payload(), {}
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return _error(405, "method not allowed")
+            self.metrics.inc("requests")
+            return await self._handle_job(path[len("/v1/jobs/"):])
+        if path in ("/v1/synthesize", "/v1/sweep"):
+            if method != "POST":
+                return _error(405, "method not allowed")
+            self.metrics.inc("requests")
+            if self.draining:
+                return _error(503, "cluster front tier is draining",
+                              retry_after_s=1)
+            if body is None:
+                return _error(400,
+                              "request body must be a JSON object")
+            try:
+                deadline_ms = self._deadline_ms(body)
+                wait = bool(body.get("wait", True))
+                if path == "/v1/synthesize":
+                    _space, point = catalog.synthesize_job(body)
+                    return await self.handle_synthesize(
+                        body, point, wait, deadline_ms)
+                space, spec, points = catalog.sweep_jobs(body)
+                return await self.handle_sweep(
+                    body, space.name, spec, points, wait, deadline_ms)
+            except (ReproError, ValueError, TypeError) as exc:
+                return _error(400, str(exc))
+        return _error(404, f"no such endpoint {path!r}")
+
+    def _deadline_ms(self, body: Dict[str, Any]) -> Optional[float]:
+        raw = body.get("timeout_ms", self.config.default_timeout_ms)
+        if raw is None:
+            return None
+        deadline = float(raw)
+        if deadline <= 0:
+            raise ReproError(
+                f"timeout_ms must be positive, got {raw!r}")
+        return deadline
+
+    async def _handle_job(self, job_id: str) -> Handled:
+        shard_name, sep, shard_job = job_id.partition(".")
+        if sep and shard_name in self.shards:
+            state = self.shards[shard_name]
+            try:
+                status, payload, _ = await self.call_shard(
+                    state, "GET", f"/v1/jobs/{shard_job}", None,
+                    timeout_s=30.0)
+            except ShardDown as exc:
+                return _error(503, str(exc), retry_after_s=1)
+            return status, self._rewrite(payload, shard_name), {}
+        job = self.store.get(job_id)
+        if job is None:
+            return _error(404, "no such job")
+        return 200, job_response(job), {}

@@ -1,0 +1,103 @@
+"""Consistent-hash ring mapping content keys onto solver shards.
+
+The cluster's exactly-once guarantee rests on this module: every
+SweepJob content key (:func:`repro.explore.keys.job_key`) has exactly
+one owner shard, so in-flight coalescing — which is per-process state
+on each shard — composes to fleet-wide coalescing as long as the front
+tier always routes a key to its owner.
+
+Classic consistent hashing with virtual nodes: each shard contributes
+``replicas`` points on a 64-bit circle, positioned by sha256 of
+``"<shard>#<i>"`` (content-derived, so the ring is identical in every
+process regardless of ``PYTHONHASHSEED``, construction order, or
+platform).  A key is owned by the first virtual node clockwise from
+sha256 of the key.  Removing a shard removes only that shard's virtual
+nodes, so only the keys it owned are remapped — the property that
+makes draining one shard cheap for the rest of the fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Virtual nodes per shard.  128 keeps the largest/smallest key-space
+#: share within ~15% of each other at 4 shards, which is what the
+#: balance property test pins down.
+DEFAULT_REPLICAS = 128
+
+#: The ring circle is the 64-bit space of the sha256 prefix.
+_SPACE = 1 << 64
+
+
+def ring_position(label: str) -> int:
+    """Position of a label on the circle (first 8 sha256 bytes)."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable shard ring; build once, derive reduced rings from it."""
+
+    def __init__(self, shards: Sequence[str],
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        names = tuple(shards)
+        if not names:
+            raise ReproError("ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate shard names on ring: {names}")
+        self.replicas = max(1, int(replicas))
+        self.shards: Tuple[str, ...] = names
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for i in range(self.replicas):
+                points.append((ring_position(f"{name}#{i}"), name))
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [name for _, name in points]
+
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``: first virtual node clockwise."""
+        index = bisect.bisect_right(self._positions, ring_position(key))
+        if index == len(self._positions):
+            index = 0
+        return self._owners[index]
+
+    def without(self, *names: str) -> "HashRing":
+        """A ring with ``names`` removed (same replica count).
+
+        Because the surviving shards' virtual nodes keep their
+        positions, every key owned by a survivor keeps its owner; only
+        the removed shards' keys move.
+        """
+        dropped = set(names)
+        remaining = [n for n in self.shards if n not in dropped]
+        if not remaining:
+            raise ReproError("cannot remove every shard from the ring")
+        return HashRing(remaining, replicas=self.replicas)
+
+    def share(self) -> Dict[str, float]:
+        """Fraction of the key space each shard owns (sums to 1.0)."""
+        owned: Dict[str, int] = {name: 0 for name in self.shards}
+        previous = self._positions[-1] - _SPACE
+        for position, name in zip(self._positions, self._owners):
+            owned[name] += position - previous
+            previous = position
+        return {name: owned[name] / _SPACE for name in self.shards}
+
+    def to_dict(self) -> Dict[str, Any]:
+        share = self.share()
+        return {
+            "replicas": self.replicas,
+            "vnodes": len(self._positions),
+            "shards": [{"name": name,
+                        "share": round(share[name], 4)}
+                       for name in self.shards],
+        }
+
+    def __len__(self) -> int:
+        return len(self.shards)

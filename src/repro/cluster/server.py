@@ -1,0 +1,167 @@
+"""HTTP server wrapper for the cluster front tier.
+
+Reuses the hand-rolled HTTP/1.1 framing from
+:mod:`repro.service.server` (request parsing, keep-alive, JSON
+responses) and dispatches into :meth:`FrontTier.handle`.  Mirrors the
+service's three entry-point shapes:
+
+* :class:`FrontServer` — async core (start / shutdown) for embedding;
+* :class:`ThreadedFrontTier` — daemon-thread harness for tests and
+  the cluster benchmark (``port=0`` picks a free port);
+* the blocking path lives in :mod:`repro.cluster.supervisor`, which
+  owns the whole process tree (cache server + shards + front).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from typing import Any, Dict, Optional
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+from repro.cluster.front import ClusterConfig, FrontTier
+from repro.service.server import (_HttpError, _read_request,
+                                  _write_response)
+
+
+async def _handle_connection(front: FrontTier,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(
+                    reader, front.config.max_body_bytes)
+            except _HttpError as exc:
+                await _write_response(
+                    writer, exc.status,
+                    {"schema": "repro-service-error/1",
+                     "error": str(exc)}, {}, keep_alive=False)
+                break
+            if request is None:
+                break
+            method, target, headers, body_bytes = request
+            keep_alive = headers.get(
+                "connection", "keep-alive").lower() != "close"
+            path = urlsplit(target).path
+            body: Optional[Dict[str, Any]] = None
+            if body_bytes:
+                try:
+                    parsed = json.loads(body_bytes)
+                    body = parsed if isinstance(parsed, dict) else None
+                except json.JSONDecodeError:
+                    body = None
+            try:
+                status, payload, extra = await front.handle(
+                    method, path, body)
+            except Exception as exc:  # keep the front alive
+                front.metrics.inc("errors")
+                status, payload, extra = 500, {
+                    "schema": "repro-service-error/1",
+                    "error": f"{type(exc).__name__}: {exc}"}, {}
+            await _write_response(writer, status, payload, extra,
+                                  keep_alive)
+            if not keep_alive:
+                break
+    except (ConnectionResetError, BrokenPipeError,
+            asyncio.IncompleteReadError):
+        pass
+    except asyncio.CancelledError:
+        pass
+    finally:
+        with contextlib.suppress(Exception, asyncio.CancelledError):
+            writer.close()
+            await writer.wait_closed()
+
+
+class FrontServer:
+    """Async core: a routing front tier plus a listening socket."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.front = FrontTier(config)
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> "FrontServer":
+        # First shard probe happens before the socket opens, so the
+        # very first /healthz already reflects real fleet state.
+        await self.front.start()
+        self._server = await asyncio.start_server(
+            lambda r, w: _handle_connection(self.front, r, w),
+            self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.front.drain()
+
+
+class ThreadedFrontTier:
+    """Run a front tier in a daemon thread (tests and benchmarks)."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.server: Optional[FrontServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+
+    @property
+    def front(self) -> FrontTier:
+        assert self.server is not None
+        return self.server.front
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None and self.server.port is not None
+        return self.server.port
+
+    def start(self) -> "ThreadedFrontTier":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-cluster-front")
+        self._thread.start()
+        if not self._started.wait(timeout=60.0):
+            raise ReproError("front tier thread failed to start")
+        if self._error is not None:
+            raise ReproError(
+                f"front tier failed to start: {self._error}") \
+                from self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:
+            self._error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = await FrontServer(self.config).start()
+        self._started.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+
+    def __enter__(self) -> "ThreadedFrontTier":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

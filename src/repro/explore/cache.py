@@ -37,6 +37,10 @@ from repro.io_json import canonical_dumps
 #: Record line format version.
 CACHE_VERSION = 1
 
+#: ``--cache`` specs with this prefix mount the cluster's shared cache
+#: server instead of a local file (see :func:`open_result_cache`).
+REMOTE_SCHEME = "remote://"
+
 #: Statuses worth persisting (see module docstring).
 CACHEABLE_STATUSES = ("ok", "degraded")
 
@@ -198,3 +202,21 @@ class ResultCache:
                          if lookups else 0.0),
             "corrupt_lines": self.corrupt_lines,
         }
+
+
+# ---------------------------------------------------------------------
+def open_result_cache(spec: Optional[str],
+                      sync: bool = False) -> ResultCache:
+    """Build a cache from a ``--cache``-style spec.
+
+    A plain path (or None) opens a local :class:`ResultCache`;
+    ``remote://host:port`` mounts the cluster's shared cache server
+    through :class:`repro.cluster.cache_client.ReadThroughCache`, which
+    is itself a ResultCache — so the explorer, the service, and the
+    cluster shards all consume whichever backend the spec names
+    through one interface.
+    """
+    if spec is not None and spec.startswith(REMOTE_SCHEME):
+        from repro.cluster.cache_client import ReadThroughCache
+        return ReadThroughCache(spec[len(REMOTE_SCHEME):])
+    return ResultCache(spec, sync=sync)

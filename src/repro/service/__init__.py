@@ -26,8 +26,10 @@ Responses conform to ``docs/schema/service_response.schema.json``.
 from repro.service.app import (RESPONSE_SCHEMA, ShedRequest,
                                SynthesisService, job_response)
 from repro.service.client import (ServiceClient, ServiceError,
-                                  ServiceUnavailable)
-from repro.service.jobs import Job, JobStore, ServiceConfig
+                                  ServiceUnavailable, backoff_delay_s,
+                                  parse_retry_after)
+from repro.service.jobs import (Job, JobStore, ServiceConfig,
+                                ShardIdentity)
 from repro.service.metrics import ServiceMetrics
 from repro.service.pool import WorkerPool
 from repro.service.server import ServiceServer, ThreadedServer, serve
@@ -48,4 +50,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
+    "ShardIdentity",
+    "backoff_delay_s",
+    "parse_retry_after",
 ]

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.oracle_store import OracleStore, activate
 from repro.errors import ReproError
-from repro.explore.cache import ResultCache
+from repro.explore.cache import open_result_cache
 from repro.explore.pareto import OBJECTIVES, pareto_front
 from repro.explore.spec import SweepJob, SweepSpec
 from repro.io_json import SCHEMA_VERSION
@@ -67,8 +67,10 @@ class SynthesisService:
         self.config = config
         self.metrics = ServiceMetrics()
         self.perf = PerfRegistry()
-        self.cache = ResultCache(config.cache_path,
-                                 sync=config.cache_sync)
+        # A path opens the local JSONL cache; a remote://host:port
+        # spec mounts the cluster's shared cache server read-through.
+        self.cache = open_result_cache(config.cache_path,
+                                       sync=config.cache_sync)
         # Activate the shared pin-oracle store BEFORE the pool exists:
         # forked workers inherit the active store (warm, read-only from
         # the file's point of view) and ship back only their deltas.
@@ -83,6 +85,19 @@ class SynthesisService:
         self.draining = False
         self._slots = asyncio.Semaphore(self.pool.workers)
         self._tasks: set = set()
+
+    # -- readiness -----------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Readiness (distinct from liveness): the pool is warm and, in
+        shard mode, this server's ring seat is coherent.  ``/healthz``
+        answers 503 until this is True, so load balancers and the
+        cluster supervisor never route to a shard that would queue
+        behind its own fork storm or sit outside the key space."""
+        if self.draining or not self.pool.warmed:
+            return False
+        shard = self.config.shard
+        return shard is None or shard.valid()
 
     # -- admission -----------------------------------------------------
     def projected_wait_ms(self, new_jobs: int = 1) -> float:
@@ -227,7 +242,7 @@ class SynthesisService:
             record = child.record or {}
             point = {"index": index, "key": child.key,
                      "params": child.params, "status": child.status,
-                     "cached": child.cached,
+                     "cached": child.cached, "job_id": child.id,
                      "wall_ms": record.get("wall_ms", 0.0)}
             for name in ("metrics", "error"):
                 if name in record:
@@ -290,13 +305,24 @@ def job_response(job: Job) -> Dict[str, Any]:
 
 
 def health_payload(service: SynthesisService) -> Dict[str, Any]:
-    return {
+    if service.draining:
+        status = "draining"
+    elif service.ready:
+        status = "ok"
+    else:
+        status = "warming"
+    out = {
         "schema": "repro-service-health/1",
-        "status": "draining" if service.draining else "ok",
+        "status": status,
+        "ready": service.ready,
+        "live": True,
         "queue_depth": service.queue_depth,
         "workers": service.pool.workers,
         "jobs": len(service.store),
     }
+    if service.config.shard is not None:
+        out["shard"] = service.config.shard.to_dict()
+    return out
 
 
 def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
@@ -307,7 +333,7 @@ def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
         "draining": service.draining,
         "jobs_retained": len(service.store),
     })
-    return {
+    out = {
         "schema": "repro-service-metrics/1",
         "service": snap,
         "workers": {"count": service.pool.workers,
@@ -316,6 +342,9 @@ def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
         "oracle": service.oracle.stats(),
         "perf": service.perf.snapshot(),
     }
+    if service.config.shard is not None:
+        out["shard"] = service.config.shard.to_dict()
+    return out
 
 
 # ---------------------------------------------------------------------
@@ -359,7 +388,11 @@ async def handle_api(service: SynthesisService, method: str, path: str,
     if path == "/healthz":
         if method != "GET":
             return _error(405, "method not allowed")
-        return 200, health_payload(service), {}
+        # Liveness is the TCP answer itself; the status code carries
+        # readiness, so one endpoint serves both probes.
+        if service.ready:
+            return 200, health_payload(service), {}
+        return 503, health_payload(service), {"Retry-After": "1"}
     if path == "/metrics":
         if method != "GET":
             return _error(405, "method not allowed")
@@ -375,7 +408,9 @@ async def handle_api(service: SynthesisService, method: str, path: str,
         if method != "POST":
             return _error(405, "method not allowed")
         if service.draining:
-            return _error(503, "service is draining")
+            status, payload, _ = _error(503, "service is draining",
+                                        retry_after_s=1)
+            return status, payload, {"Retry-After": "1"}
         if body is None:
             return _error(400, "request body must be a JSON object")
         try:

@@ -10,14 +10,26 @@ of connection-state locking at the cost of a TCP handshake per call
 Admission rejections surface as :class:`ServiceUnavailable` carrying
 the server's ``Retry-After`` hint; other 4xx/5xx raise
 :class:`ServiceError` with the decoded error payload attached.
+
+Retries (opt-in via ``retries=N``) use capped jittered exponential
+backoff — see :func:`backoff_delay_s` — never a bare fixed sleep: the
+exponential keeps a retrying fleet from hammering a shedding server,
+the server's ``Retry-After`` hint acts as a floor when it asks for
+longer, and the jitter decorrelates clients that were shed by the
+same event.  A 429/503 payload may carry a shard-redirect hint
+(``{"redirect": {"host", "port"}}``, attached by the cluster front
+tier naming a key's owner shard); retries honor it by re-aiming the
+next attempt.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.errors import ReproError
 
@@ -37,9 +49,15 @@ class ServiceUnavailable(ServiceError):
 
     def __init__(self, message: str, status: int,
                  payload: Optional[Dict[str, Any]] = None,
-                 retry_after_s: int = 1) -> None:
+                 retry_after_s: int = 1,
+                 retry_after_hint: Optional[int] = None) -> None:
         super().__init__(message, status=status, payload=payload)
         self.retry_after_s = max(1, int(retry_after_s))
+        #: The server's actual Retry-After, or None when the header
+        #: was absent — unlike ``retry_after_s`` this never invents a
+        #: default, so backoff can distinguish "server said 1s" from
+        #: "server said nothing".
+        self.retry_after_hint = retry_after_hint
 
 
 def parse_retry_after(value: Optional[str], default: int = 1) -> int:
@@ -61,21 +79,92 @@ def parse_retry_after(value: Optional[str], default: int = 1) -> int:
     return max(default, int(seconds))
 
 
+def backoff_delay_s(attempt: int,
+                    retry_after_s: Optional[float] = None, *,
+                    base_s: float = 0.5, factor: float = 2.0,
+                    cap_s: float = 30.0, jitter: float = 0.1,
+                    rng: Optional[Callable[[], float]] = None) -> float:
+    """Sleep before retry ``attempt`` (0-based).
+
+    ``min(cap_s, base_s * factor**attempt)``, raised to the server's
+    ``retry_after_s`` when the server asked for longer (the hint is a
+    floor, never capped — the server knows its own drain schedule),
+    then multiplied by ``1 ± jitter`` so clients shed together do not
+    retry together.  ``rng`` (a 0..1 callable) makes the jitter
+    injectable; ``jitter=0`` gives the deterministic schedule the
+    unit tests pin.
+    """
+    delay = min(float(cap_s),
+                float(base_s) * float(factor) ** max(0, int(attempt)))
+    if retry_after_s is not None:
+        delay = max(delay, float(retry_after_s))
+    if jitter:
+        draw = rng() if rng is not None else random.random()
+        delay *= 1.0 + float(jitter) * (2.0 * draw - 1.0)
+    return max(0.0, delay)
+
+
 class ServiceClient:
     """Thin JSON-over-HTTP wrapper around the service endpoints."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8764,
-                 timeout_s: float = 120.0) -> None:
+                 timeout_s: float = 120.0, retries: int = 0,
+                 backoff_base_s: float = 0.5,
+                 backoff_cap_s: float = 30.0,
+                 backoff_jitter: float = 0.1,
+                 rng: Optional[Callable[[], float]] = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self.retries = max(0, int(retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.backoff_jitter = backoff_jitter
+        self._rng = rng
+        self._sleep = sleep
 
     # ------------------------------------------------------------------
     def request(self, method: str, path: str,
-                body: Optional[Mapping[str, Any]] = None
+                body: Optional[Mapping[str, Any]] = None,
+                retries: Optional[int] = None
                 ) -> Tuple[int, Dict[str, Any]]:
+        """HTTP exchange with up to ``retries`` backoff retries on
+        429/503; returns (status, decoded payload).
+
+        Each :class:`ServiceUnavailable` before the last attempt
+        triggers a :func:`backoff_delay_s` sleep; a shard-redirect
+        hint in the rejection payload re-aims subsequent attempts at
+        the named host/port (the cluster front tier attaches the
+        owner shard of the request's content key).
+        """
+        attempts = self.retries if retries is None else max(0, retries)
+        host, port = self.host, self.port
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(host, port, method, path,
+                                          body)
+            except ServiceUnavailable as exc:
+                if attempt >= attempts:
+                    raise
+                redirect = exc.payload.get("redirect")
+                if (isinstance(redirect, dict)
+                        and isinstance(redirect.get("port"), int)):
+                    host = str(redirect.get("host", host))
+                    port = redirect["port"]
+                self._sleep(backoff_delay_s(
+                    attempt, exc.retry_after_hint,
+                    base_s=self.backoff_base_s,
+                    cap_s=self.backoff_cap_s,
+                    jitter=self.backoff_jitter, rng=self._rng))
+                attempt += 1
+
+    def _request_once(self, host: str, port: int, method: str,
+                      path: str, body: Optional[Mapping[str, Any]]
+                      ) -> Tuple[int, Dict[str, Any]]:
         """One HTTP exchange; returns (status, decoded payload)."""
-        conn = http.client.HTTPConnection(self.host, self.port,
+        conn = http.client.HTTPConnection(host, port,
                                           timeout=self.timeout_s)
         try:
             data = None if body is None else json.dumps(body)
@@ -88,11 +177,14 @@ class ServiceClient:
             except json.JSONDecodeError:
                 payload = {"error": raw.decode("utf-8", "replace")}
             if response.status in (429, 503):
+                raw_hint = response.getheader("Retry-After")
+                hint = (None if raw_hint is None
+                        else parse_retry_after(raw_hint))
                 raise ServiceUnavailable(
                     payload.get("error", "service unavailable"),
                     status=response.status, payload=payload,
-                    retry_after_s=parse_retry_after(
-                        response.getheader("Retry-After")))
+                    retry_after_s=1 if hint is None else hint,
+                    retry_after_hint=hint)
             if response.status >= 400:
                 raise ServiceError(
                     payload.get("error",

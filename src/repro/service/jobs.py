@@ -29,6 +29,29 @@ TERMINAL_STATUSES = ("ok", "degraded", "error", "budget_exhausted")
 
 
 @dataclass(frozen=True)
+class ShardIdentity:
+    """This server's seat on the cluster's consistent-hash ring.
+
+    Set by ``repro serve --shard-name/--shard-index/--shard-count``
+    (the cluster supervisor passes all three).  A shard is *ready*
+    only when its seat is coherent — the ring can only have assigned
+    it a key range if its index actually falls inside the fleet —
+    which is what ``/healthz`` readiness checks in shard mode.
+    """
+
+    name: str
+    index: int
+    count: int
+
+    def valid(self) -> bool:
+        return bool(self.name) and 0 <= self.index < self.count
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "index": self.index,
+                "count": self.count}
+
+
+@dataclass(frozen=True)
 class ServiceConfig:
     """Frozen knobs for one server instance.
 
@@ -55,6 +78,9 @@ class ServiceConfig:
     job_runner: Callable[[Dict[str, Any]], Dict[str, Any]] = run_job
     max_body_bytes: int = 8 << 20
     retained_jobs: int = 1024
+    #: Cluster seat (None = standalone).  ``cache_path`` may name the
+    #: cluster's shared cache server as ``remote://host:port``.
+    shard: Optional[ShardIdentity] = None
 
 
 _JOB_IDS = itertools.count(1)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Deque, Dict
+from typing import Any, Deque, Dict, Sequence
 
 #: Monotonic counters the service increments; ``/metrics`` reports all
 #: of them even when still zero, so dashboards never see missing keys.
@@ -49,9 +49,10 @@ def percentile(sorted_values, fraction: float) -> float:
 class ServiceMetrics:
     """Counters + a bounded latency ring, safe under concurrency."""
 
-    def __init__(self, latency_window: int = 512) -> None:
+    def __init__(self, latency_window: int = 512,
+                 names: Sequence[str] = COUNTER_NAMES) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {n: 0 for n in COUNTER_NAMES}
+        self._counters: Dict[str, int] = {n: 0 for n in names}
         self._latencies: Deque[float] = deque(maxlen=latency_window)
         self._ema_ms: float = 0.0
         self._ema_seeded = False

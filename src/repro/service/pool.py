@@ -45,6 +45,9 @@ class WorkerPool:
         self.workers = max(1, int(workers))
         self.mode = mode
         self.run_job = job_runner if job_runner is not None else run_job
+        #: Readiness signal: True once :meth:`warmup` has pre-spawned
+        #: every worker.  ``/healthz`` reports 503 until then.
+        self.warmed = False
         if mode == "process":
             try:
                 context = multiprocessing.get_context("fork")
@@ -67,6 +70,7 @@ class WorkerPool:
         futures = [self._executor.submit(_warm_probe)
                    for _ in range(self.workers)]
         wait(futures, timeout=timeout_s)
+        self.warmed = True
 
     async def run(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
         """Execute one job on the pool without blocking the loop."""

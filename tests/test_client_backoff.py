@@ -1,0 +1,144 @@
+"""Client retry policy: capped jittered exponential backoff + redirects.
+
+The schedule is pinned numerically (``jitter=0`` makes it exact), the
+Retry-After floor and the cap are exercised at their boundaries, and
+the redirect path is driven through a monkeypatched ``_request_once``
+so no sockets are involved — these must stay fast and deterministic.
+"""
+
+import pytest
+
+from repro.service import (ServiceClient, ServiceUnavailable,
+                           backoff_delay_s)
+
+
+class TestSchedule:
+    def test_deterministic_exponential_schedule(self):
+        delays = [backoff_delay_s(a, jitter=0) for a in range(7)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 30.0]
+
+    def test_cap_holds_forever(self):
+        assert backoff_delay_s(50, jitter=0) == 30.0
+        assert backoff_delay_s(50, jitter=0, cap_s=5.0) == 5.0
+
+    def test_retry_after_is_an_uncapped_floor(self):
+        # Below the computed delay the hint does nothing...
+        assert backoff_delay_s(4, retry_after_s=1.0, jitter=0) == 8.0
+        # ...above it, the server's ask wins...
+        assert backoff_delay_s(0, retry_after_s=7.0, jitter=0) == 7.0
+        # ...even past the cap: the server knows its drain schedule.
+        assert backoff_delay_s(0, retry_after_s=120.0,
+                               jitter=0) == 120.0
+
+    def test_jitter_bounds(self):
+        # rng pinned at the extremes: delay spans base*(1 +/- jitter).
+        low = backoff_delay_s(1, jitter=0.1, rng=lambda: 0.0)
+        high = backoff_delay_s(1, jitter=0.1, rng=lambda: 1.0)
+        assert low == pytest.approx(0.9)
+        assert high == pytest.approx(1.1)
+        # And a mid draw is strictly inside.
+        mid = backoff_delay_s(1, jitter=0.1, rng=lambda: 0.5)
+        assert low < mid < high or mid == pytest.approx(1.0)
+
+    def test_negative_attempt_clamps_to_base(self):
+        assert backoff_delay_s(-3, jitter=0) == 0.5
+
+
+class FlakyTransport:
+    """Stands in for ServiceClient._request_once."""
+
+    def __init__(self, failures, redirect=None, retry_after=None):
+        self.failures = failures
+        self.redirect = redirect
+        self.retry_after = retry_after
+        self.calls = []  # (host, port) per attempt
+
+    def __call__(self, host, port, method, path, body):
+        self.calls.append((host, port))
+        if len(self.calls) <= self.failures:
+            payload = {"error": "shed"}
+            if self.redirect is not None:
+                payload["redirect"] = self.redirect
+            raise ServiceUnavailable(
+                "shed", status=429, payload=payload,
+                retry_after_s=(self.retry_after or 1),
+                retry_after_hint=self.retry_after)
+        return 200, {"status": "ok", "host": host, "port": port}
+
+
+def make_client(transport, **kwargs):
+    sleeps = []
+    client = ServiceClient(host="front", port=1000, retries=3,
+                           backoff_jitter=0.0, sleep=sleeps.append,
+                           **kwargs)
+    client._request_once = transport
+    return client, sleeps
+
+
+class TestRetries:
+    def test_retries_then_succeeds_with_backoff_sleeps(self):
+        transport = FlakyTransport(failures=2)
+        client, sleeps = make_client(transport)
+        status, payload = client.request("POST", "/v1/synthesize", {})
+        assert status == 200
+        assert len(transport.calls) == 3
+        assert sleeps == [0.5, 1.0]  # attempts 0 and 1, jitter off
+
+    def test_retry_after_hint_floors_the_sleep(self):
+        transport = FlakyTransport(failures=1, retry_after=5)
+        client, sleeps = make_client(transport)
+        client.request("POST", "/v1/synthesize", {})
+        assert sleeps == [5.0]
+
+    def test_no_hint_means_pure_exponential(self):
+        # Absent Retry-After must NOT inject the legacy default of 1s
+        # as a floor — attempt 0 sleeps the 0.5s base.
+        transport = FlakyTransport(failures=1, retry_after=None)
+        client, sleeps = make_client(transport)
+        client.request("POST", "/v1/synthesize", {})
+        assert sleeps == [0.5]
+
+    def test_exhausted_retries_reraise(self):
+        transport = FlakyTransport(failures=99)
+        client, _sleeps = make_client(transport)
+        with pytest.raises(ServiceUnavailable):
+            client.request("POST", "/v1/synthesize", {})
+        assert len(transport.calls) == 4  # first try + 3 retries
+
+    def test_redirect_hint_reaims_subsequent_attempts(self):
+        transport = FlakyTransport(
+            failures=1, redirect={"host": "owner-shard", "port": 2222})
+        client, _sleeps = make_client(transport)
+        _status, payload = client.request("POST", "/v1/synthesize", {})
+        assert transport.calls == [("front", 1000),
+                                   ("owner-shard", 2222)]
+        assert payload["port"] == 2222
+
+    def test_malformed_redirect_is_ignored(self):
+        for redirect in ({"host": "x"}, {"port": "2222"}, "x:1", 7):
+            transport = FlakyTransport(failures=1, redirect=redirect)
+            client, _sleeps = make_client(transport)
+            client.request("POST", "/v1/synthesize", {})
+            assert transport.calls == [("front", 1000),
+                                       ("front", 1000)], redirect
+
+    def test_zero_retries_raises_immediately(self):
+        transport = FlakyTransport(failures=1)
+        sleeps = []
+        client = ServiceClient(host="front", port=1000, retries=0,
+                               sleep=sleeps.append)
+        client._request_once = transport
+        with pytest.raises(ServiceUnavailable):
+            client.request("POST", "/v1/synthesize", {})
+        assert sleeps == []
+
+    def test_per_call_override_beats_constructor(self):
+        transport = FlakyTransport(failures=2)
+        sleeps = []
+        client = ServiceClient(host="front", port=1000, retries=0,
+                               backoff_jitter=0.0, sleep=sleeps.append)
+        client._request_once = transport
+        status, _payload = client.request("POST", "/v1/synthesize",
+                                          {}, retries=5)
+        assert status == 200
+        assert len(sleeps) == 2

@@ -1,0 +1,212 @@
+"""Shared cache protocol: framing, versioning, server, read-through.
+
+The protocol layer is exercised both in pure form (frame bytes,
+``dispatch`` on a server instance) and over real sockets through
+:class:`ThreadedCacheServer`, including the degradation contract: a
+shard with a dead cache server keeps serving from its local index and
+counts the failures instead of raising.
+"""
+
+import socket
+
+import pytest
+
+from repro.cluster import (CacheClient, CacheClientError,
+                           ProtocolError, ReadThroughCache,
+                           ThreadedCacheServer, parse_address)
+from repro.cluster.cache_server import CacheServer
+from repro.cluster.protocol import (MAX_FRAME_BYTES, decode_body,
+                                    encode_frame, recv_frame,
+                                    send_frame)
+from repro.explore.cache import ResultCache, open_result_cache
+from repro.io_json import SCHEMA_VERSION
+
+
+def record(status="ok", pins=100):
+    return {"status": status,
+            "metrics": {"total_pins": pins, "buses": 2, "latency": 5,
+                        "chips": 2, "wall_ms": 1.0},
+            "wall_ms": 1.0}
+
+
+# ---------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"op": "get", "key": "k" * 100,
+                       "nested": {"deep": [1, 2, 3]}}
+            send_frame(a, payload)
+            assert recv_frame(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_frame({"op": "ping"})[:5])
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_header_refused_without_reading(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_refused(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"[1, 2, 3]")
+        with pytest.raises(ProtocolError):
+            decode_body(b"not json at all")
+
+
+class TestDispatch:
+    def setup_method(self):
+        self.server = CacheServer(ResultCache())
+
+    def test_newer_schema_version_refused(self):
+        out = self.server.dispatch({"op": "ping",
+                                    "schema_version":
+                                        SCHEMA_VERSION + 1})
+        assert out["ok"] is False
+        assert "newer" in out["error"]
+
+    def test_only_completed_statuses_stored(self):
+        for status, expect in (("ok", True), ("degraded", True),
+                               ("error", False),
+                               ("budget_exhausted", False)):
+            out = self.server.dispatch(
+                {"op": "put", "key": f"k-{status}",
+                 "record": record(status)})
+            assert out["ok"] is True
+            assert out["stored"] is expect, status
+
+    def test_get_put_and_counters(self):
+        missed = self.server.dispatch({"op": "get", "key": "k1"})
+        assert missed["found"] is False
+        self.server.dispatch({"op": "put", "key": "k1",
+                              "record": record()})
+        found = self.server.dispatch({"op": "get", "key": "k1"})
+        assert found["found"] is True
+        assert found["record"]["status"] == "ok"
+        stats = self.server.dispatch({"op": "stats"})
+        assert stats["server"]["gets"] == 2
+        assert stats["server"]["hits"] == 1
+        assert stats["server"]["stored"] == 1
+
+    def test_malformed_ops_are_errors_not_crashes(self):
+        for request in ({"op": "get"}, {"op": "get", "key": ""},
+                        {"op": "put", "key": "k"},
+                        {"op": "put", "key": "", "record": {}},
+                        {"op": "nope"}, {}):
+            out = self.server.dispatch(request)
+            assert out["ok"] is False, request
+
+
+# ---------------------------------------------------------------------
+class TestOverSockets:
+    def test_client_round_trip_and_compact(self, tmp_path):
+        path = str(tmp_path / "cache.jsonl")
+        with ThreadedCacheServer(ResultCache(path)) as served:
+            client = CacheClient("127.0.0.1", served.port)
+            try:
+                assert client.ping()["entries"] == 0
+                assert client.put("k1", record()) is True
+                assert client.put("k1", record()) is False  # dup
+                assert client.get("k1")["status"] == "ok"
+                assert client.get("missing") is None
+                summary = client.compact()
+                assert summary["compacted"] is True
+                assert summary["entries"] == 1
+            finally:
+                client.close()
+        # The record survived on disk through the server's cache.
+        assert ResultCache(path).get("k1") is not None
+
+    def test_client_reconnects_after_server_restart(self):
+        served = ThreadedCacheServer().start()
+        client = CacheClient("127.0.0.1", served.port)
+        try:
+            client.put("k1", record())
+            served.stop()
+            # Same port is gone; a fresh server on a new port needs a
+            # re-aimed client — but the old one must fail loudly, not
+            # hang or return stale truth.
+            with pytest.raises(CacheClientError):
+                client.ping()
+        finally:
+            client.close()
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8769") == ("127.0.0.1", 8769)
+        assert parse_address("remote://h:1") == ("h", 1)
+        from repro.errors import ReproError
+        for bad in ("no-port", ":9", "h:"):
+            with pytest.raises(ReproError):
+                parse_address(bad)
+
+
+class TestReadThrough:
+    def test_miss_falls_through_and_backfills(self):
+        with ThreadedCacheServer() as served:
+            served.cache.put("k1", record())
+            mounted = ReadThroughCache(served.address)
+            got = mounted.get("k1")
+            assert got is not None and got["status"] == "ok"
+            assert mounted.remote_hits == 1
+            # Second read is local: remote_hits stays put.
+            assert mounted.get("k1") is not None
+            assert mounted.remote_hits == 1
+            mounted.client.close()
+
+    def test_put_propagates_to_server(self):
+        with ThreadedCacheServer() as served:
+            a = ReadThroughCache(served.address)
+            b = ReadThroughCache(served.address)
+            assert a.put("k1", record()) is True
+            assert b.get("k1") is not None  # b never solved it
+            assert b.remote_hits == 1
+            a.client.close()
+            b.client.close()
+
+    def test_remote_down_degrades_to_local(self):
+        served = ThreadedCacheServer().start()
+        mounted = ReadThroughCache(served.address)
+        mounted.put("k1", record())
+        served.stop()
+        # Local index still serves; failures are counted, not raised.
+        assert mounted.get("k1") is not None
+        assert mounted.get("k2") is None
+        assert mounted.put("k3", record()) is True
+        assert mounted.remote_errors >= 2
+        summary = mounted.compact()
+        assert summary["compacted"] is False
+        stats = mounted.stats()
+        assert stats["remote"]["errors"] >= 2
+        mounted.client.close()
+
+    def test_open_result_cache_dispatches_on_scheme(self, tmp_path):
+        local = open_result_cache(str(tmp_path / "c.jsonl"))
+        assert type(local) is ResultCache
+        with ThreadedCacheServer() as served:
+            remote = open_result_cache(f"remote://{served.address}")
+            assert isinstance(remote, ReadThroughCache)
+            assert remote.address == served.address
+            remote.client.close()

@@ -1,0 +1,110 @@
+"""Consistent-hash ring: determinism, balance, minimal remapping.
+
+These are the properties the cluster's exactly-once guarantee rests
+on, so they are pinned as tests rather than assumed: the ring must be
+identical in every process (the front and any observer agree on
+ownership), reasonably balanced (no shard absorbs the fleet), and
+removal-minimal (draining one shard moves only that shard's keys).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import DEFAULT_REPLICAS, HashRing, ring_position
+from repro.errors import ReproError
+
+SHARDS = ["shard-0", "shard-1", "shard-2", "shard-3"]
+
+
+def keys(count):
+    return [hashlib.sha256(f"key-{i}".encode()).hexdigest()
+            for i in range(count)]
+
+
+class TestDeterminism:
+    def test_owner_is_stable_across_instances(self):
+        a = HashRing(SHARDS)
+        b = HashRing(SHARDS)
+        assert all(a.owner(k) == b.owner(k) for k in keys(200))
+
+    def test_construction_order_does_not_matter(self):
+        # The ring is content-derived: seat positions come from shard
+        # *names*, so shuffled construction yields identical ownership.
+        a = HashRing(SHARDS)
+        b = HashRing(list(reversed(SHARDS)))
+        assert all(a.owner(k) == b.owner(k) for k in keys(200))
+
+    def test_position_is_content_derived(self):
+        # Pin the hash construction itself: first 8 sha256 bytes,
+        # big-endian.  If this changes, running fronts and new fronts
+        # would disagree on ownership mid-rollout.
+        digest = hashlib.sha256(b"shard-0#0").digest()
+        assert ring_position("shard-0#0") == int.from_bytes(
+            digest[:8], "big")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            HashRing([])
+        with pytest.raises(ReproError):
+            HashRing(["a", "a"])
+
+
+class TestBalance:
+    def test_1k_keys_over_4_shards_within_20_percent(self):
+        # Deterministic sample shaped like real job keys (sha256 hex
+        # digests); binomial noise on 1k keys is ~5.5% per shard, so
+        # 20% is a loose but meaningful lid.
+        ring = HashRing(SHARDS, replicas=DEFAULT_REPLICAS)
+        counts = {name: 0 for name in SHARDS}
+        for i in range(1000):
+            digest = hashlib.sha256(str(i).encode()).hexdigest()
+            counts[ring.owner(digest)] += 1
+        mean = 1000 / len(SHARDS)
+        for name, count in counts.items():
+            assert abs(count - mean) <= 0.20 * mean, (name, counts)
+
+    def test_share_sums_to_one(self):
+        ring = HashRing(SHARDS)
+        share = ring.share()
+        assert abs(sum(share.values()) - 1.0) < 1e-12
+        assert all(fraction > 0 for fraction in share.values())
+
+    def test_to_dict_shape(self):
+        out = HashRing(SHARDS).to_dict()
+        assert out["replicas"] == DEFAULT_REPLICAS
+        assert out["vnodes"] == DEFAULT_REPLICAS * len(SHARDS)
+        assert [s["name"] for s in out["shards"]] == SHARDS
+
+
+class TestRemoval:
+    def test_removal_only_remaps_removed_shards_keys(self):
+        full = HashRing(SHARDS)
+        reduced = full.without("shard-2")
+        moved = kept = 0
+        for key in keys(1000):
+            before = full.owner(key)
+            after = reduced.owner(key)
+            if before == "shard-2":
+                assert after != "shard-2"
+                moved += 1
+            else:
+                assert after == before, key
+                kept += 1
+        assert moved > 0 and kept > 0
+
+    def test_removed_keys_spread_over_survivors(self):
+        # The drained shard's load should redistribute, not pile onto
+        # one neighbor — that is what virtual nodes buy.
+        full = HashRing(SHARDS)
+        reduced = full.without("shard-2")
+        inherited = {}
+        for key in keys(2000):
+            if full.owner(key) == "shard-2":
+                after = reduced.owner(key)
+                inherited[after] = inherited.get(after, 0) + 1
+        assert len(inherited) == len(SHARDS) - 1, inherited
+
+    def test_cannot_empty_the_ring(self):
+        with pytest.raises(ReproError):
+            HashRing(["only"]).without("only")
