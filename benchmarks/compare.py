@@ -42,7 +42,14 @@ DIRECTIONS = {
     "speedup": (True, False),   # same-run ratio: hardware-independent
     "pivots": (False, False),   # deterministic work counter
     "quality": (False, False),  # latency/pins: deterministic, lower
+    "overhead": (False, False),  # same-run ratio against a hard cap
 }
+
+#: Hard ceiling for "overhead"-kind metrics (tracing-on wall must stay
+#: within 5% of tracing-off).  Unlike the relative tolerance, the cap
+#: binds against an absolute contract, so it applies even when the
+#: baseline side predates the metric.
+OVERHEAD_CAP = 1.05
 
 
 class Metric:
@@ -70,6 +77,10 @@ def metrics_ilp(doc: Dict[str, Any]) -> List[Metric]:
         if pivots is not None:
             out.append(Metric(f"ilp.{name}.tableau_pivots",
                               "pivots", pivots))
+    ratio = (doc.get("benchmarks", {}).get("obs_overhead", {})
+             .get("result", {}).get("ratio"))
+    if ratio is not None:
+        out.append(Metric("ilp.obs_overhead.ratio", "overhead", ratio))
     return out
 
 
@@ -165,6 +176,18 @@ def compare(baseline: List[Metric], current: List[Metric],
         if skip_wall and wall_based:
             lines.append(f"  skip  {name:48s} (wall-based)")
             continue
+        if c.kind == "overhead":
+            # Absolute contract, not a relative drift check: the
+            # current ratio must sit under the cap no matter what the
+            # baseline measured.
+            regressed = c.value > OVERHEAD_CAP
+            verdict = "FAIL" if regressed else "ok"
+            lines.append(f"  {verdict:4s}  {name:48s} "
+                         f"{b.value:12.2f} -> {c.value:12.2f}  "
+                         f"(cap {OVERHEAD_CAP})")
+            if regressed:
+                failures.append(name)
+            continue
         if b.value == 0:
             lines.append(f"  skip  {name:48s} (baseline is 0)")
             continue
@@ -180,8 +203,15 @@ def compare(baseline: List[Metric], current: List[Metric],
     for name in sorted(set(base) - set(cur)):
         lines.append(f"  skip  {name:48s} (absent in current)")
     for name in sorted(set(cur) - set(base)):
+        c = cur[name]
+        if c.kind == "overhead" and c.value > OVERHEAD_CAP:
+            lines.append(f"  FAIL  {name:48s} "
+                         f"{c.value:12.2f} (cap {OVERHEAD_CAP}, "
+                         f"no baseline)")
+            failures.append(name)
+            continue
         lines.append(f"  new   {name:48s} "
-                     f"{cur[name].value:12.2f} (no baseline)")
+                     f"{c.value:12.2f} (no baseline)")
     return lines, failures
 
 

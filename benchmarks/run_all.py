@@ -110,11 +110,75 @@ def bench_micro_pin_checker():
             "feasible_verdicts": verdicts}
 
 
+def bench_obs_overhead():
+    """Tracing-on vs tracing-off wall for a fixed solve workload.
+
+    The two modes are interleaved *per solve* — pairs of identical
+    ar-simple Chapter 3 solves, one traced and one not, with the order
+    inside each pair alternating — and the gated number is ``ratio``
+    = total-on / total-off.  Machine-wide drift (noisy neighbours,
+    CPU frequency scaling) moves on timescales much longer than one
+    ~40 ms solve, so adjacent paired solves see the same conditions
+    and the drift cancels in the totals; coarser designs (whole legs
+    per mode, even min- or median-over-legs) compare measurements
+    from different moments and were observed to turn several percent
+    of ambient wall noise into false breaches of the hard cap.
+    Tracing on means sample rate 1.0 with no exporter — every solver
+    phase becomes a recorded span — which is the worst case the
+    "<5% overhead" budget promises; benchmarks/compare.py enforces a
+    hard 1.05 cap on the ratio.
+    """
+    from repro.obs import TRACER
+
+    pairs = 24
+
+    def solve():
+        start = time.perf_counter()
+        synthesize_simple(ar_simple_design(), AR_SIMPLE_PINS,
+                          ar_filter_timing(), 2)
+        return time.perf_counter() - start
+
+    def traced_solve():
+        TRACER.configure(enabled=True, sample_rate=1.0,
+                         export_path="")
+        TRACER.reset()
+        elapsed = solve()
+        recorded = TRACER.stats()["recorded"]
+        TRACER.configure(enabled=False)
+        return elapsed, recorded
+
+    solve()  # warm-up: fault in both code paths before timing either
+    off_s = on_s = 0.0
+    spans_per_solve = 0
+    try:
+        for index in range(pairs):
+            if index % 2:  # alternate order to cancel ordering bias
+                on, recorded = traced_solve()
+                off = solve()
+            else:
+                off = solve()
+                on, recorded = traced_solve()
+            off_s += off
+            on_s += on
+            spans_per_solve = max(spans_per_solve, recorded)
+    finally:
+        TRACER.configure(enabled=False, sample_rate=1.0,
+                         export_path="")
+        TRACER.reset()
+    ratio = round(on_s / off_s, 4) if off_s else 0.0
+    print(f"  obs_overhead  off={off_s:.4f}s  on={on_s:.4f}s  "
+          f"ratio={ratio} ({pairs} interleaved pairs)  "
+          f"spans/solve={spans_per_solve}")
+    return {"pairs": pairs, "off_s": round(off_s, 4),
+            "on_s": round(on_s, 4),
+            "spans_per_solve": spans_per_solve, "ratio": ratio}
+
+
 FULL = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
         bench_ch4_ar_unidir_L3, bench_ch4_ar_unidir_L4,
-        bench_ch4_ar_unidir_L5]
+        bench_ch4_ar_unidir_L5, bench_obs_overhead]
 SMOKE = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
-         bench_ch4_ar_unidir_L3]
+         bench_ch4_ar_unidir_L3, bench_obs_overhead]
 
 
 # ---------------------------------------------------------------------

@@ -22,6 +22,9 @@ Commands
                 admission and fleet-wide exactly-once coalescing;
 ``cache-server``run the cluster's shared result-cache server
                 standalone;
+``trace``       replay a distributed-trace JSONL export (written by
+                ``--trace-export``) as rendered span trees with
+                per-layer time attribution;
 ``check``       synthesize and run the unified design-rule checker
                 (optionally the cross-flow differential oracle) on the
                 result, printing structured violations;
@@ -112,6 +115,33 @@ def _load(name_or_path: str, rate: int
     return graph, partitioning, ar_filter_timing(), None
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Tracing flags shared by every traced command."""
+    parser.add_argument("--trace", action="store_true",
+                        help="enable distributed tracing (spans from "
+                             "pass pipeline to solver phases; see "
+                             "`repro trace` to replay an export)")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        metavar="RATE",
+                        help="fraction of root requests to trace "
+                             "(deterministic accumulator sampling; "
+                             "default: 1.0)")
+    parser.add_argument("--trace-export", default=None, metavar="PATH",
+                        help="append finished spans as JSONL here "
+                             "(implies --trace; multi-process safe)")
+
+
+def _configure_obs(args) -> None:
+    """Apply the obs flags; env mirroring reaches subprocesses."""
+    if not (getattr(args, "trace", False)
+            or getattr(args, "trace_export", None)):
+        return
+    from repro.obs import configure
+    configure(enabled=True,
+              sample_rate=getattr(args, "trace_sample", 1.0),
+              export_path=getattr(args, "trace_export", None))
+
+
 def _budget(args) -> Optional[SolveBudget]:
     timeout = getattr(args, "timeout_ms", None)
     if timeout is None:
@@ -161,6 +191,7 @@ def _result_json(args, result) -> dict:
 
 def cmd_synthesize(args) -> int:
     """Run a flow and print the schedule/connection/pin reports."""
+    _configure_obs(args)
     result = _synthesize(args)
     if args.json:
         print(json.dumps(_result_json(args, result), indent=1,
@@ -219,6 +250,7 @@ def _bool_axis(text: str):
 
 def cmd_explore(args) -> int:
     """Sweep the design space and emit a Pareto report."""
+    _configure_obs(args)
     from repro.designs import elliptic_resources
     from repro.explore import (DesignSpace, Executor, SweepSpec,
                                build_report, write_report)
@@ -309,6 +341,7 @@ def cmd_explore(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the long-running synthesis service until SIGTERM/SIGINT."""
+    _configure_obs(args)
     from repro.service import ServiceConfig, ShardIdentity, serve
     shard = None
     if args.shard_count > 0:
@@ -335,6 +368,7 @@ def cmd_cache_server(args) -> int:
 
 def cmd_cluster(args) -> int:
     """Supervise a local cluster: cache server + shards + front."""
+    _configure_obs(args)
     from repro.cluster import serve_cluster
     return serve_cluster(shards=args.shards, host=args.host,
                          port=args.port,
@@ -392,6 +426,27 @@ def cmd_check(args) -> int:
                            ("tolerated (declared pin overruns)"
                             if not hard else "FAILED")))
     return 0 if not hard else 1
+
+
+def cmd_trace(args) -> int:
+    """Replay a trace JSONL export as rendered span trees."""
+    from repro.obs.render import render_file
+    try:
+        text, count = render_file(args.path, trace_id=args.trace_id,
+                                  limit=args.limit)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace export: {exc}") from None
+    if text:
+        try:
+            print(text)
+        except BrokenPipeError:
+            # Pager/head closed the pipe mid-render; that's success.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+            return 0
+    if count == 0:
+        print("no traces in export", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_fuzz(args) -> int:
@@ -489,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_syn = sub.add_parser("synthesize", help="run a synthesis flow")
     _add_flow_options(p_syn)
+    _add_obs_options(p_syn)
     p_syn.add_argument("--output", "-o", help="archive result as JSON")
     p_syn.add_argument("--json", action="store_true",
                        help="print one machine-readable result object "
@@ -574,6 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", action="store_true",
                        help="print the full report as JSON instead of "
                             "the text summary")
+    _add_obs_options(p_exp)
     p_exp.set_defaults(func=cmd_explore)
 
     p_chk = sub.add_parser(
@@ -655,6 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet size; 0 (default) runs standalone, "
                             ">0 enables shard mode (readiness also "
                             "requires a coherent ring seat)")
+    _add_obs_options(p_srv)
     p_srv.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
@@ -711,7 +769,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="same-design requests arriving within "
                             "this window fold into one sweep per "
                             "owner shard; 0 disables (default: 10)")
+    _add_obs_options(p_clu)
     p_clu.set_defaults(func=cmd_cluster)
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="replay a trace JSONL export (from --trace-export) as "
+             "rendered span trees with per-layer attribution; exit 1 "
+             "when the export holds no traces")
+    p_trc.add_argument("path", help="JSONL span export file")
+    p_trc.add_argument("--trace-id", default=None,
+                       help="only render traces whose id starts with "
+                            "this prefix")
+    p_trc.add_argument("--limit", type=int, default=0,
+                       help="render at most N traces, most recent "
+                            "first (default: all)")
+    p_trc.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -43,8 +44,11 @@ from repro.errors import ReproError
 from repro.explore.pareto import OBJECTIVES, pareto_front
 from repro.explore.spec import SweepJob
 from repro.io_json import SCHEMA_VERSION, canonical_dumps
+from repro.obs import HUB, TRACER, extract_headers
+from repro.obs.prometheus import render_cluster_metrics
 from repro.service import catalog
-from repro.service.app import COMPLETED_STATUSES, Handled, job_response
+from repro.service.app import (COMPLETED_STATUSES, Handled,
+                               job_response, wants_prometheus)
 from repro.service.jobs import Job, JobStore
 from repro.service.metrics import ServiceMetrics
 from repro.cluster.cache_client import ReadThroughCache
@@ -239,9 +243,13 @@ class FrontTier:
                          ) -> Tuple[int, Dict[str, Any],
                                     Dict[str, str]]:
         try:
+            # Trace context rides on the hop's headers, so the shard's
+            # request span parents under the front's (one trace across
+            # the whole cluster).
             return await request_json(
                 state.address.host, state.address.port, method, path,
-                body, timeout_s or self.config.proxy_timeout_s)
+                body, timeout_s or self.config.proxy_timeout_s,
+                headers=TRACER.current_headers())
         except (OSError, asyncio.TimeoutError) as exc:
             state.healthy = False
             state.last_error = str(exc)
@@ -280,6 +288,16 @@ class FrontTier:
     # -- single-point routing with failover ----------------------------
     async def route_point(self, body: Dict[str, Any], point: SweepJob,
                           deadline_ms: Optional[float]) -> Handled:
+        with TRACER.span("front.route", layer="front",
+                         key=point.key[:12]) as sp:
+            status, payload, headers = await self._route_point(
+                body, point, deadline_ms, sp)
+            sp.set(status=status)
+            return status, payload, headers
+
+    async def _route_point(self, body: Dict[str, Any], point: SweepJob,
+                           deadline_ms: Optional[float],
+                           sp: Any) -> Handled:
         start = time.perf_counter()
         tried: set = set()
         while True:
@@ -323,6 +341,9 @@ class FrontTier:
             self.metrics.inc("proxied")
             self.metrics.observe_job_ms(
                 (time.perf_counter() - start) * 1000.0)
+            HUB.observe("front.route_ms",
+                        (time.perf_counter() - start) * 1000.0)
+            sp.set(owner=owner, failovers=len(tried))
             return status, self._rewrite(payload, owner), {}
 
     async def _cache_lookup(self, key: str) -> Optional[Dict[str, Any]]:
@@ -677,6 +698,7 @@ class FrontTier:
                                           for s in states))
         totals: Dict[str, int] = {}
         queue_depth = 0
+        inflight = 0
         workers = 0
         p95 = 0.0
         shards: Dict[str, Any] = {}
@@ -691,6 +713,7 @@ class FrontTier:
                     if isinstance(value, int):
                         totals[name] = totals.get(name, 0) + value
                 queue_depth += int(svc.get("queue_depth", 0))
+                inflight += int(svc.get("inflight", 0))
                 workers += int(payload.get("workers", {})
                                .get("count", 0))
                 latency = svc.get("latency", {})
@@ -698,21 +721,37 @@ class FrontTier:
                 entry.update({
                     "counters": counters,
                     "queue_depth": svc.get("queue_depth", 0),
+                    "inflight": svc.get("inflight", 0),
+                    "workers": payload.get("workers", {})
+                                      .get("count", 0),
                     "ema_job_ms": svc.get("ema_job_ms", 0.0),
                 })
             shards[state.address.name] = entry
+        # Scrape-time gauges for the front's own hub section.
+        HUB.gauges({
+            "front.batch_windows_open": len(self.batches),
+            "front.tasks_inflight": len(self._tasks),
+            "cluster.queue_depth": queue_depth,
+            "cluster.inflight": inflight,
+            "cluster.shards_healthy": healthy,
+        })
+        hub = HUB.snapshot()
         out: Dict[str, Any] = {
             "schema": "repro-cluster-metrics/1",
             "schema_version": SCHEMA_VERSION,
             "front": self.metrics.snapshot(),
             "cluster": {"counters": totals,
                         "queue_depth": queue_depth,
+                        "inflight": inflight,
                         "workers": workers,
                         "latency_p95_ms": round(p95, 3),
                         "shards": len(states),
                         "shards_healthy": healthy},
             "shards": shards,
             "ring": self.ring.to_dict(),
+            "obs": {"histograms": hub["histograms"],
+                    "gauges": hub["gauges"]},
+            "tracer": TRACER.stats(),
         }
         if self.cache is not None:
             out["cache"] = self.cache.stats()
@@ -737,7 +776,9 @@ class FrontTier:
 
     # -- request routing -----------------------------------------------
     async def handle(self, method: str, path: str,
-                     body: Optional[Dict[str, Any]]) -> Handled:
+                     body: Optional[Dict[str, Any]],
+                     headers: Optional[Dict[str, str]] = None,
+                     query: str = "") -> Handled:
         if path == "/healthz":
             if method != "GET":
                 return _error(405, "method not allowed")
@@ -745,7 +786,10 @@ class FrontTier:
         if path == "/metrics":
             if method != "GET":
                 return _error(405, "method not allowed")
-            return 200, await self.build_metrics(), {}
+            payload = await self.build_metrics()
+            if wants_prometheus(headers, query):
+                return 200, render_cluster_metrics(payload), {}
+            return 200, payload, {}
         if path == "/cluster/ring":
             if method != "GET":
                 return _error(405, "method not allowed")
@@ -759,25 +803,46 @@ class FrontTier:
             if method != "POST":
                 return _error(405, "method not allowed")
             self.metrics.inc("requests")
-            if self.draining:
-                return _error(503, "cluster front tier is draining",
-                              retry_after_s=1)
-            if body is None:
-                return _error(400,
-                              "request body must be a JSON object")
-            try:
-                deadline_ms = self._deadline_ms(body)
-                wait = bool(body.get("wait", True))
-                if path == "/v1/synthesize":
-                    _space, point = catalog.synthesize_job(body)
-                    return await self.handle_synthesize(
-                        body, point, wait, deadline_ms)
-                space, spec, points = catalog.sweep_jobs(body)
-                return await self.handle_sweep(
-                    body, space.name, spec, points, wait, deadline_ms)
-            except (ReproError, ValueError, TypeError) as exc:
-                return _error(400, str(exc))
+            request_id = uuid.uuid4().hex[:12]
+            # Adopt the caller's trace context (if any) so the whole
+            # cluster hop — front routing, shard admission, worker
+            # solve — lands on one connected trace.
+            with TRACER.attach(extract_headers(headers)), \
+                    TRACER.span("front.request", layer="front",
+                                endpoint=path) as sp:
+                sp.set(request_id=request_id)
+                status, payload, extra = await self._handle_submit(
+                    path, body, sp)
+            extra = dict(extra)
+            extra["X-Repro-Request-Id"] = request_id
+            if sp.sampled:
+                extra["X-Repro-Trace-Id"] = sp.trace_id
+            return status, payload, extra
         return _error(404, f"no such endpoint {path!r}")
+
+    async def _handle_submit(self, path: str,
+                             body: Optional[Dict[str, Any]],
+                             sp: Any) -> Handled:
+        if self.draining:
+            return _error(503, "cluster front tier is draining",
+                          retry_after_s=1)
+        if body is None:
+            return _error(400, "request body must be a JSON object")
+        try:
+            deadline_ms = self._deadline_ms(body)
+            wait = bool(body.get("wait", True))
+            if path == "/v1/synthesize":
+                _space, point = catalog.synthesize_job(body)
+                sp.set(design=str(body.get("design", ""))[:64],
+                       key=point.key[:12])
+                return await self.handle_synthesize(
+                    body, point, wait, deadline_ms)
+            space, spec, points = catalog.sweep_jobs(body)
+            sp.set(design=space.name, points=len(points))
+            return await self.handle_sweep(
+                body, space.name, spec, points, wait, deadline_ms)
+        except (ReproError, ValueError, TypeError) as exc:
+            return _error(400, str(exc))
 
     def _deadline_ms(self, body: Dict[str, Any]) -> Optional[float]:
         raw = body.get("timeout_ms", self.config.default_timeout_ms)

@@ -49,17 +49,26 @@ async def _read_response(reader: asyncio.StreamReader) -> JsonResponse:
 
 async def request_json(host: str, port: int, method: str, path: str,
                        body: Optional[Dict[str, Any]] = None,
-                       timeout_s: float = 30.0) -> JsonResponse:
-    """One HTTP exchange against ``host:port``."""
+                       timeout_s: float = 30.0,
+                       headers: Optional[Dict[str, str]] = None
+                       ) -> JsonResponse:
+    """One HTTP exchange against ``host:port``.
+
+    ``headers`` are extra request headers (the front tier uses this to
+    propagate trace context to the owner shard).
+    """
     reader, writer = await asyncio.wait_for(
         asyncio.open_connection(host, port), timeout_s)
     try:
         data = b"" if body is None else json.dumps(body).encode("utf-8")
-        head = (f"{method} {path} HTTP/1.1\r\n"
-                f"Host: {host}:{port}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(data)}\r\n"
-                f"Connection: close\r\n\r\n")
+        lines = [f"{method} {path} HTTP/1.1",
+                 f"Host: {host}:{port}",
+                 "Content-Type: application/json",
+                 f"Content-Length: {len(data)}"]
+        lines.extend(f"{name}: {value}"
+                     for name, value in (headers or {}).items())
+        lines.append("Connection: close")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + data)
         await writer.drain()
         return await asyncio.wait_for(_read_response(reader), timeout_s)

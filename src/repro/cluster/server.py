@@ -46,7 +46,8 @@ async def _handle_connection(front: FrontTier,
             method, target, headers, body_bytes = request
             keep_alive = headers.get(
                 "connection", "keep-alive").lower() != "close"
-            path = urlsplit(target).path
+            parts = urlsplit(target)
+            path, query = parts.path, parts.query
             body: Optional[Dict[str, Any]] = None
             if body_bytes:
                 try:
@@ -56,7 +57,7 @@ async def _handle_connection(front: FrontTier,
                     body = None
             try:
                 status, payload, extra = await front.handle(
-                    method, path, body)
+                    method, path, body, headers=headers, query=query)
             except Exception as exc:  # keep the front alive
                 front.metrics.inc("errors")
                 status, payload, extra = 500, {

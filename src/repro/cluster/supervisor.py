@@ -45,7 +45,14 @@ def free_port(host: str = "127.0.0.1") -> int:
 
 
 def _child_env() -> dict:
-    """Child processes must resolve ``repro`` the same way we did."""
+    """Child processes must resolve ``repro`` the same way we did.
+
+    The full environment rides along, which is also how observability
+    config reaches the shards: ``repro cluster --trace`` mirrors its
+    settings into ``REPRO_TRACE*`` (see :func:`repro.obs.configure`),
+    so every shard subprocess traces with the same sample rate and
+    appends to the same JSONL export (O_APPEND keeps lines atomic).
+    """
     env = dict(os.environ)
     src = os.path.dirname(os.path.dirname(os.path.abspath(
         repro.__file__)))

@@ -57,6 +57,7 @@ from repro.partition.simple import is_simple_partitioning
 from repro.pipeline.context import (STAT_COUNTERS as _STAT_COUNTERS,
                                     normalized_stats as
                                     _normalized_stats)
+from repro.obs import TRACER
 from repro.robustness.budget import (BudgetExhausted, BudgetToken,
                                      as_token)
 from repro.robustness.diagnostics import Diagnostics
@@ -345,14 +346,17 @@ def synthesize(graph: Cdfg,
     options = SynthesisOptions(flow=flow, **opts)
     token = as_token(budget)
     diag = Diagnostics()
-    try:
-        return _dispatch(graph, partitioning, timing,
-                         initiation_rate, options, token, diag,
-                         warm_basis=pin_warm_basis, check=check)
-    except BudgetExhausted as exc:
-        if exc.diagnostics is None:
-            exc.diagnostics = diag
-        raise
+    with TRACER.span("synthesize", layer="pipeline", flow=flow,
+                     rate=initiation_rate) as sp:
+        diag.bind_span(sp)
+        try:
+            return _dispatch(graph, partitioning, timing,
+                             initiation_rate, options, token, diag,
+                             warm_basis=pin_warm_basis, check=check)
+        except BudgetExhausted as exc:
+            if exc.diagnostics is None:
+                exc.diagnostics = diag
+            raise
 
 
 def _dispatch(graph: Cdfg, partitioning: Partitioning,

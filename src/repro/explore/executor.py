@@ -37,6 +37,7 @@ from repro.explore.pareto import (OBJECTIVES, PRUNE_OBJECTIVES,
                                   dominates, pareto_front)
 from repro.explore.spec import SweepJob
 from repro.explore.worker import run_chain, run_job
+from repro.obs import HUB, TRACER, inject_payload
 from repro.perf import PERF, PerfRegistry
 from repro.robustness.budget import carve_deadline_ms
 from repro.robustness.deadline import Deadline
@@ -108,8 +109,15 @@ class Executor:
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[SweepJob]) -> ExploreResult:
+        with TRACER.span("explore.sweep", layer="explore",
+                         jobs=len(jobs), workers=self.workers) as sp:
+            result = self._run(jobs, deadline=Deadline(self.deadline_ms))
+            sp.set(cache_hits=result.cache_stats.get("hits", 0))
+            return result
+
+    def _run(self, jobs: Sequence[SweepJob],
+             deadline: Deadline) -> ExploreResult:
         start = time.perf_counter()
-        deadline = Deadline(self.deadline_ms)
         sweep_perf = PerfRegistry()
         records: Dict[int, Dict[str, Any]] = {}
         front: List[Dict[str, float]] = []
@@ -205,6 +213,8 @@ class Executor:
         records[job.index] = record
         record.pop("warm_basis", None)
         sweep_perf.merge(record.get("perf") or {})
+        spans = record.pop("spans", None)
+        hub_delta = record.pop("hub", None)
         if merge_global:
             # Pool workers incremented *their* PERF; fold the deltas
             # into the parent so the sweep looks like one process.
@@ -212,6 +222,11 @@ class Executor:
             if self.oracle_store is not None:
                 # Likewise the oracle entries a forked worker proved.
                 self.oracle_store.merge(record.get("oracle_delta"))
+            # Same for the worker's spans and histogram observations;
+            # inline runs recorded directly into the parent's TRACER /
+            # HUB, so merging there would double-count.
+            TRACER.merge(spans)
+            HUB.merge(hub_delta)
         if record.get("status") in COMPLETED_STATUSES:
             front.append(record["metrics"])
             self.cache.put(job.key, record)
@@ -238,7 +253,8 @@ class Executor:
             slice_ms = carve_deadline_ms(
                 deadline.remaining_ms(), len(pending) - position,
                 workers=1, floor_ms=self.min_job_ms)
-            record = run_job(job.payload(deadline_ms=slice_ms))
+            record = run_job(inject_payload(
+                job.payload(deadline_ms=slice_ms)))
             self._absorb(record, job, records, front, sweep_perf,
                          merge_global=False)
 
@@ -257,7 +273,8 @@ class Executor:
         with ProcessPoolExecutor(max_workers=self.workers,
                                  mp_context=context) as pool:
             futures = {
-                pool.submit(run_job, job.payload(deadline_ms=slice_ms)):
+                pool.submit(run_job, inject_payload(
+                    job.payload(deadline_ms=slice_ms))):
                 job
                 for job in pending
             }
@@ -316,7 +333,8 @@ class Executor:
                 slice_ms = carve_deadline_ms(
                     deadline.remaining_ms(), remaining,
                     workers=1, floor_ms=self.min_job_ms)
-                payload = job.payload(deadline_ms=slice_ms)
+                payload = inject_payload(
+                    job.payload(deadline_ms=slice_ms))
                 payload["export_warm"] = True
                 if warm is not None:
                     payload["warm_basis"] = warm
@@ -345,8 +363,9 @@ class Executor:
                                  mp_context=context) as pool:
             futures = {}
             for chain in chains:
-                payloads = [job.payload(deadline_ms=slice_ms)
-                            for job in chain]
+                payloads = [inject_payload(
+                    job.payload(deadline_ms=slice_ms))
+                    for job in chain]
                 futures[pool.submit(run_chain, payloads)] = chain
             for future in as_completed(futures):
                 chain = futures[future]

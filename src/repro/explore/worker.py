@@ -27,6 +27,7 @@ from repro.io_json import (_stats_to_dict, graph_from_dict,
                            partitioning_from_dict)
 from repro.modules.library import (ar_filter_timing,
                                    elliptic_filter_timing)
+from repro.obs import HUB, TRACER, extract_payload
 from repro.perf import PERF
 from repro.robustness.budget import BudgetExhausted, SolveBudget
 
@@ -96,48 +97,66 @@ def run_job(payload: Mapping[str, Any]) -> Dict[str, Any]:
     }
     start = time.perf_counter()
     before = PERF.snapshot()
+    hub_before = HUB.snapshot()
     store = get_active()
     mark = store.mark() if store is not None else 0
-    try:
-        graph = graph_from_dict(payload["design"]["graph"])
-        partitioning = partitioning_from_dict(
-            payload["design"]["partitioning"])
-        timing = resolve_timing(payload.get("timing", "ar"))
-        options = SynthesisOptions.from_dict(payload["options"])
-        resources = _resources_from_payload(payload.get("resources"))
-        deadline_ms = payload.get("deadline_ms")
-        budget = (None if deadline_ms is None
-                  else SolveBudget(deadline_ms=deadline_ms))
-        kwargs = options.to_dict()
-        flow = kwargs.pop("flow")
-        result = synthesize(graph, partitioning, timing,
-                            int(payload["rate"]), flow=flow,
-                            budget=budget, resources=resources,
-                            pin_warm_basis=payload.get("warm_basis"),
-                            **kwargs)
-        wall_ms = (time.perf_counter() - start) * 1000.0
-        record["status"] = "degraded" if result.degraded else "ok"
-        record["metrics"] = result_metrics(result, wall_ms)
-        record["stats"] = _jsonable(_stats_to_dict(result.stats))
-        record["diagnostics"] = result.diagnostics.to_dict()
-        if payload.get("export_warm") and result.warm_basis is not None:
-            record["warm_basis"] = result.warm_basis
-        if payload.get("check"):
-            _check_record(result, record)
-    except BudgetExhausted as exc:
-        record["status"] = "budget_exhausted"
-        record["error"] = str(exc)
-        record["progress"] = exc.progress()
-    except ReproError as exc:
-        record["status"] = "error"
-        record["error"] = str(exc)
-    except Exception as exc:  # pragma: no cover - defensive
-        record["status"] = "error"
-        record["error"] = (f"{type(exc).__name__}: {exc}\n"
-                           + traceback.format_exc(limit=5))
+    # Re-activate the submitter's trace context (rides in the payload
+    # across the fork/thread boundary) so this job's spans parent
+    # under it; the delta ships back in the record for the merge.
+    span_mark = TRACER.mark()
+    with TRACER.attach(extract_payload(payload)), \
+            TRACER.span("job.solve", layer="worker",
+                        index=record["index"]) as job_span:
+        try:
+            graph = graph_from_dict(payload["design"]["graph"])
+            partitioning = partitioning_from_dict(
+                payload["design"]["partitioning"])
+            timing = resolve_timing(payload.get("timing", "ar"))
+            options = SynthesisOptions.from_dict(payload["options"])
+            resources = _resources_from_payload(payload.get("resources"))
+            deadline_ms = payload.get("deadline_ms")
+            budget = (None if deadline_ms is None
+                      else SolveBudget(deadline_ms=deadline_ms))
+            kwargs = options.to_dict()
+            flow = kwargs.pop("flow")
+            result = synthesize(graph, partitioning, timing,
+                                int(payload["rate"]), flow=flow,
+                                budget=budget, resources=resources,
+                                pin_warm_basis=payload.get("warm_basis"),
+                                **kwargs)
+            wall_ms = (time.perf_counter() - start) * 1000.0
+            record["status"] = "degraded" if result.degraded else "ok"
+            record["metrics"] = result_metrics(result, wall_ms)
+            record["stats"] = _jsonable(_stats_to_dict(result.stats))
+            record["diagnostics"] = result.diagnostics.to_dict()
+            if payload.get("export_warm") \
+                    and result.warm_basis is not None:
+                record["warm_basis"] = result.warm_basis
+            if payload.get("check"):
+                _check_record(result, record)
+        except BudgetExhausted as exc:
+            record["status"] = "budget_exhausted"
+            record["error"] = str(exc)
+            record["progress"] = exc.progress()
+        except ReproError as exc:
+            record["status"] = "error"
+            record["error"] = str(exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            record["status"] = "error"
+            record["error"] = (f"{type(exc).__name__}: {exc}\n"
+                               + traceback.format_exc(limit=5))
+        job_span.set(status=record.get("status", "error"),
+                     key=record["key"][:12])
     record.setdefault(
         "wall_ms", round((time.perf_counter() - start) * 1000.0, 3))
+    HUB.observe("worker.solve_ms", record["wall_ms"])
     record["perf"] = PERF.delta_since(before)
+    hub_delta = HUB.delta_since(hub_before)
+    if hub_delta:
+        record["hub"] = hub_delta
+    spans = TRACER.spans_since(span_mark)
+    if spans:
+        record["spans"] = spans
     if store is not None:
         record["oracle_delta"] = store.delta_since(mark)
     return record

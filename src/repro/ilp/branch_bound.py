@@ -54,6 +54,12 @@ def solve_ilp(model: Model,
     cap or deadline is hit; the best incumbent found so far is noted on
     the token so the exception carries it.
     """
+    with PERF.phase("bnb.solve"):
+        return _solve_ilp(model, node_limit, max_iter, budget)
+
+
+def _solve_ilp(model: Model, node_limit: int, max_iter: int,
+               budget=None) -> Solution:
     token = as_token(budget)
     sense = model.sense
     incumbent: Optional[Solution] = None

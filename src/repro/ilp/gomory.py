@@ -545,6 +545,10 @@ class DualAllIntegerSolver:
 
     def commit_lower_bound(self, var: Var, amount: int = 1) -> None:
         """Raise the bound for real; raises if it makes the ILP infeasible."""
+        with PERF.phase("gomory.commit"):
+            self._commit_lower_bound(var, amount)
+
+    def _commit_lower_bound(self, var: Var, amount: int = 1) -> None:
         PERF.inc("gomory.commits")
         token = self._mark()
         self.add_lower_bound(var, amount)
@@ -565,6 +569,10 @@ class DualAllIntegerSolver:
     # ------------------------------------------------------------------
     def solve(self) -> Solution:
         """Solve to optimality (for models with a dual-feasible start)."""
+        with PERF.phase("gomory.solve"):
+            return self._solve()
+
+    def _solve(self) -> Solution:
         if not self.reoptimize():
             return Solution(SolveStatus.INFEASIBLE)
         values: Dict[int, Fraction] = {}

@@ -1,0 +1,63 @@
+"""Trace-context propagation helpers for the two boundary kinds.
+
+The repo crosses execution boundaries in exactly two shapes, and each
+gets one inject/extract pair:
+
+* **Plain-data job payloads** (explorer ``Executor`` → fork worker,
+  service → pool worker): the context rides as ``payload["trace"]``, a
+  small JSON-able dict.  The worker re-activates it with
+  ``TRACER.attach(extract_payload(payload))`` so spans recorded in the
+  worker parent under the submitting span after the delta merge.
+* **HTTP hops** (client → service, front → shard): the context rides
+  as ``x-repro-trace-id`` / ``x-repro-parent-id`` / ``x-repro-sampled``
+  request headers.
+
+Both directions are no-ops when tracing is disabled or the active
+trace is unsampled, so call sites stay unconditional.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.trace import TRACER, SpanContext
+
+__all__ = [
+    "inject_payload",
+    "extract_payload",
+    "inject_headers",
+    "extract_headers",
+]
+
+#: Payload key carrying the serialized context across worker pools.
+PAYLOAD_KEY = "trace"
+
+
+def inject_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp the current sampled context into a job payload (in place).
+
+    Returns the payload for chaining.  Leaves it untouched when there
+    is nothing to propagate.
+    """
+    ctx = TRACER.current_dict()
+    if ctx is not None:
+        payload[PAYLOAD_KEY] = ctx
+    return payload
+
+
+def extract_payload(payload: Dict[str, Any]) -> Optional[SpanContext]:
+    """Read a propagated context out of a job payload (or None)."""
+    return SpanContext.from_dict(payload.get(PAYLOAD_KEY))
+
+
+def inject_headers(
+        headers: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Merge the current sampled context into an HTTP header dict."""
+    out = dict(headers) if headers else {}
+    out.update(TRACER.current_headers())
+    return out
+
+
+def extract_headers(headers: Any) -> Optional[SpanContext]:
+    """Read a propagated context from lowercase request headers."""
+    return SpanContext.from_headers(headers)

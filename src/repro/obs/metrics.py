@@ -1,0 +1,218 @@
+"""Histogram metrics and gauges, unified with ``PerfRegistry``.
+
+:class:`MetricsHub` is the one-stop metrics surface: integer counters
+and phase timings delegate to a :class:`~repro.perf.PerfRegistry`
+(by default the process-global ``PERF``), while fixed-bucket latency /
+size histograms and point-in-time gauges live in the hub itself.
+``snapshot()`` returns all four sections, so a ``/metrics`` endpoint
+or a Prometheus renderer reads one object.
+
+Cross-process aggregation mirrors the PerfRegistry shape exactly:
+a fork worker snapshots before the job, ships
+``HUB.delta_since(before)`` in its result record, and the parent
+``HUB.merge(delta)``\\ s it.  The delta carries **histograms only** —
+counters and timings already travel on the established
+``record["perf"]`` path, and shipping them twice would double-count.
+Gauges are point-in-time owner-process values (queue depth, in-flight)
+and are never merged; the owning tier sets them at scrape time.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.perf import PERF, PerfRegistry
+
+__all__ = [
+    "Histogram",
+    "MetricsHub",
+    "HUB",
+    "DEFAULT_BUCKETS_MS",
+    "BYTE_BUCKETS",
+]
+
+#: Default latency buckets (milliseconds): sub-ms solver phases up to
+#: multi-second cluster sweeps.
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000)
+
+#: Size buckets (bytes) for request/response body histograms.
+BYTE_BUCKETS: Tuple[float, ...] = (
+    256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus sum and count.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    is the overflow (``+Inf``) bucket.  Counts are *per-bucket*, not
+    cumulative — the Prometheus renderer cumulates on the way out.
+    Not locked itself; the owning :class:`MetricsHub` serializes access.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
+                 ) -> None:
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += 1
+        self.sum += value
+        self.count += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def delta_since(self, before: Optional[Mapping[str, Any]]
+                    ) -> Optional[Dict[str, Any]]:
+        if not before or list(before.get("buckets", [])) != list(
+                self.bounds):
+            before = None
+        prev_counts = (list(before["counts"]) if before
+                       else [0] * len(self.counts))
+        counts = [int(c) - int(p)
+                  for c, p in zip(self.counts, prev_counts)]
+        count = self.count - (int(before["count"]) if before else 0)
+        if count <= 0 and not any(counts):
+            return None
+        return {
+            "buckets": list(self.bounds),
+            "counts": counts,
+            "sum": self.sum - (float(before["sum"]) if before else 0.0),
+            "count": count,
+        }
+
+    def merge(self, delta: Mapping[str, Any]) -> bool:
+        """Fold a snapshot/delta in; False when bucket bounds differ."""
+        if list(delta.get("buckets", [])) != list(self.bounds):
+            return False
+        for i, value in enumerate(delta.get("counts", [])):
+            if i < len(self.counts):
+                self.counts[i] += int(value)
+        self.sum += float(delta.get("sum", 0.0))
+        self.count += int(delta.get("count", 0))
+        return True
+
+
+class MetricsHub:
+    """Thread-safe histograms + gauges over a ``PerfRegistry``.
+
+    One hub per process (the module-global ``HUB``); every tier —
+    service event loop, pool workers after a fork, the cluster front —
+    observes into its own copy and the deltas flow back along the
+    existing result-record merge path.
+    """
+
+    def __init__(self, perf: Optional[PerfRegistry] = None) -> None:
+        self._lock = threading.Lock()
+        self.perf = perf if perf is not None else PERF
+        self._hists: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- counters / timings delegate to the perf registry --------------
+    def inc(self, key: str, amount: int = 1) -> None:
+        self.perf.inc(key, amount)
+
+    @contextmanager
+    def phase(self, key: str) -> Iterator[None]:
+        with self.perf.phase(key):
+            yield
+
+    # -- histograms ----------------------------------------------------
+    def observe(self, name: str, value: float,
+                buckets: Optional[Sequence[float]] = None) -> None:
+        """Record one observation; creates the histogram on first use
+        (with ``buckets``, or the default ms buckets)."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = Histogram(buckets or DEFAULT_BUCKETS_MS)
+                self._hists[name] = hist
+            hist.observe(value)
+
+    # -- gauges --------------------------------------------------------
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauges(self, values: Mapping[str, Any]) -> None:
+        """Set several gauges at once (scrape-time convenience)."""
+        with self._lock:
+            for name, value in values.items():
+                if value is None:
+                    continue
+                self._gauges[name] = float(value)
+
+    # -- snapshot / delta / merge --------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """All four sections: perf counters/timings + histograms/gauges."""
+        perf = self.perf.snapshot()
+        with self._lock:
+            return {
+                "counters": perf["counters"],
+                "timings": perf["timings"],
+                "histograms": {name: hist.snapshot()
+                               for name, hist in self._hists.items()},
+                "gauges": dict(self._gauges),
+            }
+
+    def delta_since(self, before: Mapping[str, Any]
+                    ) -> Dict[str, Any]:
+        """Histogram-only delta since ``before = snapshot()``.
+
+        Counters/timings deliberately excluded: they travel on the
+        ``record["perf"]`` path and must not be shipped twice.
+        """
+        prev = before.get("histograms", {}) if before else {}
+        hists: Dict[str, Any] = {}
+        with self._lock:
+            for name, hist in self._hists.items():
+                delta = hist.delta_since(prev.get(name))
+                if delta is not None:
+                    hists[name] = delta
+        return {"histograms": hists} if hists else {}
+
+    def merge(self, delta: Any) -> int:
+        """Absorb a worker's histogram delta; returns histograms merged."""
+        if not isinstance(delta, dict):
+            return 0
+        merged = 0
+        with self._lock:
+            for name, snap in (delta.get("histograms") or {}).items():
+                if not isinstance(snap, dict):
+                    continue
+                hist = self._hists.get(name)
+                if hist is None:
+                    hist = Histogram(snap.get("buckets")
+                                     or DEFAULT_BUCKETS_MS)
+                    self._hists[name] = hist
+                if hist.merge(snap):
+                    merged += 1
+        return merged
+
+    def reset(self) -> None:
+        """Clear histograms and gauges (tests); leaves perf alone."""
+        with self._lock:
+            self._hists.clear()
+            self._gauges.clear()
+
+
+#: Process-global hub over the process-global ``PERF``.
+HUB = MetricsHub()

@@ -28,7 +28,21 @@ import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping
+from typing import Callable, Dict, Iterator, Mapping, Optional
+
+#: Optional observer for phase regions: a callable returning a context
+#: manager, entered for the duration of every ``PERF.phase(key)``
+#: block.  ``repro.obs`` installs a span-emitting hook here so the
+#: existing solver phase markers double as trace spans without the
+#: solver importing the tracing layer (or paying anything while
+#: tracing is disabled — the installed hook no-ops then).
+_PHASE_HOOK: Optional[Callable[[str], object]] = None
+
+
+def set_phase_hook(hook: Optional[Callable[[str], object]]) -> None:
+    """Install (or clear, with None) the global phase observer."""
+    global _PHASE_HOOK
+    _PHASE_HOOK = hook
 
 
 class PerfRegistry:
@@ -57,6 +71,9 @@ class PerfRegistry:
     @contextmanager
     def phase(self, key: str) -> Iterator[None]:
         """Accumulate wall time under ``timings[key]``."""
+        hook_cm = _PHASE_HOOK(key) if _PHASE_HOOK is not None else None
+        if hook_cm is not None:
+            hook_cm.__enter__()
         start = time.perf_counter()
         try:
             yield
@@ -64,6 +81,8 @@ class PerfRegistry:
             elapsed = time.perf_counter() - start
             with self._lock:
                 self.timings[key] += elapsed
+            if hook_cm is not None:
+                hook_cm.__exit__(None, None, None)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, float]]:

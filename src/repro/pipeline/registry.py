@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import TRACER
 from repro.perf import PERF
 from repro.pipeline import passes as P
 from repro.pipeline.context import FlowContext
@@ -299,18 +300,22 @@ def run_flow(name: str, ctx: FlowContext):
     unified design-rule checker as the final boundary.
     """
     spec = flow_spec(name)
-    for p in spec.setup:
+
+    def run_pass(p) -> None:
         _pass_boundary(ctx, p)
-        p.run(ctx)
+        with TRACER.span(f"pass.{p.name}", layer="pipeline"):
+            p.run(ctx)
+
+    for p in spec.setup:
+        run_pass(p)
     ctx.perf_before = PERF.snapshot()
+    # The flow's PERF phase doubles as a pipeline-layer span via the
+    # perf phase hook, so the pass spans below nest under it.
     with PERF.phase(spec.perf_phase):
         for p in spec.phased:
-            _pass_boundary(ctx, p)
-            p.run(ctx)
+            run_pass(p)
     for p in spec.finish:
-        _pass_boundary(ctx, p)
-        p.run(ctx)
+        run_pass(p)
     if ctx.check:
-        _pass_boundary(ctx, _CHECK_PASS)
-        _CHECK_PASS.run(ctx)
+        run_pass(_CHECK_PASS)
     return ctx.result

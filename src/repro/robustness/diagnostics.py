@@ -49,6 +49,18 @@ class Diagnostics:
                  events: Optional[Iterable[DiagnosticEvent]] = None
                  ) -> None:
         self.events: List[DiagnosticEvent] = list(events or [])
+        #: Trace correlation: set by :meth:`bind_span` when the run
+        #: happens under a sampled span, so a degraded answer's trail
+        #: links back to its distributed trace.
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[str] = None
+
+    def bind_span(self, span: Any) -> None:
+        """Attach the ids of an open obs span (no-op for null spans)."""
+        ctx = getattr(span, "context", None)
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+            self.span_id = ctx.span_id
 
     # ------------------------------------------------------------------
     def record(self, phase: str, event: str,
@@ -84,15 +96,25 @@ class Diagnostics:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {"degraded": self.degraded,
-                "events": [e.to_dict() for e in self.events]}
+        out: Dict[str, Any] = {
+            "degraded": self.degraded,
+            "events": [e.to_dict() for e in self.events]}
+        # Only stamped when tracing was on, so untraced trails
+        # round-trip byte-identically to the pre-obs format.
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+        return out
 
     @classmethod
     def from_dict(cls, data: Optional[Dict[str, Any]]) -> "Diagnostics":
         if not data:
             return cls()
-        return cls(DiagnosticEvent.from_dict(raw)
+        diag = cls(DiagnosticEvent.from_dict(raw)
                    for raw in data.get("events", []))
+        diag.trace_id = data.get("trace_id")
+        diag.span_id = data.get("span_id")
+        return diag
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Diagnostics(degraded={self.degraded}, "

@@ -31,7 +31,8 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.oracle_store import OracleStore, activate
 from repro.errors import ReproError
@@ -39,6 +40,8 @@ from repro.explore.cache import open_result_cache
 from repro.explore.pareto import OBJECTIVES, pareto_front
 from repro.explore.spec import SweepJob, SweepSpec
 from repro.io_json import SCHEMA_VERSION
+from repro.obs import (HUB, TRACER, extract_headers, inject_payload)
+from repro.obs.prometheus import render_service_metrics
 from repro.perf import PERF, PerfRegistry
 from repro.robustness.budget import carve_deadline_ms
 from repro.service import catalog
@@ -149,7 +152,7 @@ class SynthesisService:
         if not preadmitted:
             self.check_admission(deadline_ms)
         budget_ms = slice_ms if slice_ms is not None else deadline_ms
-        payload = point.payload(deadline_ms=budget_ms)
+        payload = inject_payload(point.payload(deadline_ms=budget_ms))
         # Served results are design-rule-checked in the worker; a
         # violating result comes back ``invalid`` (non-cacheable), so
         # the cache and coalesced followers only ever see clean ones.
@@ -197,7 +200,15 @@ class SynthesisService:
         try:
             async with self._slots:
                 job.status = "running"
-                record = await self.pool.run(job.payload)
+                # This task inherited the submitting request's trace
+                # context at _spawn time, so the execute span parents
+                # under the request span (and under it, the worker's
+                # job.solve span after the delta merge below).
+                with TRACER.span("service.execute", layer="service",
+                                 job_id=job.id) as sp:
+                    record = await self.pool.run(job.payload)
+                    if isinstance(record, dict):
+                        sp.set(status=record.get("status", "error"))
             if not isinstance(record, dict):
                 record = {"status": "error",
                           "error": "job runner returned "
@@ -209,6 +220,8 @@ class SynthesisService:
         record.setdefault("wall_ms", round(wall_ms, 3))
         delta = record.get("perf") or {}
         self.perf.merge(delta)
+        spans = record.pop("spans", None)
+        hub_delta = record.pop("hub", None)
         if self.pool.mode == "process":
             # Pool workers incremented *their* PERF; fold the delta in
             # so this process's registry sees the whole service.
@@ -217,8 +230,13 @@ class SynthesisService:
             # them so the next request (on any worker after a respawn,
             # or answered inline) starts warmer.
             self.oracle.merge(record.get("oracle_delta"))
+            # And the worker's spans / histogram observations (thread
+            # workers recorded straight into this process's globals).
+            TRACER.merge(spans)
+            HUB.merge(hub_delta)
         record.pop("oracle_delta", None)
         self.cache.put(job.key, record)
+        HUB.observe("service.job_wall_ms", wall_ms)
         self.queue_depth -= 1
         self.inflight.pop(job.key, None)
         self.metrics.observe_job_ms(wall_ms)
@@ -333,6 +351,19 @@ def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
         "draining": service.draining,
         "jobs_retained": len(service.store),
     })
+    # Scrape-time gauges: the hub is the one surface Prometheus (and
+    # the cluster front's auto-scaling aggregation) reads them from.
+    counters = snap.get("counters", {})
+    accepted = counters.get("accepted", 0)
+    HUB.gauges({
+        "service.queue_depth": service.queue_depth,
+        "service.inflight": len(service.inflight),
+        "service.ema_job_ms": snap.get("ema_job_ms", 0.0),
+        "service.cache_hit_ratio": (
+            counters.get("cache_hits", 0) / accepted if accepted
+            else 0.0),
+    })
+    hub = HUB.snapshot()
     out = {
         "schema": "repro-service-metrics/1",
         "service": snap,
@@ -341,6 +372,11 @@ def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
         "cache": service.cache.stats(),
         "oracle": service.oracle.stats(),
         "perf": service.perf.snapshot(),
+        # Counters/timings stay under "perf"; the hub section carries
+        # only what PerfRegistry cannot: distributions and gauges.
+        "obs": {"histograms": hub["histograms"],
+                "gauges": hub["gauges"]},
+        "tracer": TRACER.stats(),
     }
     if service.config.shard is not None:
         out["shard"] = service.config.shard.to_dict()
@@ -348,9 +384,25 @@ def metrics_payload(service: SynthesisService) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------
-# Request handlers (HTTP status, JSON payload, extra headers)
+# Request handlers (HTTP status, payload, extra headers).  The payload
+# is normally the JSON document; a ``str`` payload is a pre-rendered
+# text body (Prometheus exposition) the server sends as text/plain.
 # ---------------------------------------------------------------------
-Handled = Tuple[int, Dict[str, Any], Dict[str, str]]
+Handled = Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]
+
+
+def wants_prometheus(headers: Optional[Dict[str, str]],
+                     query: str = "") -> bool:
+    """Content negotiation for ``/metrics``: explicit
+    ``?format=prometheus`` / ``?format=json`` wins, else the Accept
+    header decides (JSON stays the default)."""
+    query = query or ""
+    if "format=prometheus" in query:
+        return True
+    if "format=json" in query:
+        return False
+    accept = (headers or {}).get("accept", "")
+    return "text/plain" in accept or "openmetrics" in accept
 
 
 def _error(status: int, message: str, **extra: Any) -> Handled:
@@ -383,8 +435,16 @@ async def _respond_job(job: Job, wait: bool,
 
 
 async def handle_api(service: SynthesisService, method: str, path: str,
-                     body: Optional[Dict[str, Any]]) -> Handled:
-    """Route one parsed request; returns (status, payload, headers)."""
+                     body: Optional[Dict[str, Any]],
+                     headers: Optional[Dict[str, str]] = None,
+                     query: str = "") -> Handled:
+    """Route one parsed request; returns (status, payload, headers).
+
+    ``headers`` are the lowercase request headers (used for trace
+    propagation and /metrics content negotiation); ``query`` is the
+    raw query string.  Both default to empty for callers that predate
+    them.
+    """
     if path == "/healthz":
         if method != "GET":
             return _error(405, "method not allowed")
@@ -396,7 +456,10 @@ async def handle_api(service: SynthesisService, method: str, path: str,
     if path == "/metrics":
         if method != "GET":
             return _error(405, "method not allowed")
-        return 200, metrics_payload(service), {}
+        payload = metrics_payload(service)
+        if wants_prometheus(headers, query):
+            return 200, render_service_metrics(payload), {}
+        return 200, payload, {}
     if path.startswith("/v1/jobs/"):
         if method != "GET":
             return _error(405, "method not allowed")
@@ -407,28 +470,53 @@ async def handle_api(service: SynthesisService, method: str, path: str,
     if path in ("/v1/synthesize", "/v1/sweep"):
         if method != "POST":
             return _error(405, "method not allowed")
-        if service.draining:
-            status, payload, _ = _error(503, "service is draining",
-                                        retry_after_s=1)
-            return status, payload, {"Retry-After": "1"}
-        if body is None:
-            return _error(400, "request body must be a JSON object")
-        try:
-            deadline_ms = _deadline_ms(body, service.config)
-            wait = bool(body.get("wait", True))
-            if path == "/v1/synthesize":
-                _space, point = catalog.synthesize_job(body)
-                job, _how = service.submit_point(point, deadline_ms)
-            else:
-                space, spec, points = catalog.sweep_jobs(body)
-                job = service.submit_sweep(spec, points, space.name,
-                                           deadline_ms)
-        except ShedRequest as exc:
-            status, payload, _ = _error(
-                429, str(exc), retry_after_s=exc.retry_after_s)
-            return status, payload, {"Retry-After":
-                                     str(exc.retry_after_s)}
-        except (ReproError, ValueError, TypeError) as exc:
-            return _error(400, str(exc))
-        return await _respond_job(job, wait, deadline_ms)
+        # Every submission gets a request id; sampled requests also
+        # carry their trace id back, so client-side failures are
+        # correlatable with server logs and trace exports.
+        request_id = uuid.uuid4().hex[:12]
+        with TRACER.attach(extract_headers(headers)), \
+                TRACER.span("service.request", layer="service",
+                            endpoint=path) as sp:
+            sp.set(request_id=request_id)
+            status, payload, extra = await _handle_submit(
+                service, path, body, sp)
+        extra = dict(extra)
+        extra["X-Repro-Request-Id"] = request_id
+        if sp.sampled:
+            extra["X-Repro-Trace-Id"] = sp.trace_id
+        return status, payload, extra
     return _error(404, f"no such endpoint {path!r}")
+
+
+async def _handle_submit(service: SynthesisService, path: str,
+                         body: Optional[Dict[str, Any]],
+                         sp) -> Handled:
+    """The /v1/synthesize | /v1/sweep body, inside the request span."""
+    if service.draining:
+        status, payload, _ = _error(503, "service is draining",
+                                    retry_after_s=1)
+        return status, payload, {"Retry-After": "1"}
+    if body is None:
+        return _error(400, "request body must be a JSON object")
+    try:
+        deadline_ms = _deadline_ms(body, service.config)
+        wait = bool(body.get("wait", True))
+        if path == "/v1/synthesize":
+            _space, point = catalog.synthesize_job(body)
+            job, how = service.submit_point(point, deadline_ms)
+            sp.set(how=how, design=body.get("design"))
+        else:
+            space, spec, points = catalog.sweep_jobs(body)
+            job = service.submit_sweep(spec, points, space.name,
+                                       deadline_ms)
+            sp.set(design=space.name, points=len(points))
+        sp.set(job_id=job.id)
+    except ShedRequest as exc:
+        sp.set(shed=True)
+        status, payload, _ = _error(
+            429, str(exc), retry_after_s=exc.retry_after_s)
+        return status, payload, {"Retry-After":
+                                 str(exc.retry_after_s)}
+    except (ReproError, ValueError, TypeError) as exc:
+        return _error(400, str(exc))
+    return await _respond_job(job, wait, deadline_ms)

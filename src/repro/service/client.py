@@ -35,13 +35,28 @@ from repro.errors import ReproError
 
 
 class ServiceError(ReproError):
-    """The service answered with an error status."""
+    """The service answered with an error status.
+
+    When the server stamped correlation ids on the response
+    (``X-Repro-Request-Id`` always on ``/v1/*`` POSTs,
+    ``X-Repro-Trace-Id`` when the request landed on a sampled trace),
+    they ride along as ``request_id`` / ``trace_id`` and are appended
+    to the message — an operator can go straight from a client-side
+    stack trace to the server's trace export.
+    """
 
     def __init__(self, message: str, status: int = 0,
-                 payload: Optional[Dict[str, Any]] = None) -> None:
-        super().__init__(message)
+                 payload: Optional[Dict[str, Any]] = None,
+                 request_id: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
+        ids = [f"request_id={request_id}" if request_id else "",
+               f"trace_id={trace_id}" if trace_id else ""]
+        suffix = " ".join(part for part in ids if part)
+        super().__init__(f"{message} [{suffix}]" if suffix else message)
         self.status = status
         self.payload = payload or {}
+        self.request_id = request_id
+        self.trace_id = trace_id
 
 
 class ServiceUnavailable(ServiceError):
@@ -50,8 +65,11 @@ class ServiceUnavailable(ServiceError):
     def __init__(self, message: str, status: int,
                  payload: Optional[Dict[str, Any]] = None,
                  retry_after_s: int = 1,
-                 retry_after_hint: Optional[int] = None) -> None:
-        super().__init__(message, status=status, payload=payload)
+                 retry_after_hint: Optional[int] = None,
+                 request_id: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
+        super().__init__(message, status=status, payload=payload,
+                         request_id=request_id, trace_id=trace_id)
         self.retry_after_s = max(1, int(retry_after_s))
         #: The server's actual Retry-After, or None when the header
         #: was absent — unlike ``retry_after_s`` this never invents a
@@ -176,6 +194,8 @@ class ServiceClient:
                 payload = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
                 payload = {"error": raw.decode("utf-8", "replace")}
+            request_id = response.getheader("X-Repro-Request-Id")
+            trace_id = response.getheader("X-Repro-Trace-Id")
             if response.status in (429, 503):
                 raw_hint = response.getheader("Retry-After")
                 hint = (None if raw_hint is None
@@ -184,12 +204,14 @@ class ServiceClient:
                     payload.get("error", "service unavailable"),
                     status=response.status, payload=payload,
                     retry_after_s=1 if hint is None else hint,
-                    retry_after_hint=hint)
+                    retry_after_hint=hint,
+                    request_id=request_id, trace_id=trace_id)
             if response.status >= 400:
                 raise ServiceError(
                     payload.get("error",
                                 f"HTTP {response.status}"),
-                    status=response.status, payload=payload)
+                    status=response.status, payload=payload,
+                    request_id=request_id, trace_id=trace_id)
             self._check_schema(payload)
             return response.status, payload
         finally:

@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import ReproError
+from repro.obs.prometheus import CONTENT_TYPE as PROM_CONTENT_TYPE
 from repro.service.app import SynthesisService, handle_api
 from repro.service.jobs import ServiceConfig
 
@@ -80,13 +81,19 @@ async def _read_request(reader: asyncio.StreamReader, max_body: int
 
 
 async def _write_response(writer: asyncio.StreamWriter, status: int,
-                          payload: Dict[str, Any],
+                          payload: Any,
                           extra_headers: Dict[str, str],
                           keep_alive: bool) -> None:
-    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if isinstance(payload, str):
+        # Pre-rendered text body (Prometheus exposition).
+        body = payload.encode("utf-8")
+        content_type = PROM_CONTENT_TYPE
+    else:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        content_type = "application/json"
     lines = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
         f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
@@ -116,7 +123,8 @@ async def _handle_connection(service: SynthesisService,
             method, target, headers, body_bytes = request
             keep_alive = headers.get(
                 "connection", "keep-alive").lower() != "close"
-            path = urlsplit(target).path
+            parts = urlsplit(target)
+            path, query = parts.path, parts.query
             body: Optional[Dict[str, Any]] = None
             if body_bytes:
                 try:
@@ -126,7 +134,8 @@ async def _handle_connection(service: SynthesisService,
                     body = None
             try:
                 status, payload, extra = await handle_api(
-                    service, method, path, body)
+                    service, method, path, body,
+                    headers=headers, query=query)
             except Exception as exc:  # keep the server alive
                 status, payload, extra = 500, {
                     "schema": "repro-service-error/1",

@@ -1,0 +1,281 @@
+"""End-to-end trace propagation across the two boundary kinds.
+
+* explorer ``Executor`` → **fork pool worker** (context rides in the
+  payload, spans/histograms ship back in the result record and merge
+  onto the submitter's trace);
+* client → **cluster front** → shard (context rides in HTTP headers;
+  all tiers run in this process — thread-mode shards plus a
+  ``ThreadedFrontTier`` — so every hop's spans land in the one global
+  ``TRACER`` and the parent/child chain is checkable directly).
+
+Plus the client-side correlation contract: ``ServiceError`` carries the
+server-assigned request/trace ids, and both ``/metrics`` endpoints
+serve the Prometheus exposition under content negotiation.
+"""
+
+import http.client
+import time
+
+import pytest
+
+from repro.cluster import (ClusterConfig, ShardAddress,
+                           ThreadedCacheServer, ThreadedFrontTier)
+from repro.designs import AR_SIMPLE_PINS, ar_simple_design
+from repro.explore import DesignSpace, Executor, SweepSpec
+from repro.obs import HUB, TRACER
+from repro.service import (ServiceClient, ServiceConfig, ServiceError,
+                           ShardIdentity, ThreadedServer)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    TRACER.configure(enabled=False, sample_rate=1.0, export_path="")
+    TRACER.reset()
+    HUB.reset()
+    yield
+    TRACER.configure(enabled=False, sample_rate=1.0, export_path="")
+    TRACER.reset()
+    HUB.reset()
+
+
+def enable_tracing():
+    # Direct tracer configuration: no REPRO_TRACE* env mutation, so
+    # nothing leaks into other tests or subprocesses they spawn.
+    TRACER.configure(enabled=True, sample_rate=1.0, export_path="")
+
+
+def canned_runner(payload):
+    record = {"status": "ok",
+              "metrics": {"chips": 2, "buses": 3, "total_pins": 100,
+                          "latency": 6, "wall_ms": 1.0},
+              "stats": {}, "wall_ms": 1.0,
+              "diagnostics": {"degraded": False, "events": []}}
+    record["key"] = payload.get("key", "")
+    return record
+
+
+def spans_by_name(timeout_s=10.0, **required):
+    """Poll the global ring until every required span name appears
+    at least ``count`` times (async execute tasks may finish a beat
+    after the HTTP response); returns {name: [span, ...]}."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        grouped = {}
+        for span in TRACER.spans():
+            grouped.setdefault(span["name"], []).append(span)
+        if all(len(grouped.get(name, [])) >= count
+               for name, count in required.items()):
+            return grouped
+        assert time.monotonic() < deadline, (
+            f"needed {required}, ring has "
+            f"{ {k: len(v) for k, v in grouped.items()} }")
+        time.sleep(0.02)
+
+
+def scrape(port, path="/metrics", accept=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=30)
+    try:
+        headers = {"Accept": accept} if accept else {}
+        connection.request("GET", path, headers=headers)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8")
+        return response.status, response.getheader("Content-Type"), body
+    finally:
+        connection.close()
+
+
+# ---------------------------------------------------------------------
+class TestForkWorkerBoundary:
+    def test_worker_spans_merge_onto_submitter_trace(self):
+        enable_tracing()
+        space = DesignSpace(name="ar-simple", graph=ar_simple_design(),
+                            partitioning=AR_SIMPLE_PINS, timing="ar")
+        # Two identical points (one via axes, one explicit): both are
+        # the known-fast ar-simple solve, and with workers=2 they fan
+        # out over a real fork pool.
+        point = {"rate": 2, "flow": "simple"}
+        spec = SweepSpec(axes={"rate": [2]}, base={"flow": "simple"},
+                         points=[dict(point)])
+        jobs = spec.expand(space)
+        assert len(jobs) == 2
+        executor = Executor(workers=2, prune_dominated=False,
+                            deadline_ms=120000)
+        result = executor.run(jobs)
+        assert all(p["status"] in ("ok", "degraded")
+                   for p in result.points)
+
+        spans = TRACER.spans()
+        sweep = next(s for s in spans if s["name"] == "explore.sweep")
+        assert sweep["parent_id"] is None
+        assert sweep["layer"] == "explore"
+        solves = [s for s in spans if s["name"] == "job.solve"]
+        assert len(solves) == 2
+        for span in solves:
+            # Recorded in a forked worker, merged back, parented under
+            # the sweep span whose context rode in the payload.
+            assert span["trace_id"] == sweep["trace_id"]
+            assert span["parent_id"] == sweep["span_id"]
+            assert span["layer"] == "worker"
+        # The workers' inner spans (pipeline stages, solver phases via
+        # the perf hook) came along on the same trace.
+        inner = [s for s in spans
+                 if s["trace_id"] == sweep["trace_id"]
+                 and s["layer"] in ("pipeline", "solver")]
+        assert inner, "no pipeline/solver spans crossed the boundary"
+
+        # Histogram observations crossed too, on the hub-delta path.
+        hist = HUB.snapshot()["histograms"].get("worker.solve_ms")
+        assert hist is not None and hist["count"] >= 2
+
+    def test_unsampled_sweep_ships_nothing(self):
+        TRACER.configure(enabled=True, sample_rate=0.0,
+                         export_path="")
+        space = DesignSpace(name="ar-simple", graph=ar_simple_design(),
+                            partitioning=AR_SIMPLE_PINS, timing="ar")
+        jobs = SweepSpec(axes={"rate": [2]},
+                         base={"flow": "simple"}).expand(space)
+        result = Executor(workers=2, prune_dominated=False,
+                          deadline_ms=120000).run(jobs)
+        assert result.points[0]["status"] in ("ok", "degraded")
+        assert TRACER.spans() == []
+
+
+# ---------------------------------------------------------------------
+class Cluster:
+    """Cache server + two thread-mode shards + front, one process."""
+
+    def __enter__(self):
+        self.cache = ThreadedCacheServer()
+        self.cache.start()
+        self.shards = []
+        for index in range(2):
+            shard = ThreadedServer(ServiceConfig(
+                port=0, workers=2, pool_mode="thread",
+                cache_sync=False,
+                cache_path=f"remote://{self.cache.address}",
+                job_runner=canned_runner,
+                shard=ShardIdentity(f"shard-{index}", index, 2)))
+            shard.start()
+            self.shards.append(shard)
+        config = ClusterConfig(
+            shards=tuple(ShardAddress(f"shard-{i}", "127.0.0.1",
+                                      s.port)
+                         for i, s in enumerate(self.shards)),
+            port=0, cache_address=self.cache.address,
+            batch_window_ms=15.0, probe_interval_s=0.2)
+        self.front = ThreadedFrontTier(config).start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.front.stop()
+        for shard in self.shards:
+            shard.stop()
+        self.cache.stop()
+
+
+class TestClusterHopBoundary:
+    def test_front_span_is_parent_of_shard_span(self):
+        enable_tracing()
+        with Cluster() as cluster:
+            client = ServiceClient(port=cluster.front.port)
+            response = client.synthesize("ar-simple", rate=3)
+            assert response["status"] == "ok"
+
+            grouped = spans_by_name(**{"front.request": 1,
+                                       "front.route": 1,
+                                       "service.request": 1,
+                                       "service.execute": 1})
+            front_request = grouped["front.request"][0]
+            front_route = grouped["front.route"][0]
+            service_request = grouped["service.request"][0]
+            service_execute = grouped["service.execute"][0]
+
+            # One connected trace across the HTTP hop: the shard's
+            # request span hangs off the front's routing span, whose
+            # context rode in the x-repro-* headers.
+            trace_id = front_request["trace_id"]
+            assert front_request["parent_id"] is None
+            assert front_route["trace_id"] == trace_id
+            assert front_route["parent_id"] == front_request["span_id"]
+            assert service_request["trace_id"] == trace_id
+            assert service_request["parent_id"] == \
+                front_route["span_id"]
+            assert service_execute["trace_id"] == trace_id
+            assert service_execute["parent_id"] == \
+                service_request["span_id"]
+            assert front_request["layer"] == "front"
+            assert service_request["layer"] == "service"
+
+    def test_metrics_exposition_on_both_tiers(self):
+        with Cluster() as cluster:
+            client = ServiceClient(port=cluster.front.port)
+            assert client.synthesize("ar-simple",
+                                     rate=3)["status"] == "ok"
+
+            # Front: Accept negotiation.
+            status, ctype, text = scrape(cluster.front.port,
+                                         accept="text/plain")
+            assert status == 200
+            assert ctype.startswith("text/plain; version=0.0.4")
+            assert "# TYPE" in text
+            assert 'repro_shard_up{shard="shard-0"} 1' in text
+            assert 'repro_shard_up{shard="shard-1"} 1' in text
+            assert 'repro_shard_queue_depth{shard="shard-0"}' in text
+            assert 'repro_shard_inflight{shard="shard-0"}' in text
+            assert "repro_cluster_queue_depth" in text
+            assert "repro_cluster_inflight" in text
+
+            # Shard: ?format=prometheus wins without an Accept header,
+            # and at least one histogram family is exposed.
+            status, ctype, text = scrape(
+                cluster.shards[0].port, "/metrics?format=prometheus")
+            assert status == 200
+            assert ctype.startswith("text/plain; version=0.0.4")
+            assert "repro_service_queue_depth" in text
+            assert "# TYPE repro_service_job_wall_ms histogram" in text
+            assert "repro_service_job_wall_ms_bucket" in text
+
+            # JSON stays the default representation on both tiers.
+            assert client.metrics()["schema"] == \
+                "repro-cluster-metrics/1"
+            shard_client = ServiceClient(port=cluster.shards[0].port)
+            assert shard_client.metrics()["schema"] == \
+                "repro-service-metrics/1"
+
+
+# ---------------------------------------------------------------------
+class TestClientCorrelation:
+    def test_service_error_carries_request_and_trace_ids(self):
+        enable_tracing()
+        config = ServiceConfig(port=0, workers=1, pool_mode="thread",
+                               cache_sync=False,
+                               job_runner=canned_runner)
+        with ThreadedServer(config) as server:
+            client = ServiceClient(port=server.port)
+            with pytest.raises(ServiceError) as err:
+                client.request("POST", "/v1/synthesize",
+                               {"design": "no-such-design"})
+            assert err.value.status == 400
+            assert err.value.request_id
+            assert len(err.value.request_id) == 12
+            assert err.value.trace_id
+            assert len(err.value.trace_id) == 16
+            # Both ids are in the message, so a bare str(exc) in a log
+            # is enough to find the server-side spans.
+            assert err.value.request_id in str(err.value)
+            assert err.value.trace_id in str(err.value)
+
+            # Tracing off: the request id survives, the trace id goes.
+            TRACER.configure(enabled=False)
+            with pytest.raises(ServiceError) as err:
+                client.request("POST", "/v1/synthesize",
+                               {"design": "no-such-design"})
+            assert err.value.request_id
+            assert err.value.trace_id is None
+
+            # Non-submission endpoints assign no ids.
+            with pytest.raises(ServiceError) as err:
+                client.job("no-such-job")
+            assert err.value.status == 404
+            assert err.value.request_id is None
