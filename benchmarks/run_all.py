@@ -84,6 +84,27 @@ def bench_ch4_ar_unidir_L5():
     return _bench_ch4_unidir(5)
 
 
+def _bench_kernel(graph, pins, rate):
+    from repro.core.flow import synthesize
+    result = synthesize(graph, pins, ar_filter_timing(), rate)
+    return {"pipe_length": result.pipe_length,
+            "total_pins": sum(result.pins_used().values())}
+
+
+def bench_kernel_fir_L2():
+    """16-tap transposed FIR over its 4-chip tap chain (rate 2 is the
+    floor: the degree-1 delay edges cannot close at rate 1)."""
+    from repro.designs import FIR_PINS, fir_design
+    return _bench_kernel(fir_design(), FIR_PINS, 2)
+
+
+def bench_kernel_dct_L2():
+    """8-point DCT (Loeffler op profile: 29 adds, 11 muls) over
+    3 chips; pure feed-forward, so any rate schedules."""
+    from repro.designs import DCT_PINS, dct_design
+    return _bench_kernel(dct_design(), DCT_PINS, 2)
+
+
 def bench_micro_pin_checker():
     """Pin-allocation checker microbench: repeated probe passes.
 
@@ -176,9 +197,11 @@ def bench_obs_overhead():
 
 FULL = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
         bench_ch4_ar_unidir_L3, bench_ch4_ar_unidir_L4,
-        bench_ch4_ar_unidir_L5, bench_obs_overhead]
+        bench_ch4_ar_unidir_L5, bench_kernel_fir_L2,
+        bench_kernel_dct_L2, bench_obs_overhead]
 SMOKE = [bench_ch3_ar_simple_L2, bench_micro_pin_checker,
-         bench_ch4_ar_unidir_L3, bench_obs_overhead]
+         bench_ch4_ar_unidir_L3, bench_kernel_fir_L2,
+         bench_kernel_dct_L2, bench_obs_overhead]
 
 
 # ---------------------------------------------------------------------

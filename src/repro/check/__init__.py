@@ -7,8 +7,19 @@
   and flags feasibility disagreements and checker gaps.
 * :func:`fuzz` — seeded random-design campaigns with greedy shrinking
   and a replayable JSONL corpus.
+* :func:`run_campaign` — the same fuzz cases driven through a live
+  in-process service or cluster while a deterministic fault injector
+  (:mod:`repro.check.faults`) perturbs the fleet, with fleet-level
+  invariants checked after every storm.
 """
 
+from repro.check.campaign import (CampaignCase, CampaignCaseResult,
+                                  CampaignHarness, CampaignReport,
+                                  generate_campaign_cases,
+                                  run_campaign, run_campaign_case)
+from repro.check.faults import (CLUSTER_KINDS, SERVE_KINDS,
+                                FaultEvent, FaultInjector,
+                                generate_events)
 from repro.check.fuzz import (CaseResult, FuzzCase, FuzzReport,
                               fuzz, generate_cases, load_corpus,
                               run_case, shrink)
@@ -19,9 +30,13 @@ from repro.check.report import CheckError, CheckReport, Violation
 from repro.check.rules import RULES, Rule, check_result, rule_names
 
 __all__ = [
-    "CaseResult", "CheckError", "CheckReport", "FlowOutcome",
+    "CLUSTER_KINDS", "CampaignCase", "CampaignCaseResult",
+    "CampaignHarness", "CampaignReport", "CaseResult", "CheckError",
+    "CheckReport", "FaultEvent", "FaultInjector", "FlowOutcome",
     "FuzzCase", "FuzzReport", "OracleReport", "RULES", "Rule",
-    "Violation", "applicable_flows", "check_result", "fuzz",
-    "generate_cases", "load_corpus", "proof_refutes", "rule_names",
-    "run_case", "run_differential", "shrink",
+    "SERVE_KINDS", "Violation", "applicable_flows", "check_result",
+    "fuzz", "generate_campaign_cases", "generate_cases",
+    "generate_events", "load_corpus", "proof_refutes", "rule_names",
+    "run_campaign", "run_campaign_case", "run_case",
+    "run_differential", "shrink",
 ]

@@ -79,6 +79,10 @@ BUILTINS = {
     "elliptic": "5th-order elliptic wave filter, 5 chips, recursive "
                 "feedback (Ch 4/5)",
     "elliptic-bidir": "elliptic filter, bidirectional pins",
+    "fir": "16-tap transposed FIR filter, 4-chip tap chain with "
+           "recursive delay edges (rate >= 2)",
+    "dct": "8-point DCT, 3 chips, feed-forward butterfly stages "
+           "(Loeffler op profile)",
     "ar-stacked-N": "N independent AR filter copies on one 4-chip set "
                     "(warm-start / scaling benchmarks; e.g. "
                     "ar-stacked-4)",
@@ -103,6 +107,12 @@ def _load(name_or_path: str, rate: int
     if name_or_path == "elliptic-bidir":
         return (elliptic_design(), ELLIPTIC_PINS_BIDIR,
                 elliptic_filter_timing(), elliptic_resources(rate))
+    if name_or_path == "fir":
+        from repro.designs import FIR_PINS, fir_design
+        return fir_design(), FIR_PINS, ar_filter_timing(), None
+    if name_or_path == "dct":
+        from repro.designs import DCT_PINS, dct_design
+        return dct_design(), DCT_PINS, ar_filter_timing(), None
     if name_or_path.startswith("ar-stacked-"):
         try:
             copies = int(name_or_path[len("ar-stacked-"):])
@@ -453,6 +463,8 @@ def cmd_fuzz(args) -> int:
     """Run the seeded differential fuzzer; exit 1 on any failure."""
     from repro.check import fuzz as run_fuzz
 
+    if args.serve or args.cluster:
+        return _cmd_fuzz_campaign(args)
     report = run_fuzz(args.seed, cases=args.cases,
                       timeout_ms=args.timeout_ms,
                       corpus_path=args.corpus,
@@ -471,6 +483,36 @@ def cmd_fuzz(args) -> int:
                 ("checker gaps", report.checker_gaps)):
             for message in messages:
                 print(f"  [{name}] {message}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_campaign(args) -> int:
+    """``fuzz --serve`` / ``--cluster``: service-path fault campaign."""
+    from repro.check import run_campaign
+
+    mode = "cluster" if args.cluster else "serve"
+    progress = None if args.json else (
+        lambda line: print(f"  {line}", file=sys.stderr))
+    report = run_campaign(args.seed, cases=args.cases, mode=mode,
+                          faults=(args.faults == "on"),
+                          timeout_ms=args.timeout_ms,
+                          corpus_path=args.corpus,
+                          do_shrink=not args.no_shrink,
+                          progress=progress)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(f"campaign seed={args.seed!r} mode={mode} "
+              f"faults={args.faults}: {report.cases_run} cases, "
+              f"{report.requests_sent} requests, "
+              f"{report.faults_fired} faults, "
+              f"{len(report.failures)} failures")
+        for status, count in sorted(report.outcomes.items()):
+            print(f"  outcome {status}: {count}")
+        for failure in report.failures:
+            print(f"  case {failure.case.to_dict()}")
+            for violation in failure.violations:
+                print(f"    {violation}")
     return 0 if report.ok else 1
 
 
@@ -670,6 +712,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "shrinking")
     p_fuzz.add_argument("--json", action="store_true",
                         help="print the fuzz report as JSON")
+    mode = p_fuzz.add_mutually_exclusive_group()
+    mode.add_argument("--serve", action="store_true",
+                      help="campaign mode: drive cases through a live "
+                           "in-process service while a deterministic "
+                           "fault injector perturbs it")
+    mode.add_argument("--cluster", action="store_true",
+                      help="campaign mode against a live 2-shard "
+                           "cluster behind a front tier (adds "
+                           "shard-kill/restart faults)")
+    p_fuzz.add_argument("--faults", choices=["on", "off"],
+                        default="on",
+                        help="enable the fault injector in campaign "
+                             "mode (default: on)")
     p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_srv = sub.add_parser(

@@ -18,6 +18,7 @@ from __future__ import annotations
 import copy
 import socket
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
@@ -125,15 +126,73 @@ class CacheClient:
 
 # ---------------------------------------------------------------------
 class ReadThroughCache(ResultCache):
-    """A ResultCache whose misses fall through to the cache server."""
+    """A ResultCache whose misses fall through to the cache server.
 
-    def __init__(self, address: str, timeout_s: float = 5.0) -> None:
+    Remote failures degrade to local-only service, but never
+    permanently: after an error the remote is marked *down* and left
+    alone for ``probe_interval_s`` (each blocked call would otherwise
+    pay a full connect timeout), then the next cache operation
+    re-probes — the same cadence contract as the front tier's shard
+    prober.  Write-through puts that could not be shipped while the
+    server was away are queued and replayed on the first successful
+    reconnect, so a recovered cache server converges back to the
+    fleet-wide truth instead of silently missing every result solved
+    during its outage (which would make *other* shards re-execute
+    work this shard already finished).
+    """
+
+    def __init__(self, address: str, timeout_s: float = 5.0,
+                 probe_interval_s: float = 2.0) -> None:
         super().__init__(path=None)
         host, port = parse_address(address)
         self.address = f"{host}:{port}"
         self.client = CacheClient(host, port, timeout_s=timeout_s)
+        self.probe_interval_s = float(probe_interval_s)
         self.remote_hits = 0
         self.remote_errors = 0
+        #: monotonic deadline before which the remote is presumed
+        #: down; 0.0 means presumed up.
+        self._down_until = 0.0
+        #: write-throughs dropped during an outage, replayed (FIFO)
+        #: on reconnect.
+        self._unshipped: Dict[str, Dict[str, Any]] = {}
+
+    # -- remote health -------------------------------------------------
+    def _remote_usable(self) -> bool:
+        """Up, or down long enough that a re-probe is due."""
+        if self._down_until == 0.0:
+            return True
+        return time.monotonic() >= self._down_until
+
+    def _mark_down(self) -> None:
+        self.remote_errors += 1
+        self._down_until = time.monotonic() + self.probe_interval_s
+
+    def _mark_up(self) -> None:
+        was_down = self._down_until != 0.0
+        self._down_until = 0.0
+        if was_down and self._unshipped:
+            self._replay_unshipped()
+
+    def _replay_unshipped(self) -> None:
+        """Ship queued write-throughs; re-queue on a fresh failure."""
+        with self._lock:
+            pending = list(self._unshipped.items())
+            self._unshipped.clear()
+        for key, record in pending:
+            try:
+                self.client.put(key, record)
+            except (OSError, ReproError):
+                with self._lock:
+                    for k, r in pending:
+                        self._unshipped.setdefault(k, r)
+                self._mark_down()
+                return
+
+    @property
+    def unshipped(self) -> int:
+        """Write-throughs awaiting a cache-server reconnect."""
+        return len(self._unshipped)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -152,11 +211,14 @@ class ReadThroughCache(ResultCache):
         return copy.deepcopy(record)
 
     def _remote_get(self, key: str) -> Optional[Dict[str, Any]]:
+        if not self._remote_usable():
+            return None
         try:
             record = self.client.get(key)
         except (OSError, ReproError):
-            self.remote_errors += 1
+            self._mark_down()
             return None
+        self._mark_up()
         return record if isinstance(record, dict) else None
 
     def put(self, key: str, record: Dict[str, Any]) -> bool:
@@ -164,24 +226,41 @@ class ReadThroughCache(ResultCache):
         if stored:
             # Ship the same stripped form the local index keeps, so
             # every shard's view of the record is byte-identical.
+            if not self._remote_usable():
+                self.remote_errors += 1
+                with self._lock:
+                    self._unshipped[key] = self._index[key]
+                return stored
             try:
                 self.client.put(key, self._index[key])
             except (OSError, ReproError):
-                self.remote_errors += 1
+                with self._lock:
+                    self._unshipped[key] = self._index[key]
+                self._mark_down()
+            else:
+                self._mark_up()
         return stored
 
     def compact(self) -> Dict[str, Any]:
-        try:
-            return self.client.compact()
-        except (OSError, ReproError):
-            self.remote_errors += 1
-            return {"path": f"remote://{self.address}",
+        degraded = {"path": f"remote://{self.address}",
                     "lines_before": 0, "entries": len(self._index),
                     "removed": 0, "compacted": False}
+        if not self._remote_usable():
+            self.remote_errors += 1
+            return degraded
+        try:
+            summary = self.client.compact()
+        except (OSError, ReproError):
+            self._mark_down()
+            return degraded
+        self._mark_up()
+        return summary
 
     def stats(self) -> Dict[str, Any]:
         out = super().stats()
         out["remote"] = {"address": self.address,
                          "hits": self.remote_hits,
-                         "errors": self.remote_errors}
+                         "errors": self.remote_errors,
+                         "down": not self._remote_usable(),
+                         "unshipped": len(self._unshipped)}
         return out

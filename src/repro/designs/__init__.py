@@ -24,6 +24,7 @@ from repro.designs.elliptic import (
     ELLIPTIC_PINS_UNIDIR,
     ELLIPTIC_PINS_BIDIR,
 )
+from repro.designs.dct import dct_design, DCT_PINS
 from repro.designs.fir_filter import fir_design, FIR_PINS
 from repro.designs.random_designs import random_partitioned_design
 
@@ -39,6 +40,8 @@ __all__ = [
     "elliptic_resources",
     "ELLIPTIC_PINS_UNIDIR",
     "ELLIPTIC_PINS_BIDIR",
+    "dct_design",
+    "DCT_PINS",
     "fir_design",
     "FIR_PINS",
     "random_partitioned_design",

@@ -1,0 +1,147 @@
+"""8-point DCT: the third named kernel of the assurance corpus.
+
+CHStone/MachSuite-style named workloads make assurance claims
+recognizable; alongside the dissertation's elliptic wave filter and
+the transposed FIR, this 8-point DCT-II adds the canonical *feed-
+forward* DSP shape — no recursive edges at all, just three butterfly
+stages with rotation blocks.  The reconstruction preserves Loeffler's
+published operation profile (29 additions + 11 multiplications for an
+8-point DCT) and its stage structure: an input butterfly stage, an
+even half (two more butterfly levels plus one 3-multiplier rotation),
+and an odd half (two 3-multiplier rotations, a butterfly level, and
+the final sqrt(2) scalings).
+
+The partition cuts follow the stages: chip 1 owns the input
+butterflies, chip 2 the even half, chip 3 the odd half.  Every stage-1
+result crosses a chip boundary, so the design is transfer-heavy
+relative to compute — like the FIR, a pin-pressure workload — while
+its wide input fan-in (eight external samples into one chip) stresses
+the *input* pin budget instead of the inter-tap carries.
+"""
+
+from __future__ import annotations
+
+from repro.cdfg.builder import CdfgBuilder
+from repro.cdfg.graph import Cdfg
+from repro.partition.model import ChipSpec, Partitioning, OUTSIDE_WORLD
+
+#: Pin budgets for the 3-chip DCT (8-bit samples; chip 1 takes the
+#: eight-sample input burst, chips 2/3 the four-value stage crossings
+#: plus four external outputs each).
+DCT_PINS = Partitioning({
+    OUTSIDE_WORLD: ChipSpec(128),
+    1: ChipSpec(128),
+    2: ChipSpec(96),
+    3: ChipSpec(96),
+})
+
+
+def dct_design(bit_width: int = 8) -> Cdfg:
+    """Build the 8-point DCT over 3 chips (29 adds, 11 muls).
+
+    Subtractions are modelled as ``add`` operations — the module
+    library times both on the adder, and the checker only sees the
+    dataflow shape, so the published add/mul profile is what matters.
+    """
+    b = CdfgBuilder("dct8")
+    W = OUTSIDE_WORLD
+    BITS = bit_width
+
+    # Eight external samples land on chip 1.
+    x = []
+    for i in range(8):
+        src = b.const(f"src.x{i}", partition=W, bit_width=BITS)
+        x.append(b.io(f"Xin{i}", f"v.x{i}", source=src, dests=[],
+                      source_partition=W, dest_partition=1,
+                      bit_width=BITS))
+
+    # Stage 1 (chip 1): input butterflies a_i = x_i + x_{7-i},
+    # b_i = x_i - x_{7-i}.  8 adds.
+    a = [b.op(f"a{i}", "add", 1, inputs=[x[i], x[7 - i]],
+              bit_width=BITS) for i in range(4)]
+    d = [b.op(f"b{i}", "add", 1, inputs=[x[i], x[7 - i]],
+              bit_width=BITS) for i in range(4)]
+
+    # Even half crosses to chip 2, odd half to chip 3.
+    a2 = [b.io(f"A{i}", f"v.a{i}", source=a[i], dests=[],
+               source_partition=1, dest_partition=2,
+               bit_width=BITS) for i in range(4)]
+    d3 = [b.io(f"B{i}", f"v.b{i}", source=d[i], dests=[],
+               source_partition=1, dest_partition=3,
+               bit_width=BITS) for i in range(4)]
+
+    # Even half (chip 2): one more butterfly level (4 adds), the
+    # y0/y4 butterfly (2 adds), and a 3-multiplier rotation for
+    # y2/y6 (1 add + 3 muls + 2 adds).  9 adds + 3 muls.
+    c0 = b.op("c0", "add", 2, inputs=[a2[0], a2[3]], bit_width=BITS)
+    c1 = b.op("c1", "add", 2, inputs=[a2[1], a2[2]], bit_width=BITS)
+    c2 = b.op("c2", "add", 2, inputs=[a2[1], a2[2]], bit_width=BITS)
+    c3 = b.op("c3", "add", 2, inputs=[a2[0], a2[3]], bit_width=BITS)
+    y0 = b.op("y0", "add", 2, inputs=[c0, c1], bit_width=BITS)
+    y4 = b.op("y4", "add", 2, inputs=[c0, c1], bit_width=BITS)
+    t26 = b.op("t26", "add", 2, inputs=[c2, c3], bit_width=BITS)
+    m_e = [b.op("me0", "mul", 2,
+                inputs=[t26, b.const("k.c6", partition=2,
+                                     bit_width=BITS)],
+                bit_width=BITS),
+           b.op("me1", "mul", 2,
+                inputs=[c2, b.const("k.c2a", partition=2,
+                                    bit_width=BITS)],
+                bit_width=BITS),
+           b.op("me2", "mul", 2,
+                inputs=[c3, b.const("k.c2b", partition=2,
+                                    bit_width=BITS)],
+                bit_width=BITS)]
+    y2 = b.op("y2", "add", 2, inputs=[m_e[0], m_e[1]], bit_width=BITS)
+    y6 = b.op("y6", "add", 2, inputs=[m_e[0], m_e[2]], bit_width=BITS)
+
+    # Odd half (chip 3): two 3-multiplier rotations (each 1 add +
+    # 3 muls + 2 adds), a butterfly level (4 adds), two sqrt(2)
+    # scalings (2 muls), and the final y1/y7 combine (2 adds).
+    # 12 adds + 8 muls.
+    def rotation(tag: str, u: str, v: str):
+        t = b.op(f"t{tag}", "add", 3, inputs=[u, v], bit_width=BITS)
+        shared = b.op(f"m{tag}s", "mul", 3,
+                      inputs=[t, b.const(f"k.{tag}s", partition=3,
+                                         bit_width=BITS)],
+                      bit_width=BITS)
+        mu = b.op(f"m{tag}u", "mul", 3,
+                  inputs=[u, b.const(f"k.{tag}u", partition=3,
+                                     bit_width=BITS)],
+                  bit_width=BITS)
+        mv = b.op(f"m{tag}v", "mul", 3,
+                  inputs=[v, b.const(f"k.{tag}v", partition=3,
+                                     bit_width=BITS)],
+                  bit_width=BITS)
+        lo = b.op(f"r{tag}l", "add", 3, inputs=[shared, mu],
+                  bit_width=BITS)
+        hi = b.op(f"r{tag}h", "add", 3, inputs=[shared, mv],
+                  bit_width=BITS)
+        return lo, hi
+
+    o0, o3 = rotation("03", d3[0], d3[3])
+    o1, o2 = rotation("12", d3[1], d3[2])
+    z0 = b.op("z0", "add", 3, inputs=[o0, o1], bit_width=BITS)
+    z1 = b.op("z1", "add", 3, inputs=[o0, o1], bit_width=BITS)
+    z2 = b.op("z2", "add", 3, inputs=[o2, o3], bit_width=BITS)
+    z3 = b.op("z3", "add", 3, inputs=[o2, o3], bit_width=BITS)
+    s1 = b.op("s1", "mul", 3,
+              inputs=[z1, b.const("k.r2a", partition=3,
+                                  bit_width=BITS)],
+              bit_width=BITS)
+    s2 = b.op("s2", "mul", 3,
+              inputs=[z2, b.const("k.r2b", partition=3,
+                                  bit_width=BITS)],
+              bit_width=BITS)
+    y1 = b.op("y1", "add", 3, inputs=[z0, s1], bit_width=BITS)
+    y7 = b.op("y7", "add", 3, inputs=[z3, s2], bit_width=BITS)
+
+    # Outputs leave from their stage's chip: even coefficients off
+    # chip 2, odd ones off chip 3.
+    for name, node, chip in (("Y0", y0, 2), ("Y2", y2, 2),
+                             ("Y4", y4, 2), ("Y6", y6, 2),
+                             ("Y1", y1, 3), ("Y3", s1, 3),
+                             ("Y5", s2, 3), ("Y7", y7, 3)):
+        b.io(name, f"v.{name.lower()}", source=node, dests=[],
+             source_partition=chip, dest_partition=W, bit_width=BITS)
+    return b.build()

@@ -45,6 +45,20 @@ REMOTE_SCHEME = "remote://"
 CACHEABLE_STATUSES = ("ok", "degraded")
 
 
+def _ends_mid_line(path: str) -> bool:
+    """Whether the file exists, is non-empty, and its last byte is
+    not a newline — i.e. the tail is a torn (crash-truncated) line."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return False
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+    except OSError:
+        return False
+
+
 class ResultCache:
     """In-memory index over an (optional) JSON-lines cache file."""
 
@@ -117,6 +131,13 @@ class ResultCache:
             if self.path is not None:
                 line = canonical_dumps(
                     {"v": CACHE_VERSION, "key": key, "record": stored})
+                # A crash mid-append leaves a torn last line with no
+                # newline; appending straight after it would weld this
+                # record onto the fragment and lose BOTH on reload.
+                # Start on a fresh line so only the torn fragment is
+                # sacrificed (the loader already skips it).
+                if _ends_mid_line(self.path):
+                    line = "\n" + line
                 with open(self.path, "a", encoding="utf-8") as handle:
                     handle.write(line + "\n")
                     if self.sync:

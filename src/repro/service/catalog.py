@@ -25,7 +25,7 @@ from repro.io_json import graph_from_dict, partitioning_from_dict
 #: rate, matching the published experiments.
 _BUILTINS = ("ar-simple", "ar-general", "ar-general-bidir",
              "ar-stacked-2", "ar-stacked-4",
-             "elliptic", "elliptic-bidir")
+             "elliptic", "elliptic-bidir", "fir", "dct")
 
 
 def design_space(design: Union[str, Mapping[str, Any]]) -> DesignSpace:
@@ -52,11 +52,13 @@ def design_space(design: Union[str, Mapping[str, Any]]) -> DesignSpace:
 def _builtin_space(name: str) -> DesignSpace:
     from repro.designs import (AR_GENERAL_PINS_BIDIR,
                                AR_GENERAL_PINS_UNIDIR, AR_SIMPLE_PINS,
-                               ELLIPTIC_PINS_BIDIR,
-                               ELLIPTIC_PINS_UNIDIR, ar_general_design,
+                               DCT_PINS, ELLIPTIC_PINS_BIDIR,
+                               ELLIPTIC_PINS_UNIDIR, FIR_PINS,
+                               ar_general_design,
                                ar_simple_design, ar_stacked_design,
-                               ar_stacked_pins, elliptic_design,
-                               elliptic_resources)
+                               ar_stacked_pins, dct_design,
+                               elliptic_design, elliptic_resources,
+                               fir_design)
     if name == "ar-simple":
         return DesignSpace(name=name, graph=ar_simple_design(),
                            partitioning=AR_SIMPLE_PINS, timing="ar")
@@ -88,6 +90,12 @@ def _builtin_space(name: str) -> DesignSpace:
                            partitioning=ELLIPTIC_PINS_BIDIR,
                            timing="elliptic",
                            resources_for=elliptic_resources)
+    if name == "fir":
+        return DesignSpace(name=name, graph=fir_design(),
+                           partitioning=FIR_PINS, timing="ar")
+    if name == "dct":
+        return DesignSpace(name=name, graph=dct_design(),
+                           partitioning=DCT_PINS, timing="ar")
     raise ReproError(
         f"unknown design {name!r}; expected one of "
         f"{sorted(_BUILTINS)} or an inline design object")

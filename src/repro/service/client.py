@@ -78,23 +78,60 @@ class ServiceUnavailable(ServiceError):
         self.retry_after_hint = retry_after_hint
 
 
-def parse_retry_after(value: Optional[str], default: int = 1) -> int:
+#: Ceiling on Retry-After values decoded from an HTTP-date.  Dates
+#: come from wall clocks that may disagree between client and server;
+#: a skewed (or hostile) far-future date must not park a client for
+#: hours, so date-derived holds are capped where delta-seconds —
+#: which the server computed itself — are taken at face value.
+MAX_DATE_RETRY_AFTER_S = 300
+
+
+def parse_retry_after(value: Optional[str], default: int = 1,
+                      now: Optional[float] = None) -> int:
     """Decode a ``Retry-After`` header value, defensively.
 
     RFC 9110 allows both delta-seconds and an HTTP-date; proxies add
-    their own creative spellings.  Anything that is not a plain
-    non-negative number (int or float seconds) falls back to
-    ``default`` rather than crashing the client on an error path.
+    their own creative spellings.  Delta-seconds must be a plain
+    non-negative number (int or float); an HTTP-date is decoded via
+    :func:`email.utils.parsedate_to_datetime` into the remaining wait
+    (measured against ``now``, a Unix timestamp, defaulting to the
+    real clock) and capped at :data:`MAX_DATE_RETRY_AFTER_S`.
+    Anything else — including a date already in the past — falls back
+    to ``default`` rather than crashing the client on an error path.
     """
     if value is None:
         return default
     try:
         seconds = float(value.strip())
-    except (ValueError, AttributeError):
+    except AttributeError:
         return default
+    except ValueError:
+        seconds = _retry_after_date_delta(value, now)
+        if seconds is None:
+            return default
+        seconds = min(seconds, float(MAX_DATE_RETRY_AFTER_S))
     if seconds != seconds or seconds < 0 or seconds == float("inf"):
         return default
     return max(default, int(seconds))
+
+
+def _retry_after_date_delta(value: str,
+                            now: Optional[float]) -> Optional[float]:
+    """Seconds until an RFC 9110 HTTP-date, or None if unparseable."""
+    import email.utils
+    from datetime import timezone
+    try:
+        when = email.utils.parsedate_to_datetime(value.strip())
+    except (TypeError, ValueError):
+        return None
+    if when is None:
+        return None
+    if when.tzinfo is None:
+        # RFC 5322 parsing can yield a naive datetime for "-0000";
+        # HTTP-dates are GMT by definition.
+        when = when.replace(tzinfo=timezone.utc)
+    reference = time.time() if now is None else float(now)
+    return when.timestamp() - reference
 
 
 def backoff_delay_s(attempt: int,

@@ -18,7 +18,8 @@ from repro.errors import ReproError
 from repro.explore.cache import ResultCache
 from repro.modules.library import ar_filter_timing
 from repro.partition.model import ChipSpec, Partitioning
-from repro.service.client import parse_retry_after
+from repro.service.client import (MAX_DATE_RETRY_AFTER_S,
+                                  parse_retry_after)
 
 
 # ---------------------------------------------------------------------
@@ -122,7 +123,6 @@ def test_chapter3_proof_not_refuted_by_general_result():
     ("-5", 1),
     ("nan", 1),
     ("inf", 1),
-    ("Sat, 01 Jan 2028 00:00:00 GMT", 1),
     ("soon", 1),
 ])
 def test_parse_retry_after(value, expected):
@@ -133,6 +133,39 @@ def test_parse_retry_after_custom_default():
     assert parse_retry_after(None, default=5) == 5
     assert parse_retry_after("junk", default=5) == 5
     assert parse_retry_after("2", default=5) == 5
+
+
+# ---------------------------------------------------------------------
+# Satellite (issue 10): parse_retry_after fell back to 1s on RFC 9110
+# HTTP-date values, so a client hammered a draining shard that asked
+# for a 30s hold.  Dates are decoded via email.utils and measured
+# against an injectable clock; far-future dates (clock skew, hostile
+# proxies) are capped, past dates fall back to the default.
+# ---------------------------------------------------------------------
+#: Unix timestamp of Fri, 01 Jan 2027 00:00:00 GMT.
+_NOW_2027 = 1798761600.0
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("Fri, 01 Jan 2027 00:00:30 GMT", 30),
+    ("Fri, 01 Jan 2027 00:02:00 GMT", 120),
+    # IMF-fixdate is canonical, but RFC 5322 spellings parse too.
+    ("1 Jan 2027 00:00:30 GMT", 30),
+    # Already in the past: no hold, just the default.
+    ("Thu, 31 Dec 2026 23:59:00 GMT", 1),
+    # A year in the future: capped, not honored literally.
+    ("Sat, 01 Jan 2028 00:00:00 GMT", MAX_DATE_RETRY_AFTER_S),
+])
+def test_parse_retry_after_http_date(value, expected):
+    assert parse_retry_after(value, now=_NOW_2027) == expected
+
+
+def test_parse_retry_after_http_date_real_clock():
+    # Without an injected clock the fixed far-future pin still holds:
+    # whatever today is, 2028 is capped (until it is the past, when
+    # the default takes over — either way, never a literal year).
+    assert parse_retry_after("Sat, 01 Jan 2028 00:00:00 GMT") \
+        <= MAX_DATE_RETRY_AFTER_S
 
 
 # ---------------------------------------------------------------------
@@ -187,3 +220,62 @@ def test_compact_merges_foreign_appends(tmp_path):
     assert summary["compacted"]
     reloaded = ResultCache(path)
     assert "mine" in reloaded and "yours" in reloaded
+
+
+# ---------------------------------------------------------------------
+# Campaign-found (issue 10, fault kind "cache-torn"): ResultCache.put
+# appended straight after a torn last line (a crash mid-write leaves
+# no trailing newline), welding the new record onto the fragment —
+# on reload BOTH lines parsed as one corrupt line and a validly
+# acknowledged write was silently gone.
+# ---------------------------------------------------------------------
+def test_put_survives_torn_trailing_line(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    cache = ResultCache(path)
+    cache.put("before", {"status": "ok"})
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "key": "torn", "record":')  # no \n
+    survivor = ResultCache(path)
+    assert survivor.put("after", {"status": "ok"})
+
+    reloaded = ResultCache(path)
+    assert "before" in reloaded
+    assert "after" in reloaded, "append welded onto the torn line"
+    assert reloaded.corrupt_lines == 1  # only the fragment is lost
+
+
+# ---------------------------------------------------------------------
+# Campaign-found (issue 10, fault kind "cache-kill"): write-through
+# puts during a cache-server outage were dropped forever — after the
+# server came back, results this shard solved during the outage never
+# reached the shared cache, so other shards re-executed them
+# (fleet-wide exactly-once violation seen by the campaign checker).
+# ---------------------------------------------------------------------
+def test_read_through_replays_unshipped_puts_on_reconnect():
+    import time as _time
+
+    from repro.cluster import ReadThroughCache, ThreadedCacheServer
+
+    served = ThreadedCacheServer().start()
+    port = served.port
+    shared = served.cache
+    mounted = ReadThroughCache(served.address, probe_interval_s=0.05)
+    served.stop()
+
+    solved = {"status": "ok", "metrics": {"total_pins": 1}}
+    assert mounted.put("during-outage", solved)   # local only
+    assert mounted.unshipped == 1
+
+    revived = ThreadedCacheServer(shared, port=port).start()
+    try:
+        deadline = _time.monotonic() + 5.0
+        while shared.get("during-outage") is None \
+                and _time.monotonic() < deadline:
+            _time.sleep(0.06)
+            mounted.get("poke")  # any remote op re-probes + replays
+        assert shared.get("during-outage") is not None, \
+            "outage-era put never reached the recovered server"
+        assert mounted.unshipped == 0
+    finally:
+        revived.stop()
+        mounted.client.close()

@@ -8,6 +8,7 @@ counts the failures instead of raising.
 """
 
 import socket
+import time
 
 import pytest
 
@@ -210,3 +211,54 @@ class TestReadThrough:
             assert isinstance(remote, ReadThroughCache)
             assert remote.address == served.address
             remote.client.close()
+
+
+# ---------------------------------------------------------------------
+class TestReconnect:
+    """Interval-based re-probing of a dead cache server (issue 10).
+
+    The read-through layer must degrade to local-only while the
+    server is away — without paying a connect timeout on every call —
+    and come back on its own once the server returns, mirroring the
+    front tier's shard-prober cadence.
+    """
+
+    def test_down_marking_skips_remote_until_interval(self):
+        served = ThreadedCacheServer().start()
+        mounted = ReadThroughCache(served.address,
+                                   probe_interval_s=30.0)
+        served.stop()
+        assert mounted.get("missing") is None     # probe fails
+        errors = mounted.remote_errors
+        assert errors == 1
+        assert mounted.stats()["remote"]["down"] is True
+        # Inside the interval: no further connection attempts on the
+        # read path, so no new errors accumulate.
+        assert mounted.get("missing") is None
+        assert mounted.remote_errors == errors
+        mounted.client.close()
+
+    def test_recovered_server_is_picked_up_after_interval(self):
+        served = ThreadedCacheServer().start()
+        port = served.port
+        shared = served.cache
+        mounted = ReadThroughCache(served.address,
+                                   probe_interval_s=0.05)
+        served.stop()
+        assert mounted.get("k1") is None          # marks remote down
+        assert mounted.stats()["remote"]["down"] is True
+        # Revive the server on the same port with the same store.
+        shared.put("k1", record())
+        revived = ThreadedCacheServer(shared, port=port).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            got = None
+            while got is None and time.monotonic() < deadline:
+                time.sleep(0.06)                  # let the probe window lapse
+                got = mounted.get("k1")
+            assert got is not None, "never re-probed revived server"
+            assert mounted.remote_hits == 1
+            assert mounted.stats()["remote"]["down"] is False
+        finally:
+            revived.stop()
+            mounted.client.close()

@@ -323,6 +323,60 @@ class TestFailover:
                 replacement.stop()
 
 
+class TestBatchWindowFailover:
+    def test_owner_death_inside_batch_window_is_exactly_once(self):
+        """Satellite (c): concurrent identical requests fold into one
+        batch group; the owning shard dies while the window is still
+        open.  Every caller must still get a terminal answer, and the
+        fleet may execute the key at most twice — the original admit
+        plus one legitimate re-execution after the owner's death —
+        never once per caller."""
+        from repro.service import catalog
+
+        runner = CountingRunner(solve_s=0.4)
+        with Cluster(runner=runner, batch_window_ms=200.0) as cluster:
+            front = cluster.front.front
+            body = {"design": "ar-simple", "rate": 7}
+            _space, point = catalog.synthesize_job(body)
+            owner = front.ring.owner(point.key)
+            owner_index = int(owner.split("-")[1])
+
+            answers = [None] * 4
+            errors = [None] * 4
+
+            def call(index):
+                client = cluster.client(retries=6,
+                                        backoff_base_s=0.05,
+                                        backoff_cap_s=0.2)
+                try:
+                    answers[index] = client.synthesize(
+                        "ar-simple", rate=7, timeout_ms=20000)
+                except (OSError, ServiceError) as exc:
+                    errors[index] = exc
+
+            threads = [threading.Thread(target=call, args=(i,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            # Kill the owner while the 200ms batch window is open (the
+            # solve itself takes 400ms, so even a flushed batch is
+            # still in flight on the owner when it dies).
+            time.sleep(0.06)
+            cluster.shards[owner_index].stop()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not any(t.is_alive() for t in threads)
+
+            assert errors == [None] * 4, [str(e) for e in errors]
+            for payload in answers:
+                assert payload["status"] == "ok"
+                assert payload["key"] == point.key
+            executions = runner.keys.count(point.key)
+            assert 1 <= executions <= 2, \
+                (f"exactly-once violated: {executions} executions "
+                 f"for one batched key after a single owner death")
+
+
 class TestShardReadiness:
     def test_invalid_seat_is_not_ready(self):
         shard = ThreadedServer(ServiceConfig(
